@@ -1,0 +1,55 @@
+"""Shared infrastructure for the table-reproduction benchmarks.
+
+Each ``bench_tableXX_*.py`` regenerates one table of the paper.  The
+rendered tables are collected here, printed in the pytest terminal
+summary, and written to ``benchmarks/results/``.
+
+Budgets: the paper uses wall-clock limits of 0.3-10 hours per cell on a
+C++ engine; this reproduction scales designs down ~10x and budgets down
+to seconds (see EXPERIMENTS.md).  Cells that exceed their budget are
+reported ``*``, exactly like the paper's timeout entries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.multiprop.report import format_time, render_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_collected: List[str] = []
+
+
+def publish_table(
+    table_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render, remember and persist one reproduced table."""
+    text = render_table(title, headers, rows, note=note)
+    _collected.append(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{table_id}.txt"), "w") as f:
+        f.write(text + "\n")
+    return text
+
+
+def collected_tables() -> List[str]:
+    return list(_collected)
+
+
+def cell_time(seconds: float, timed_out: bool = False) -> str:
+    """Format one time cell; '*' marks a budget exceedance (as in Table I)."""
+    return "*" if timed_out else format_time(seconds)
+
+
+def timed(fn: Callable[[], object]) -> tuple:
+    """Run a thunk, returning (result, elapsed_seconds)."""
+    start = time.monotonic()
+    result = fn()
+    return result, time.monotonic() - start

@@ -1,0 +1,87 @@
+"""Table I — the counter example: global BMC/PDR vs local proving.
+
+Paper row layout::
+
+    #bits | BMC global (#frames, time) | PDR global (#frames, time) | local time
+
+Expected shape: BMC's frame count doubles with each extra bit and soon
+exceeds its budget; PDR follows somewhat later; local JA proving stays
+flat regardless of width (the debugging set is {P0}, and under P0 the
+property P1 is inductive).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.bmc import bmc_check
+from repro.engines.ic3 import IC3Options, ic3_check
+from repro.engines.result import PropStatus, ResourceBudget
+from repro.gen.counter import buggy_counter
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import cell_time, publish_table, timed
+
+BITS = (4, 6, 8, 10)
+CELL_BUDGET_S = 15.0
+
+
+def _global_bmc(ts):
+    budget = ResourceBudget(time_limit=CELL_BUDGET_S)
+    return bmc_check(ts, "P1", max_depth=2000, budget=budget)
+
+
+def _global_pdr(ts):
+    budget = ResourceBudget(time_limit=CELL_BUDGET_S)
+    return ic3_check(ts, "P1", IC3Options(budget=budget, max_frames=2000))
+
+
+def _local(ts):
+    budget = ResourceBudget(time_limit=CELL_BUDGET_S)
+    # Local proving of both properties, as Ja-ver would: P0 (the debugging
+    # set) plus P1 under assumption P0.
+    r0 = ic3_check(ts, "P0", IC3Options(assumed=("P1",), budget=budget))
+    r1 = ic3_check(ts, "P1", IC3Options(assumed=("P0",), budget=budget))
+    return r0, r1
+
+
+def build_table():
+    rows = []
+    for bits in BITS:
+        ts = TransitionSystem(buggy_counter(bits))
+        bmc, t_bmc = timed(lambda: _global_bmc(ts))
+        pdr, t_pdr = timed(lambda: _global_pdr(ts))
+        (r0, r1), t_local = timed(lambda: _local(ts))
+        assert r0.status is PropStatus.FAILS
+        assert r1.status in (PropStatus.HOLDS, PropStatus.UNKNOWN)
+        rows.append(
+            [
+                bits,
+                bmc.frames if bmc.fails else "*",
+                cell_time(t_bmc, timed_out=not bmc.fails),
+                pdr.frames if pdr.fails else "*",
+                cell_time(t_pdr, timed_out=not pdr.fails),
+                cell_time(t_local, timed_out=r1.unknown),
+            ]
+        )
+    publish_table(
+        "table01",
+        "Table I: counter example (global vs local proving of P0, P1)",
+        ["#bits", "bmc #frames", "bmc time", "pdr #frames", "pdr time", "local time"],
+        rows,
+        note=f"budget {CELL_BUDGET_S:.0f}s per cell; '*' = exceeded (paper: 1h)",
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="table01")
+def test_table01_counter(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    # Shape assertions (the paper's qualitative claims).
+    by_bits = {row[0]: row for row in rows}
+    # BMC frame counts double with width while they stay solvable.
+    solved_bmc = [row for row in rows if row[1] != "*"]
+    for earlier, later in zip(solved_bmc, solved_bmc[1:]):
+        assert later[1] > 2 * (earlier[1] - 2)
+    # Local proving never times out.
+    assert all(row[5] != "*" for row in rows)

@@ -1,0 +1,105 @@
+"""Table X — single properties of the huge design, global vs local, plus
+the Section 11 parallel-computing projection.
+
+Paper layout: for a sample of individual properties of the 10,789-
+property benchmark 6s289, the number of time frames and the run time of
+a global proof vs a local proof (no clause exchange in either case).
+
+Expected shape: local proofs converge at 1-2 frames in near-constant
+time at every sampled position; global proofs grow with the property's
+pipeline depth.  The scheduler simulation then shows near-linear
+speedup of JA-verification with the number of workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.families import huge_design
+from repro.multiprop.parallel import measure_global_proofs, measure_local_proofs
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import cell_time, publish_table
+
+CHAIN_DEPTH = 48
+SAMPLE = (1, 5, 10, 16, 24, 32, 40, 47)
+
+
+def build_tables():
+    ts = TransitionSystem(huge_design(chain_depth=CHAIN_DEPTH))
+    names = [f"c0_C{i}" for i in SAMPLE]
+    glob = measure_global_proofs(ts, names, per_property_time=20.0)
+    local = measure_local_proofs(ts, names, per_property_time=20.0)
+    rows = []
+    for i, name in zip(SAMPLE, names):
+        rows.append(
+            [
+                i,
+                glob.prop_frames[name],
+                cell_time(glob.prop_times[name]),
+                local.prop_frames[name],
+                cell_time(local.prop_times[name]),
+            ]
+        )
+    rows.append(
+        [
+            "max",
+            max(glob.prop_frames.values()),
+            cell_time(max(glob.prop_times.values())),
+            max(local.prop_frames.values()),
+            cell_time(max(local.prop_times.values())),
+        ]
+    )
+    publish_table(
+        "table10",
+        "Table X: single properties of the huge design, global vs local proofs",
+        ["prop index", "global #frames", "global time", "local #frames", "local time"],
+        rows,
+        note=(
+            f"{len(ts.properties)}-property stand-in for 6s289; no clause "
+            "exchange in either mode"
+        ),
+    )
+
+    # Section 11: simulated parallel speedup of the full local run.
+    full_local = measure_local_proofs(ts, per_property_time=20.0)
+    sched_rows = []
+    for workers in (1, 2, 4, 8, 16, len(full_local.prop_times)):
+        sched_rows.append(
+            [
+                workers,
+                cell_time(full_local.makespan(workers)),
+                f"{full_local.speedup(workers):.2f}x",
+            ]
+        )
+    publish_table(
+        "table10b",
+        "Section 11: simulated parallel JA-verification (greedy list scheduling)",
+        ["workers", "makespan", "speedup"],
+        sched_rows,
+        note="independent local proofs scheduled on w workers",
+    )
+    return rows, sched_rows, glob, local
+
+
+@pytest.mark.benchmark(group="table10")
+def test_table10_parallel(benchmark):
+    rows, sched_rows, glob, local = benchmark.pedantic(
+        build_tables, rounds=1, iterations=1
+    )
+    # Local proofs are flat: identical frame counts at every position.
+    local_frames = {row[3] for row in rows[:-1]}
+    assert len(local_frames) == 1
+    # Global work grows with chain position: the deepest sampled property
+    # costs clearly more than the shallowest.
+    first, last = SAMPLE[0], SAMPLE[-1]
+    t_first = glob.prop_times[f"c0_C{first}"]
+    t_last = glob.prop_times[f"c0_C{last}"]
+    assert t_last > 2 * t_first
+    # Local time stays within a small band while global spreads.
+    t_local = list(local.prop_times.values())
+    assert max(t_local) <= 10 * min(t_local) + 0.01
+    # Parallel speedup is monotone in workers.
+    speedups = [float(row[2][:-1]) for row in sched_rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0

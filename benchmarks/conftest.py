@@ -1,0 +1,16 @@
+"""Pytest hooks for the benchmark suite: dump reproduced tables at exit."""
+
+from __future__ import annotations
+
+from benchmarks._harness import collected_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = collected_tables()
+    if not tables:
+        return
+    terminalreporter.section("reproduced paper tables")
+    for text in tables:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

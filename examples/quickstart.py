@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: verify the paper's Example 1 counter with JA-verification.
+
+The design is an 8-bit counter with a buggy reset condition and two
+properties:
+
+    P0: assert property (req == 1);      -- fails immediately (req is free)
+    P1: assert property (val <= rval);   -- fails only after 2^(bits-1)+1 steps
+
+Global verification of P1 needs a 130-frame counterexample; JA-verification
+instead proves P1 *locally* (assuming P0) in milliseconds and reports the
+debugging set {P0}: the only behaviour that needs fixing first.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TransitionSystem, ic3_check, ja_verify
+from repro.multiprop import debugging_report
+from repro.gen import buggy_counter
+
+
+def main() -> None:
+    aig = buggy_counter(bits=8)
+    ts = TransitionSystem(aig)
+    print(f"design: {aig!r}")
+    print(f"properties: {[p.name for p in ts.properties]}")
+    print()
+
+    # --- JA-verification: every property checked under the assumption
+    # that all the others hold ---------------------------------------
+    report = ja_verify(ts, design_name="counter8")
+    print(report.summary())
+    for name, outcome in report.outcomes.items():
+        verdict = outcome.status.value
+        extra = (
+            f"counterexample depth {outcome.cex_depth}"
+            if outcome.cex_depth is not None
+            else f"proved in {outcome.frames} frames"
+        )
+        print(f"  {name}: {verdict} locally ({extra}; assumed {outcome.assumed})")
+    print()
+
+    # --- the debugging interpretation (paper Sections 3-4) -----------
+    analysis = debugging_report(report)
+    print(analysis.narrative())
+    print()
+
+    # --- contrast with global verification of P1 ---------------------
+    result = ic3_check(ts, "P1")
+    print(
+        f"for contrast, a *global* check of P1 needs a counterexample of "
+        f"depth {result.frames} ({result.time_seconds:.2f}s with IC3; BMC "
+        "takes far longer) -- JA-verification avoided computing it altogether."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — multi-property hardware model checking with JA-verification.
+
+A from-scratch reproduction of Goldberg, Güdemann, Kroening, Mukherjee,
+"Efficient Verification of Multi-Property Designs (The Benefit of Wrong
+Assumptions)", DATE 2018 (arXiv:1711.05698).
+
+Layers (bottom-up):
+
+* :mod:`repro.sat` — a CDCL SAT solver (incremental, assumption cores);
+* :mod:`repro.circuit` — AIG circuit model, word-level builder, AIGER
+  I/O, concrete simulator;
+* :mod:`repro.encode` — Tseitin encoding and BMC unrolling;
+* :mod:`repro.ts` — transition systems, the ``T^P`` projection,
+  counterexample traces, explicit-state ground truth;
+* :mod:`repro.engines` — BMC, k-induction and IC3/PDR (with local-proof
+  constraints, two lifting modes, clause import/export);
+* :mod:`repro.multiprop` — JA-verification, joint and separate-global
+  drivers, clauseDB, debugging-set analysis, parallel simulation;
+* :mod:`repro.gen` — benchmark generators (Example 1's counter and the
+  synthetic HWMCC-12/13 stand-ins).
+
+Quickstart::
+
+    from repro import TransitionSystem, ja_verify
+    from repro.gen import buggy_counter
+
+    ts = TransitionSystem(buggy_counter(bits=8))
+    report = ja_verify(ts)
+    print(report.debugging_set())   # ['P0']
+"""
+
+from .circuit import AIG, Simulator, load_aag, parse_aag, save_aag, write_aag
+from .engines import (
+    EngineResult,
+    IC3Options,
+    PropStatus,
+    ResourceBudget,
+    bmc_check,
+    ic3_check,
+    kinduction_check,
+)
+from .multiprop import (
+    ClauseDB,
+    JAOptions,
+    JAVerifier,
+    JointOptions,
+    MultiPropReport,
+    SeparateOptions,
+    debugging_report,
+    ja_verify,
+    joint_verify,
+    separate_verify,
+)
+from .sat import Solver, Status
+from .ts import ProjectedReachability, Trace, TransitionSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIG",
+    "Simulator",
+    "parse_aag",
+    "write_aag",
+    "load_aag",
+    "save_aag",
+    "Solver",
+    "Status",
+    "TransitionSystem",
+    "Trace",
+    "ProjectedReachability",
+    "bmc_check",
+    "kinduction_check",
+    "ic3_check",
+    "IC3Options",
+    "PropStatus",
+    "EngineResult",
+    "ResourceBudget",
+    "ja_verify",
+    "JAVerifier",
+    "JAOptions",
+    "joint_verify",
+    "JointOptions",
+    "separate_verify",
+    "SeparateOptions",
+    "ClauseDB",
+    "MultiPropReport",
+    "debugging_report",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Hardware-design substrate: AIG model, word-level builder, AIGER I/O,
+and a concrete simulator for trace validation."""
+
+from .aig import AIG, FALSE_LIT, TRUE_LIT, Latch, Property, aig_not, aig_var, is_negated
+from .aiger import load_aag, parse_aag, save_aag, write_aag
+from .aiger_binary import load_aig, parse_aig_binary, save_aig, write_aig_binary
+from .coi import CoiReduction, coi_signature, reduce_to_cone, support_signature
+from .simulate import Simulator
+from . import words
+
+__all__ = [
+    "AIG",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "Latch",
+    "Property",
+    "aig_not",
+    "aig_var",
+    "is_negated",
+    "parse_aag",
+    "write_aag",
+    "load_aag",
+    "save_aag",
+    "parse_aig_binary",
+    "write_aig_binary",
+    "load_aig",
+    "save_aig",
+    "CoiReduction",
+    "reduce_to_cone",
+    "coi_signature",
+    "support_signature",
+    "Simulator",
+    "words",
+]

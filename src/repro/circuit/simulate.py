@@ -1,0 +1,121 @@
+"""Concrete cycle-accurate simulation of an AIG.
+
+Used to validate counterexamples produced by the engines: a CEX is only
+reported to the user after it has been replayed on the design and shown
+to actually drive the claimed property to FALSE (and no earlier property
+when that is asserted, e.g. for debugging-set membership checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .aig import AIG, aig_var, is_negated
+
+
+class Simulator:
+    """Evaluates an AIG cycle by cycle.
+
+    State is a mapping from latch literal to bool.  Inputs are supplied
+    per cycle as a mapping from input literal to bool; unspecified inputs
+    default to False.
+    """
+
+    def __init__(self, aig: AIG) -> None:
+        self.aig = aig
+        self.state: Dict[int, bool] = {}
+        self.reset()
+
+    def reset(self, uninitialized: Mapping[int, bool] | None = None) -> None:
+        """Return all latches to their reset values.
+
+        ``uninitialized`` supplies values for latches with ``init=None``.
+        """
+        self.state = {}
+        for latch in self.aig.latches:
+            if latch.init is None:
+                value = bool(uninitialized.get(latch.lit, False)) if uninitialized else False
+            else:
+                value = bool(latch.init)
+            self.state[latch.lit] = value
+
+    # ------------------------------------------------------------------
+    def eval_lit(self, lit: int, inputs: Mapping[int, bool]) -> bool:
+        """Evaluate a literal in the current state under the given inputs."""
+        value = self._eval_node(aig_var(lit), inputs, {})
+        return not value if is_negated(lit) else value
+
+    def _eval_node(self, idx: int, inputs: Mapping[int, bool], cache: Dict[int, bool]) -> bool:
+        # Iterative DFS to survive deep circuits without recursion limits.
+        stack = [idx]
+        aig = self.aig
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            kind = aig.kind(node)
+            if kind == "const":
+                cache[node] = False
+                stack.pop()
+            elif kind == "input":
+                cache[node] = bool(inputs.get(node * 2, False))
+                stack.pop()
+            elif kind == "latch":
+                cache[node] = self.state[node * 2]
+                stack.pop()
+            else:  # and
+                left, right = aig.and_fanins(node)
+                lv, rv = aig_var(left), aig_var(right)
+                missing = [v for v in (lv, rv) if v not in cache]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                lval = cache[lv] ^ is_negated(left)
+                rval = cache[rv] ^ is_negated(right)
+                cache[node] = lval and rval
+                stack.pop()
+        return cache[idx]
+
+    def step(self, inputs: Mapping[int, bool]) -> None:
+        """Advance one clock cycle under the given input valuation."""
+        cache: Dict[int, bool] = {}
+        new_state = {}
+        for latch in self.aig.latches:
+            value = self._eval_node(aig_var(latch.next), inputs, cache)
+            new_state[latch.lit] = value ^ is_negated(latch.next)
+        self.state = new_state
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        input_seq: Sequence[Mapping[int, bool]],
+        watch: Iterable[int] = (),
+    ) -> List[Dict[int, bool]]:
+        """Run a full input sequence; returns per-cycle values of ``watch``.
+
+        The returned list has one entry per cycle *before* the clock edge,
+        i.e. entry ``t`` is evaluated in the state reached after ``t``
+        steps, under ``input_seq[t]``.
+        """
+        watch = list(watch)
+        rows: List[Dict[int, bool]] = []
+        for frame_inputs in input_seq:
+            rows.append({lit: self.eval_lit(lit, frame_inputs) for lit in watch})
+            self.step(frame_inputs)
+        return rows
+
+    def check_property_failure(
+        self,
+        input_seq: Sequence[Mapping[int, bool]],
+        prop_lit: int,
+        uninitialized: Optional[Mapping[int, bool]] = None,
+    ) -> Optional[int]:
+        """Replay ``input_seq``; return the first cycle where ``prop_lit``
+        is FALSE, or None if the property holds along the whole trace."""
+        self.reset(uninitialized)
+        for t, frame_inputs in enumerate(input_seq):
+            if not self.eval_lit(prop_lit, frame_inputs):
+                return t
+            self.step(frame_inputs)
+        return None

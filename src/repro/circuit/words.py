@@ -1,0 +1,111 @@
+"""Word-level operations over vectors of AIG literals.
+
+A *word* is a list of AIG literals, least-significant bit first.  These
+helpers build ripple-carry arithmetic and comparators out of AND gates,
+which is how the Verilog counter of the paper's Example 1 and the
+synthetic benchmark families are expressed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .aig import AIG, FALSE_LIT, TRUE_LIT, aig_not
+
+
+def const_word(value: int, width: int) -> List[int]:
+    """A constant as a word of TRUE/FALSE literals (LSB first)."""
+    if value < 0:
+        raise ValueError("const_word takes non-negative values")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if value >= 1 << width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [TRUE_LIT if (value >> i) & 1 else FALSE_LIT for i in range(width)]
+
+
+def word_value(bits: Sequence[bool]) -> int:
+    """Integer value of a vector of booleans (LSB first)."""
+    out = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            out |= 1 << i
+    return out
+
+
+def _check_same_width(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+
+
+def add(aig: AIG, a: Sequence[int], b: Sequence[int], carry_in: int = FALSE_LIT) -> List[int]:
+    """Ripple-carry addition (modular, result has the same width)."""
+    _check_same_width(a, b)
+    out = []
+    carry = carry_in
+    for abit, bbit in zip(a, b):
+        s = aig.xor(aig.xor(abit, bbit), carry)
+        carry = aig.or_(aig.and_(abit, bbit), aig.and_(carry, aig.xor(abit, bbit)))
+        out.append(s)
+    return out
+
+
+def inc(aig: AIG, a: Sequence[int]) -> List[int]:
+    """Increment by one (modular)."""
+    out = []
+    carry = TRUE_LIT
+    for abit in a:
+        out.append(aig.xor(abit, carry))
+        carry = aig.and_(abit, carry)
+    return out
+
+
+def eq(aig: AIG, a: Sequence[int], b: Sequence[int]) -> int:
+    """Equality comparator; returns a single literal."""
+    _check_same_width(a, b)
+    return aig.and_many(aig.xnor(x, y) for x, y in zip(a, b))
+
+
+def eq_const(aig: AIG, a: Sequence[int], value: int) -> int:
+    return eq(aig, a, const_word(value, len(a)))
+
+
+def ult(aig: AIG, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned less-than; returns a single literal."""
+    _check_same_width(a, b)
+    lt = FALSE_LIT
+    for abit, bbit in zip(a, b):  # LSB -> MSB; later bits dominate
+        bit_lt = aig.and_(aig_not(abit), bbit)
+        bit_eq = aig.xnor(abit, bbit)
+        lt = aig.or_(bit_lt, aig.and_(bit_eq, lt))
+    return lt
+
+
+def ule(aig: AIG, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned less-or-equal."""
+    return aig_not(ult(aig, b, a))
+
+
+def ule_const(aig: AIG, a: Sequence[int], value: int) -> int:
+    return ule(aig, a, const_word(value, len(a)))
+
+
+def mux_word(aig: AIG, sel: int, then_word: Sequence[int], else_word: Sequence[int]) -> List[int]:
+    """Per-bit multiplexer: ``sel ? then_word : else_word``."""
+    _check_same_width(then_word, else_word)
+    return [aig.mux(sel, t, e) for t, e in zip(then_word, else_word)]
+
+
+def word_latches(aig: AIG, name: str, width: int, init: int = 0) -> List[int]:
+    """Create a register of ``width`` latches named ``name[i]``."""
+    return [
+        aig.add_latch(f"{name}[{i}]", init=(init >> i) & 1)
+        for i in range(width)
+    ]
+
+
+def set_next_word(aig: AIG, latches: Sequence[int], next_word: Sequence[int]) -> None:
+    """Connect next-state functions for a whole register."""
+    _check_same_width(latches, next_word)
+    for latch, nxt in zip(latches, next_word):
+        aig.set_next(latch, nxt)

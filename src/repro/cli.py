@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``info``      print design statistics and the property list
+``gen``       generate a named benchmark design as an AIGER file
+``sweep``     random-simulation property sweep (no SAT)
+``check``     multi-property verification (ja / joint / separate / clustered)
+
+The ``check`` command is the Ja-ver / Jnt-ver equivalent: it reads a
+(multi-property) AIGER file, runs the chosen driver, prints the verdict
+table and the debugging-set narrative, and optionally dumps machine-
+readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .circuit.aiger import load_aag, save_aag
+from .circuit.aiger_binary import load_aig, save_aig
+from .multiprop import (
+    JAOptions,
+    JointOptions,
+    SeparateOptions,
+    debugging_report,
+    ja_verify,
+    joint_verify,
+    separate_verify,
+)
+from .multiprop.clustering import ClusterOptions, clustered_verify
+from .multiprop.ordering import by_cone_size, design_order, shuffled
+from .multiprop.report import MultiPropReport, render_table
+from .multiprop.sweep import sweep as run_sweep
+from .ts.system import TransitionSystem
+
+
+def _load_design(path: str):
+    if path.endswith(".aig"):
+        return load_aig(path)
+    return load_aag(path)
+
+
+def _save_design(aig, path: str) -> None:
+    if path.endswith(".aig"):
+        save_aig(aig, path)
+    else:
+        save_aag(aig, path)
+
+
+# ----------------------------------------------------------------------
+def cmd_info(args: argparse.Namespace) -> int:
+    aig = _load_design(args.design)
+    stats = aig.stats()
+    print(f"{args.design}:")
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+    rows = []
+    for prop in aig.properties:
+        _, latches = aig.cone_of_influence([prop.lit])
+        rows.append(
+            [prop.name, "ETF" if prop.expected_to_fail else "ETH", len(latches)]
+        )
+    print(render_table("properties", ["name", "kind", "#cone latches"], rows))
+    return 0
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    from .gen import (
+        ALL_TRUE_SPECS,
+        FAILING_SPECS,
+        LARGE_DESIGN_NAMES,
+        buggy_counter,
+        huge_design,
+        large_design,
+    )
+
+    name = args.name
+    if name.startswith("counter"):
+        bits = int(name[len("counter"):] or 8)
+        aig = buggy_counter(bits)
+    elif name in FAILING_SPECS:
+        aig = FAILING_SPECS[name].build()
+    elif name in ALL_TRUE_SPECS:
+        aig = ALL_TRUE_SPECS[name].build()
+    elif name in LARGE_DESIGN_NAMES:
+        aig = large_design(name)
+    elif name == "huge":
+        aig = huge_design()
+    else:
+        known = (
+            ["counter<bits>", "huge"]
+            + sorted(FAILING_SPECS)
+            + sorted(ALL_TRUE_SPECS)
+            + list(LARGE_DESIGN_NAMES)
+        )
+        print(f"unknown design {name!r}; known: {', '.join(known)}", file=sys.stderr)
+        return 2
+    _save_design(aig, args.output)
+    print(f"wrote {args.output}: {aig!r}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    ts = TransitionSystem(_load_design(args.design))
+    result = run_sweep(ts, runs=args.runs, depth=args.depth, seed=args.seed)
+    rows = [
+        [name, len(trace)] for name, trace in sorted(result.failed.items())
+    ]
+    print(
+        render_table(
+            f"simulation sweep ({result.runs} runs x {args.depth} frames)",
+            ["failed property", "witness depth"],
+            rows,
+        )
+    )
+    print(f"survivors (need model checking): {len(result.survivors)}")
+    return 0
+
+
+_ORDERS = {"design": design_order, "cone": by_cone_size}
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    ts = TransitionSystem(_load_design(args.design))
+    order: Optional[List[str]] = None
+    if args.order:
+        if args.order.startswith("shuffled:"):
+            order = shuffled(ts, int(args.order.split(":", 1)[1]))
+        elif args.order in _ORDERS:
+            order = _ORDERS[args.order](ts)
+        else:
+            print(f"unknown order {args.order!r}", file=sys.stderr)
+            return 2
+
+    if args.method == "ja":
+        report = ja_verify(
+            ts,
+            JAOptions(
+                clause_reuse=not args.no_reuse,
+                respect_constraints_in_lifting=args.respect_lifting,
+                per_property_time=args.per_property_time,
+                total_time=args.time_limit,
+                order=order,
+                coi_reduction=args.coi,
+                ctg=args.ctg,
+            ),
+            design_name=args.design,
+        )
+    elif args.method == "joint":
+        report = joint_verify(
+            ts, JointOptions(total_time=args.time_limit), design_name=args.design
+        )
+    elif args.method == "separate":
+        report = separate_verify(
+            ts,
+            SeparateOptions(
+                clause_reuse=not args.no_reuse,
+                per_property_time=args.per_property_time,
+                total_time=args.time_limit,
+                order=order,
+            ),
+            design_name=args.design,
+        )
+    else:  # clustered
+        report = clustered_verify(
+            ts,
+            ClusterOptions(
+                total_time=args.time_limit,
+                per_property_time=args.per_property_time,
+                inner=args.cluster_inner,
+            ),
+            design_name=args.design,
+        )
+
+    _print_report(report)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(_report_to_json(report), f, indent=2)
+        print(f"wrote {args.json}")
+    # Exit status: 0 all hold, 1 failures found, 3 unsolved remain.
+    if report.false_props():
+        return 1
+    if report.unsolved():
+        return 3
+    return 0
+
+
+def _print_report(report: MultiPropReport) -> None:
+    rows = []
+    for outcome in report.outcomes.values():
+        rows.append(
+            [
+                outcome.name,
+                outcome.status.value,
+                "local" if outcome.local else "global",
+                outcome.cex_depth if outcome.cex_depth is not None else "",
+                f"{outcome.time_seconds:.3f}",
+            ]
+        )
+    print(
+        render_table(
+            report.summary(),
+            ["property", "verdict", "scope", "cex depth", "time (s)"],
+            rows,
+        )
+    )
+    if report.method.startswith(("ja", "sweep")):
+        print()
+        print(debugging_report(report).narrative())
+
+
+def _report_to_json(report: MultiPropReport) -> dict:
+    return {
+        "method": report.method,
+        "design": report.design,
+        "total_time": report.total_time,
+        "debugging_set": report.debugging_set(),
+        "etf_confirmed": report.etf_confirmed(),
+        "stats": report.stats,
+        "outcomes": {
+            name: {
+                "status": o.status.value,
+                "local": o.local,
+                "frames": o.frames,
+                "cex_depth": o.cex_depth,
+                "time_seconds": o.time_seconds,
+                "assumed": o.assumed,
+            }
+            for name, o in report.outcomes.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-property model checking with JA-verification (DATE'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="design statistics")
+    p_info.add_argument("design", help="AIGER file (.aag or .aig)")
+    p_info.set_defaults(func=cmd_info)
+
+    p_gen = sub.add_parser("gen", help="generate a benchmark design")
+    p_gen.add_argument("name", help="counter<bits>, huge, f104..f380, t124..t275, r400..r403")
+    p_gen.add_argument("-o", "--output", required=True, help="output .aag/.aig path")
+    p_gen.set_defaults(func=cmd_gen)
+
+    p_sweep = sub.add_parser("sweep", help="random-simulation property sweep")
+    p_sweep.add_argument("design")
+    p_sweep.add_argument("--runs", type=int, default=32)
+    p_sweep.add_argument("--depth", type=int, default=32)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_check = sub.add_parser("check", help="verify all properties")
+    p_check.add_argument("design")
+    p_check.add_argument(
+        "--method",
+        choices=("ja", "joint", "separate", "clustered"),
+        default="ja",
+    )
+    p_check.add_argument("--time-limit", type=float, default=None, help="total seconds")
+    p_check.add_argument(
+        "--per-property-time", type=float, default=None, help="seconds per property"
+    )
+    p_check.add_argument("--no-reuse", action="store_true", help="disable clauseDB re-use")
+    p_check.add_argument(
+        "--respect-lifting",
+        action="store_true",
+        help="lifting respects property constraints (default: ignore + re-run)",
+    )
+    p_check.add_argument("--coi", action="store_true", help="cone-of-influence front end")
+    p_check.add_argument("--ctg", action="store_true", help="CTG-aware generalization")
+    p_check.add_argument(
+        "--order", default=None, help="property order: design | cone | shuffled:<seed>"
+    )
+    p_check.add_argument(
+        "--cluster-inner", choices=("joint", "ja"), default="joint",
+        help="method inside each cluster (clustered only)",
+    )
+    p_check.add_argument("--json", default=None, help="write JSON report here")
+    p_check.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

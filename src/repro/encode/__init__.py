@@ -1,0 +1,7 @@
+"""CNF encoding layer: Tseitin transformation and time-frame unrolling."""
+
+from .cnf import CnfBuilder
+from .tseitin import ConeEncoder
+from .unroll import Unroller
+
+__all__ = ["CnfBuilder", "ConeEncoder", "Unroller"]

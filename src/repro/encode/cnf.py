@@ -1,0 +1,50 @@
+"""A lightweight CNF container with fresh-variable management.
+
+All engines share this representation: clauses are lists of signed
+DIMACS literals, and :class:`CnfBuilder` hands out fresh variables and
+remembers the mapping from AIG nodes to CNF variables established by the
+Tseitin encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class CnfBuilder:
+    """Accumulates clauses and allocates fresh CNF variables."""
+
+    def __init__(self) -> None:
+        self.clauses: List[List[int]] = []
+        self.num_vars = 0
+
+    def new_var(self) -> int:
+        """Allocate a fresh 1-based variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Add a clause of signed literals."""
+        lits = list(clause)
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(lits)
+
+    def add_all(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables, returned in order."""
+        return [self.new_var() for _ in range(count)]
+
+    def copy(self) -> "CnfBuilder":
+        out = CnfBuilder()
+        out.num_vars = self.num_vars
+        out.clauses = [list(c) for c in self.clauses]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.clauses)

@@ -1,0 +1,23 @@
+"""Model-checking engines: BMC, k-induction, and IC3/PDR."""
+
+from .bmc import bmc_check, bmc_sweep
+from .certify import CertificateReport, certify_cex, certify_invariant
+from .ic3 import IC3, IC3Options, SeedCertificateError, ic3_check
+from .kinduction import kinduction_check
+from .result import EngineResult, PropStatus, ResourceBudget
+
+__all__ = [
+    "bmc_check",
+    "bmc_sweep",
+    "kinduction_check",
+    "ic3_check",
+    "IC3",
+    "IC3Options",
+    "SeedCertificateError",
+    "EngineResult",
+    "PropStatus",
+    "ResourceBudget",
+    "certify_invariant",
+    "certify_cex",
+    "CertificateReport",
+]

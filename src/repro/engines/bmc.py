@@ -1,0 +1,174 @@
+"""Bounded model checking (Biere et al., DAC 1999).
+
+Incrementally unrolls the design inside one solver and asks, for
+``k = 0, 1, 2, ...``, whether the target property can be falsified at
+frame ``k``.  Supports the paper's *local* mode: the assumed properties
+are asserted on every frame strictly before the failure frame, which is
+the bounded analogue of searching in ``(I, T^P)``.
+
+BMC is complete for falsification only; :func:`bmc_check` returns UNKNOWN
+once the bound or budget is exhausted without finding a counterexample.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..circuit.aig import aig_not
+from ..encode.unroll import Unroller
+from ..sat import Solver, Status
+from ..ts.system import TransitionSystem
+from ..ts.trace import Trace
+from .result import EngineResult, PropStatus, ResourceBudget
+
+
+def bmc_check(
+    ts: TransitionSystem,
+    prop_name: str,
+    max_depth: int = 64,
+    assumed: Sequence[str] = (),
+    budget: Optional[ResourceBudget] = None,
+    validate: bool = True,
+) -> EngineResult:
+    """Search for a counterexample of depth ``<= max_depth`` frames.
+
+    ``assumed`` names properties asserted at all frames before the
+    failure frame (local verification); with ``assumed=()`` this is
+    plain global BMC.
+
+    Depth convention matches :class:`Trace`: a depth-1 CEX fails in the
+    initial state.
+    """
+    start = time.monotonic()
+    prop = ts.prop_by_name[prop_name]
+    assumed_props = [ts.prop_by_name[n] for n in assumed]
+    if any(p.name == prop_name for p in assumed_props):
+        raise ValueError("a property cannot be assumed while checking itself")
+
+    solver = Solver()
+    unroller = Unroller(ts.aig, solver)
+    stats = {"sat_queries": 0, "max_depth_reached": 0}
+
+    for t in range(max_depth):
+        if budget is not None and budget.exhausted():
+            return _unknown(prop_name, t, assumed, start, stats)
+        frame = unroller.frame(t)
+        for c in ts.aig.constraints:
+            solver.add_clause([frame.lit(c)])
+        bad_lit = frame.lit(aig_not(prop.lit))
+        before = solver.stats["conflicts"]
+        status = solver.solve([bad_lit])
+        stats["sat_queries"] += 1
+        stats["max_depth_reached"] = t + 1
+        if budget is not None:
+            budget.charge_conflicts(solver.stats["conflicts"] - before)
+        if status == Status.SAT:
+            cex = Trace(
+                inputs=unroller.extract_inputs(solver.value, t),
+                uninit=unroller.extract_uninit(solver.value),
+                property_name=prop_name,
+            )
+            if validate and not cex.validate(ts.aig, prop.lit):
+                raise RuntimeError(
+                    f"BMC produced an invalid counterexample for {prop_name} "
+                    f"at depth {t + 1}"
+                )
+            return EngineResult(
+                status=PropStatus.FAILS,
+                prop_name=prop_name,
+                cex=cex,
+                frames=t + 1,
+                assumed=list(assumed),
+                time_seconds=time.monotonic() - start,
+                stats=stats,
+            )
+        # No CEX at this depth: pin the assumptions for frame t before
+        # moving deeper (frames before a failure must satisfy them).
+        for p in assumed_props:
+            solver.add_clause([frame.lit(p.lit)])
+    return _unknown(prop_name, max_depth, assumed, start, stats)
+
+
+def _unknown(prop_name, frames, assumed, start, stats) -> EngineResult:
+    return EngineResult(
+        status=PropStatus.UNKNOWN,
+        prop_name=prop_name,
+        frames=frames,
+        assumed=list(assumed),
+        time_seconds=time.monotonic() - start,
+        stats=stats,
+    )
+
+
+def bmc_sweep(
+    ts: TransitionSystem,
+    max_depth: int = 32,
+    names: Optional[Sequence[str]] = None,
+    budget: Optional[ResourceBudget] = None,
+) -> dict:
+    """Multi-property BMC: find every property failing within ``max_depth``.
+
+    One shared unrolling, one incremental solver; at each frame every
+    still-unrefuted property gets one assumption query (the way ABC's
+    ``bmc`` processes multi-output designs).  This is the cheapest
+    complete way to enumerate *shallow* failures and their minimal
+    depths; deep failures and proofs still need IC3.
+
+    Returns ``{name: EngineResult}`` with FAILS (validated CEX, minimal
+    depth) or UNKNOWN per property.
+    """
+    start = time.monotonic()
+    props = [
+        ts.prop_by_name[n] for n in (names if names is not None else
+                                     [p.name for p in ts.properties])
+    ]
+    solver = Solver()
+    unroller = Unroller(ts.aig, solver)
+    pending = {p.name: p for p in props}
+    results: dict = {}
+    stats = {"sat_queries": 0}
+
+    for t in range(max_depth):
+        if not pending or (budget is not None and budget.exhausted()):
+            break
+        frame = unroller.frame(t)
+        for c in ts.aig.constraints:
+            solver.add_clause([frame.lit(c)])
+        for name in list(pending):
+            prop = pending[name]
+            before = solver.stats["conflicts"]
+            status = solver.solve([frame.lit(aig_not(prop.lit))])
+            stats["sat_queries"] += 1
+            if budget is not None:
+                budget.charge_conflicts(solver.stats["conflicts"] - before)
+            if status != Status.SAT:
+                continue
+            cex = Trace(
+                inputs=unroller.extract_inputs(solver.value, t),
+                uninit=unroller.extract_uninit(solver.value),
+                property_name=name,
+            )
+            if not cex.validate(ts.aig, prop.lit):
+                raise RuntimeError(
+                    f"BMC sweep produced an invalid counterexample for {name}"
+                )
+            results[name] = EngineResult(
+                status=PropStatus.FAILS,
+                prop_name=name,
+                cex=cex,
+                frames=t + 1,
+                time_seconds=time.monotonic() - start,
+                stats=dict(stats),
+            )
+            del pending[name]
+
+    for name in pending:
+        results[name] = EngineResult(
+            status=PropStatus.UNKNOWN,
+            prop_name=name,
+            frames=max_depth,
+            time_seconds=time.monotonic() - start,
+            stats=dict(stats),
+        )
+    return results

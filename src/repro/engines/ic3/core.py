@@ -1,0 +1,637 @@
+"""IC3 / PDR (Bradley, VMCAI 2011; Eén-Mishchenko-Brayton, FMCAD 2011).
+
+This is the property-checking engine underneath every experiment in the
+paper.  Besides the standard machinery (frames, proof-obligation queue,
+inductive generalization with unsat-core shrinking, clause propagation),
+it implements the three features the paper's Ic3-db relies on:
+
+* **Local proofs** (Sections 4, 7-A): ``assumed`` properties are asserted
+  as constraints on the *source* frame of every transition query, which
+  realizes the projection ``T^P``.  The bad-state query is left
+  unconstrained so that a state falsifying the target property is
+  reachable even if assumed properties fail there simultaneously —
+  this is what makes Proposition 5 (all-local-true implies all-global-
+  true) hold in the implementation, including the corner case of
+  properties that only fail together.
+
+* **State lifting with two modes** (Sections 6-C, 7-A): predecessor
+  cubes are enlarged by ternary simulation, either respecting the
+  assumed-property constraints or ignoring them.  Ignoring gives larger
+  cubes but may yield spurious counterexamples; callers detect these by
+  replay (the driver re-runs with respecting mode, as Ic3-db does).
+
+* **Strengthening-clause import/export** (Section 6): ``seed_clauses``
+  initialize every frame, and a successful proof exports the final
+  inductive clause set.  Because seeds proven under *different*
+  assumption sets are not automatically inductive here, the final
+  invariant is re-verified clause by clause (`validate_invariant`); on
+  certificate failure the engine signals the caller to retry without
+  seeds.  This keeps the paper's optimization while staying sound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...sat import Solver, Status
+from ...ts.system import (
+    Clause,
+    Cube,
+    StepEncoding,
+    TransitionSystem,
+    cube_subsumes,
+    negate_cube,
+    normalize_cube,
+)
+from ...ts.trace import Trace
+from ..result import EngineResult, PropStatus, ResourceBudget
+
+
+class SeedCertificateError(Exception):
+    """The final invariant failed its certificate check.
+
+    Only possible when seed clauses from a differently-constrained run
+    were imported; the caller should re-run without seeds.
+    """
+
+
+@dataclass
+class IC3Options:
+    """Tuning knobs for one IC3 run."""
+
+    assumed: Sequence[str] = ()
+    respect_constraints_in_lifting: bool = False
+    seed_clauses: Sequence[Clause] = ()
+    max_frames: int = 500
+    budget: Optional[ResourceBudget] = None
+    validate_cex: bool = True
+    validate_invariant: bool = True
+    generalize_passes: int = 2
+    # CTG handling during generalization (Hassan-Bradley-Somenzi, FMCAD'13):
+    # when dropping a literal fails because of a counterexample-to-
+    # generalization, try to block that state first.  Off by default to
+    # match the paper's Ic3-db baseline; the ablation bench measures it.
+    ctg: bool = False
+    max_ctgs: int = 3
+
+
+@dataclass
+class _Obligation:
+    """A cube of states at some frame known to reach the bad condition."""
+
+    cube: Cube
+    inputs: Dict[int, bool]
+    witness: Tuple[bool, ...]
+    succ: Optional["_Obligation"]
+
+
+class IC3:
+    """One IC3 run for one property of a transition system."""
+
+    def __init__(self, ts: TransitionSystem, prop_name: str, options: Optional[IC3Options] = None) -> None:
+        self.ts = ts
+        self.options = options or IC3Options()
+        self.prop = ts.prop_by_name[prop_name]
+        if self.prop.name in self.options.assumed:
+            raise ValueError("a property cannot be assumed while checking itself")
+        self.assumed_props = [ts.prop_by_name[n] for n in self.options.assumed]
+        # frames[k] = cubes blocked at exactly level k (k >= 1).
+        self.frames: List[List[Cube]] = [[], []]
+        self._frame_solvers: List[Optional[Solver]] = []
+        self._frame_encodings: List[Optional[StepEncoding]] = []
+        self._bad_solver: Optional[Solver] = None
+        self._bad_encoding = None
+        self._seeds: List[Clause] = [normalize_cube(c) for c in self.options.seed_clauses]
+        for seed in self._seeds:
+            if not ts.clause_holds_at_init(seed):
+                raise ValueError(f"seed clause {seed} does not hold at the initial states")
+        self.stats: Dict[str, int] = {
+            "sat_queries": 0,
+            "obligations": 0,
+            "cubes_blocked": 0,
+            "cubes_pushed": 0,
+            "lift_drops": 0,
+            "generalize_drops": 0,
+            "seeds_used": len(self._seeds),
+        }
+        self._start_time = time.monotonic()
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Solver management
+    # ------------------------------------------------------------------
+    def _solve(self, solver: Solver, assumptions: Sequence[int]) -> Status:
+        before = solver.stats["conflicts"]
+        status = solver.solve(assumptions)
+        self.stats["sat_queries"] += 1
+        budget = self.options.budget
+        if budget is not None:
+            budget.charge_conflicts(solver.stats["conflicts"] - before)
+        return status
+
+    def _frame_solver(self, k: int) -> Tuple[Solver, StepEncoding]:
+        """Solver for consecution *relative to F_k* (holds F_k's clauses)."""
+        while len(self._frame_solvers) <= k:
+            self._frame_solvers.append(None)
+            self._frame_encodings.append(None)
+        if self._frame_solvers[k] is None:
+            solver = Solver()
+            enc = self.ts.encode_step(solver)
+            for p in self.assumed_props:
+                solver.add_clause([enc.prop_curr[p.name]])
+            if k == 0:
+                for i, latch in enumerate(self.ts.latches):
+                    if latch.init == 0:
+                        solver.add_clause([-enc.curr[i]])
+                    elif latch.init == 1:
+                        solver.add_clause([enc.curr[i]])
+            for seed in self._seeds:
+                solver.add_clause(enc.clause_lits_curr(seed))
+            for level in range(max(k, 1), len(self.frames)):
+                for cube in self.frames[level]:
+                    solver.add_clause(enc.clause_lits_curr(negate_cube(cube)))
+            self._frame_solvers[k] = solver
+            self._frame_encodings[k] = enc
+        return self._frame_solvers[k], self._frame_encodings[k]
+
+    def _rebuild_bad_solver(self) -> None:
+        solver = Solver()
+        enc = self.ts.encode_bad_frame(solver)
+        top = self.top
+        for seed in self._seeds:
+            solver.add_clause(enc.clause_lits_curr(seed))
+        for level in range(top, len(self.frames)):
+            for cube in self.frames[level]:
+                solver.add_clause(enc.clause_lits_curr(negate_cube(cube)))
+        self._bad_solver = solver
+        self._bad_encoding = enc
+
+    @property
+    def top(self) -> int:
+        return len(self.frames) - 1
+
+    def _add_blocked_cube(self, cube: Cube, level: int) -> None:
+        """Record that ``cube`` is unreachable within ``level`` steps."""
+        # Subsumption: drop weaker cubes this one covers.
+        for lvl in range(1, level + 1):
+            self.frames[lvl] = [
+                c for c in self.frames[lvl] if not cube_subsumes(cube, c)
+            ]
+        self.frames[level].append(cube)
+        self.stats["cubes_blocked"] += 1
+        clause = negate_cube(cube)
+        for k in range(1, level + 1):
+            if k < len(self._frame_solvers) and self._frame_solvers[k] is not None:
+                enc = self._frame_encodings[k]
+                self._frame_solvers[k].add_clause(enc.clause_lits_curr(clause))
+        if level >= self.top and self._bad_solver is not None:
+            self._bad_solver.add_clause(self._bad_encoding.clause_lits_curr(clause))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _consecution(self, cube: Cube, k: int) -> Tuple[bool, object]:
+        """Is ``F_k ∧ C ∧ ¬cube ∧ T ∧ cube'`` UNSAT?
+
+        Returns ``(True, core_cube_lits)`` on UNSAT (the subset of cube
+        literals whose next-state versions appear in the final conflict),
+        or ``(False, (pred_state, inputs))`` on SAT.
+        """
+        solver, enc = self._frame_solver(k)
+        act = solver.new_var()
+        not_cube = [-lit for lit in enc.cube_lits_curr(cube)]
+        solver.add_clause([-act] + not_cube)
+        next_lits = enc.cube_lits_next(cube)
+        status = self._solve(solver, [act] + next_lits)
+        if status == Status.UNSAT:
+            core = solver.core()
+            solver.add_clause([-act])
+            needed = [
+                state_lit
+                for state_lit, solver_lit in zip(cube, next_lits)
+                if solver_lit in core
+            ]
+            return True, tuple(needed)
+        if status == Status.UNKNOWN:
+            solver.add_clause([-act])
+            raise _BudgetExhausted()
+        pred_state = tuple(bool(solver.value(v)) for v in enc.curr)
+        inputs = {
+            inp: bool(solver.value(var)) for inp, var in enc.inputs.items()
+        }
+        solver.add_clause([-act])
+        return False, (pred_state, inputs)
+
+    def _query_bad(self) -> Optional[Tuple[Tuple[bool, ...], Dict[int, bool]]]:
+        """SAT(F_top ∧ ¬P): a state (+ input) falsifying the property."""
+        if self._bad_solver is None:
+            self._rebuild_bad_solver()
+        solver, enc = self._bad_solver, self._bad_encoding
+        status = self._solve(solver, [-enc.prop_curr[self.prop.name]])
+        if status == Status.UNKNOWN:
+            raise _BudgetExhausted()
+        if status == Status.UNSAT:
+            return None
+        state = tuple(bool(solver.value(v)) for v in enc.curr)
+        inputs = {inp: bool(solver.value(var)) for inp, var in enc.inputs.items()}
+        return state, inputs
+
+    # ------------------------------------------------------------------
+    # Lifting
+    # ------------------------------------------------------------------
+    def _lift(
+        self,
+        state: Tuple[bool, ...],
+        inputs: Dict[int, bool],
+        require_true: List[int],
+        require_false: List[int],
+    ) -> Cube:
+        from .ternary import lift_state
+
+        require_true = list(require_true) + list(self.ts.aig.constraints)
+        if self.options.respect_constraints_in_lifting:
+            require_true += [p.lit for p in self.assumed_props]
+        latch_order = [latch.lit for latch in self.ts.latches]
+        lifted = lift_state(
+            self.ts.aig, latch_order, state, inputs, require_true, require_false
+        )
+        return self._cube_from_lifted(lifted, state)
+
+    def _cube_from_lifted(
+        self, lifted: List[Optional[bool]], state: Tuple[bool, ...]
+    ) -> Cube:
+        lits = []
+        for i, value in enumerate(lifted):
+            if value is None:
+                self.stats["lift_drops"] += 1
+            else:
+                lits.append((i + 1) if value else -(i + 1))
+        if not lits:
+            # Degenerate but possible (target depends on inputs only);
+            # keep one concrete literal so cubes are never empty.
+            lits.append(1 if state[0] else -1)
+        return normalize_cube(lits)
+
+    def _lift_predecessor(
+        self, state: Tuple[bool, ...], inputs: Dict[int, bool], succ_cube: Cube
+    ) -> Cube:
+        require_true, require_false = [], []
+        for lit in succ_cube:
+            next_fn = self.ts.latches[abs(lit) - 1].next
+            if lit > 0:
+                require_true.append(next_fn)
+            else:
+                require_false.append(next_fn)
+        return self._lift(state, inputs, require_true, require_false)
+
+    def _lift_bad(self, state: Tuple[bool, ...], inputs: Dict[int, bool]) -> Cube:
+        # The bad state must keep falsifying the property.  Assumed
+        # properties are never required here: the final state of a local
+        # counterexample is unconstrained (see module docstring).
+        from .ternary import lift_state
+
+        require_true = list(self.ts.aig.constraints)
+        require_false = [self.prop.lit]
+        latch_order = [latch.lit for latch in self.ts.latches]
+        lifted = lift_state(
+            self.ts.aig, latch_order, state, inputs, require_true, require_false
+        )
+        return self._cube_from_lifted(lifted, state)
+
+    def _init_witness(self, cube: Cube) -> Tuple[bool, ...]:
+        """A concrete initial state inside ``cube`` (which intersects I)."""
+        values = []
+        cube_map = {abs(l): l > 0 for l in cube}
+        for i, latch in enumerate(self.ts.latches):
+            if latch.init is not None:
+                values.append(bool(latch.init))
+            else:
+                values.append(cube_map.get(i + 1, False))
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    # Generalization
+    # ------------------------------------------------------------------
+    def _repair_init(self, cube: Cube, original: Cube) -> Cube:
+        """Ensure the cube excludes the initial states.
+
+        If a core-shrunk cube intersects I, add back a literal of the
+        original cube that conflicts with the init pattern (one always
+        exists because the original cube excluded I).
+        """
+        if not self.ts.cube_intersects_init(cube):
+            return cube
+        for lit in original:
+            pattern = self.ts.init_pattern[abs(lit) - 1]
+            if pattern is not None and pattern != lit:
+                repaired = normalize_cube(tuple(cube) + (lit,))
+                if not self.ts.cube_intersects_init(repaired):
+                    return repaired
+        raise RuntimeError("cannot repair cube against initial states")
+
+    def _generalize(self, cube: Cube, k: int) -> Cube:
+        """Shrink a blocked cube while keeping consecution rel. F_k and
+        disjointness from the initial states."""
+        current = cube
+        for _ in range(self.options.generalize_passes):
+            progress = False
+            for lit in list(current):
+                if len(current) <= 1:
+                    break
+                candidate = tuple(l for l in current if l != lit)
+                if self.ts.cube_intersects_init(candidate):
+                    continue
+                ok, info = self._consecution(candidate, k)
+                if not ok and self.options.ctg:
+                    ok, info = self._try_block_ctgs(candidate, k, info)
+                if ok:
+                    shrunk = self._repair_init(normalize_cube(info), candidate)
+                    if shrunk and not self.ts.cube_intersects_init(shrunk):
+                        self.stats["generalize_drops"] += len(current) - len(shrunk)
+                        current = shrunk
+                    else:
+                        current = candidate
+                    progress = True
+            if not progress:
+                break
+        return current
+
+    def _try_block_ctgs(self, candidate: Cube, k: int, info) -> Tuple[bool, object]:
+        """CTG-aware generalization: block states that keep a literal alive.
+
+        When dropping a literal fails, the SAT witness is a predecessor
+        state (a counterexample to generalization).  If that state is
+        itself inductive relative to F_k, block it at k+1 and retry; this
+        often lets the drop go through, yielding much smaller clauses.
+        Bounded by ``max_ctgs`` attempts (no recursion), per HBS'13.
+        """
+        for _ in range(self.options.max_ctgs):
+            pred_state, pred_inputs = info
+            ctg_cube = self._lift_predecessor(pred_state, pred_inputs, candidate)
+            if self.ts.cube_intersects_init(ctg_cube):
+                return False, info
+            ok, core = self._consecution(ctg_cube, k)
+            if not ok:
+                return False, info
+            blocked = self._repair_init(normalize_cube(core), ctg_cube)
+            self._add_blocked_cube(blocked, min(k + 1, self.top))
+            self.stats["ctg_blocked"] = self.stats.get("ctg_blocked", 0) + 1
+            ok, info = self._consecution(candidate, k)
+            if ok:
+                return True, info
+        return False, info
+
+    # ------------------------------------------------------------------
+    # Blocking
+    # ------------------------------------------------------------------
+    def _is_blocked(self, cube: Cube, level: int) -> bool:
+        for lvl in range(level, len(self.frames)):
+            for blocked in self.frames[lvl]:
+                if cube_subsumes(blocked, cube):
+                    return True
+        return False
+
+    def _block(self, bad_ob: _Obligation) -> Optional[_Obligation]:
+        """Discharge one bad obligation at the top frame.
+
+        Returns None when blocked, or the frame-0 obligation heading a
+        counterexample chain.
+        """
+        queue: List[Tuple[int, int, _Obligation]] = []
+        heapq.heappush(queue, (self.top, next(self._counter), bad_ob))
+        budget = self.options.budget
+        while queue:
+            if budget is not None and budget.exhausted():
+                raise _BudgetExhausted()
+            level, _, ob = heapq.heappop(queue)
+            self.stats["obligations"] += 1
+            if level == 0:
+                return ob
+            if self._is_blocked(ob.cube, level):
+                continue
+            ok, info = self._consecution(ob.cube, level - 1)
+            if ok:
+                shrunk = self._repair_init(normalize_cube(info), ob.cube)
+                generalized = self._generalize(shrunk, level - 1)
+                # Push the clause as far ahead as it stays inductive.
+                place = level
+                while place < self.top:
+                    holds, _ = self._consecution(generalized, place)
+                    if not holds:
+                        break
+                    place += 1
+                self._add_blocked_cube(generalized, place)
+                if place < self.top:
+                    heapq.heappush(queue, (place + 1, next(self._counter), ob))
+            else:
+                pred_state, pred_inputs = info
+                pred_cube = self._lift_predecessor(pred_state, pred_inputs, ob.cube)
+                pred_ob = _Obligation(
+                    cube=pred_cube, inputs=pred_inputs, witness=pred_state, succ=ob
+                )
+                if level - 1 > 0 and self.ts.cube_intersects_init(pred_cube):
+                    # The lifted cube reaches back into I: every state of
+                    # the cube (under the stored input) steps into the
+                    # successor cube, so an initial state in it heads a
+                    # genuine counterexample — no need to recurse further.
+                    pred_ob.witness = self._init_witness(pred_cube)
+                    return pred_ob
+                heapq.heappush(queue, (level - 1, next(self._counter), pred_ob))
+                heapq.heappush(queue, (level, next(self._counter), ob))
+        return None
+
+    # ------------------------------------------------------------------
+    # Propagation / convergence
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        """Push blocked cubes forward; returns the convergence level if
+        two adjacent frames become equal."""
+        for k in range(1, self.top):
+            for cube in list(self.frames[k]):
+                if cube not in self.frames[k]:
+                    continue  # removed by subsumption meanwhile
+                ok, info = self._consecution(cube, k)
+                if ok:
+                    shrunk = self._repair_init(normalize_cube(info), cube)
+                    self.frames[k] = [c for c in self.frames[k] if c != cube]
+                    self._add_blocked_cube(shrunk, k + 1)
+                    self.stats["cubes_pushed"] += 1
+            if not self.frames[k]:
+                return k
+        return None
+
+    # ------------------------------------------------------------------
+    # Counterexample / invariant construction
+    # ------------------------------------------------------------------
+    def _build_trace(self, head: _Obligation) -> Trace:
+        inputs: List[Dict[int, bool]] = []
+        node: Optional[_Obligation] = head
+        while node is not None:
+            inputs.append(dict(node.inputs))
+            node = node.succ
+        uninit = {}
+        for i, latch in enumerate(self.ts.latches):
+            if latch.init is None:
+                uninit[latch.lit] = head.witness[i]
+        trace = Trace(inputs=inputs, uninit=uninit, property_name=self.prop.name)
+        # Lifting with relaxed constraints can make the target property
+        # fail earlier than the last frame on the concrete replay; the
+        # prefix up to the first failure is still a genuine CEX.
+        fail_at = trace.failure_frame(self.ts.aig, self.prop.lit)
+        if fail_at is None:
+            raise RuntimeError(
+                f"IC3 counterexample for {self.prop.name} does not refute it"
+            )
+        if fail_at < len(inputs) - 1:
+            trace = trace.truncated(fail_at + 1)
+        return trace
+
+    def _invariant_clauses(self, conv_level: int) -> List[Clause]:
+        clauses: List[Clause] = list(self._seeds)
+        for level in range(conv_level + 1, len(self.frames)):
+            for cube in self.frames[level]:
+                clauses.append(negate_cube(cube))
+        return clauses
+
+    def _check_certificate(self, clauses: List[Clause]) -> None:
+        """Verify the invariant: I ⊆ F, F ∧ C ∧ T ⊆ F', F ⊆ P.
+
+        Raises :class:`SeedCertificateError` on failure (only reachable
+        through unsound seeds; see module docstring).
+        """
+        for clause in clauses:
+            if not self.ts.clause_holds_at_init(clause):
+                raise SeedCertificateError(f"clause {clause} fails at init")
+        solver = Solver()
+        enc = self.ts.encode_step(solver)
+        for p in self.assumed_props:
+            solver.add_clause([enc.prop_curr[p.name]])
+        for clause in clauses:
+            solver.add_clause(enc.clause_lits_curr(clause))
+        for clause in clauses:
+            cube = negate_cube(clause)
+            status = self._solve(solver, enc.cube_lits_next(cube))
+            if status == Status.SAT:
+                raise SeedCertificateError(
+                    f"invariant clause {clause} is not inductive"
+                )
+            if status == Status.UNKNOWN:
+                raise _BudgetExhausted()
+        # F ⊆ P: the final bad query of the main loop already established
+        # F_top ∧ ¬P UNSAT, and `clauses` includes all F_top clauses, but
+        # seeds may strengthen further; re-check cheaply for safety.
+        bad_solver = Solver()
+        bad_enc = self.ts.encode_bad_frame(bad_solver)
+        for clause in clauses:
+            bad_solver.add_clause(bad_enc.clause_lits_curr(clause))
+        status = self._solve(bad_solver, [-bad_enc.prop_curr[self.prop.name]])
+        if status == Status.SAT:
+            raise SeedCertificateError("invariant does not imply the property")
+        if status == Status.UNKNOWN:
+            raise _BudgetExhausted()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self) -> EngineResult:
+        try:
+            return self._solve_main()
+        except _BudgetExhausted:
+            return self._result(PropStatus.UNKNOWN, frames=self.top)
+
+    def _solve_main(self) -> EngineResult:
+        # Depth-1 check: does the property fail at an initial state?
+        init_solver = Solver()
+        init_enc = self.ts.encode_init_frame(init_solver)
+        status = self._solve(init_solver, [-init_enc.prop_curr[self.prop.name]])
+        if status == Status.UNKNOWN:
+            raise _BudgetExhausted()
+        if status == Status.SAT:
+            inputs = {
+                inp: bool(init_solver.value(var))
+                for inp, var in init_enc.inputs.items()
+            }
+            uninit = {}
+            for i, latch in enumerate(self.ts.latches):
+                if latch.init is None:
+                    uninit[latch.lit] = bool(init_solver.value(init_enc.curr[i]))
+            trace = Trace(inputs=[inputs], uninit=uninit, property_name=self.prop.name)
+            return self._finish_cex(trace)
+
+        if not self.ts.latches:
+            # Purely combinational design: the single (empty) state is
+            # both initial and invariant, and the init check just passed.
+            return self._result(PropStatus.HOLDS, frames=1, invariant=[])
+
+        self._rebuild_bad_solver()
+        while True:
+            budget = self.options.budget
+            if budget is not None and budget.exhausted():
+                raise _BudgetExhausted()
+            hit = self._query_bad()
+            if hit is not None:
+                state, inputs = hit
+                cube = self._lift_bad(state, inputs)
+                ob = _Obligation(cube=cube, inputs=inputs, witness=state, succ=None)
+                if self.ts.cube_intersects_init(cube):
+                    ob.witness = self._init_witness(cube)
+                    return self._finish_cex(self._build_trace(ob))
+                head = self._block(ob)
+                if head is not None:
+                    return self._finish_cex(self._build_trace(head))
+                continue
+            # Frame is clean; unfold one more level.
+            if self.top >= self.options.max_frames:
+                return self._result(PropStatus.UNKNOWN, frames=self.top)
+            self.frames.append([])
+            self._rebuild_bad_solver()
+            conv = self._propagate()
+            if conv is not None:
+                clauses = self._invariant_clauses(conv)
+                if self.options.validate_invariant:
+                    self._check_certificate(clauses)
+                return self._result(
+                    PropStatus.HOLDS, frames=self.top, invariant=clauses
+                )
+
+    def _finish_cex(self, trace: Trace) -> EngineResult:
+        if self.options.validate_cex and not trace.validate(self.ts.aig, self.prop.lit):
+            raise RuntimeError(
+                f"IC3 produced an invalid counterexample for {self.prop.name}"
+            )
+        return self._result(PropStatus.FAILS, frames=len(trace), cex=trace)
+
+    def _result(
+        self,
+        status: PropStatus,
+        frames: int,
+        cex: Optional[Trace] = None,
+        invariant: Optional[List[Clause]] = None,
+    ) -> EngineResult:
+        return EngineResult(
+            status=status,
+            prop_name=self.prop.name,
+            cex=cex,
+            invariant=invariant,
+            frames=frames,
+            assumed=[p.name for p in self.assumed_props],
+            time_seconds=time.monotonic() - self._start_time,
+            stats=dict(self.stats),
+        )
+
+
+class _BudgetExhausted(Exception):
+    """Internal: a budget ran out mid-run."""
+
+
+def ic3_check(
+    ts: TransitionSystem,
+    prop_name: str,
+    options: Optional[IC3Options] = None,
+) -> EngineResult:
+    """Convenience wrapper: run IC3 on one property."""
+    return IC3(ts, prop_name, options).solve()

@@ -1,0 +1,137 @@
+"""Ternary simulation and IC3 state lifting (paper Sections 6-C and 7-A).
+
+Lifting enlarges a concrete state ``q`` (extracted from a SAT model) to a
+cube ``Cq`` of states that all behave the same for the purpose at hand:
+every state of ``Cq``, under the stored input valuation, transitions into
+the target successor cube (for predecessor lifting) or falsifies the
+target property (for bad-state lifting).  The larger the cube, the more
+states one proof obligation covers — "the larger Cq, the greater the
+performance boost by lifting".
+
+The paper's Ic3-db has two lifting modes for JA-verification:
+
+* *respecting* property constraints — every state of ``Cq`` must also
+  satisfy the assumed properties, which preserves exact ``T^P`` traces
+  but can shrink ``Cq`` drastically;
+* *ignoring* them — bigger cubes, but counterexamples may become
+  "spurious" (contain transitions from assumption-violating states) and
+  must be re-checked (Section 7-A).
+
+Both modes are implemented via the ``require_true`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...circuit.aig import AIG, aig_var, is_negated
+
+# Ternary values: True / False / None (= X, unknown).
+TernaryValue = Optional[bool]
+
+
+class TernaryEvaluator:
+    """Evaluates AIG literals over three-valued latch/input assignments."""
+
+    def __init__(self, aig: AIG) -> None:
+        self.aig = aig
+
+    def evaluate(
+        self,
+        roots: Sequence[int],
+        latch_values: Dict[int, TernaryValue],
+        input_values: Dict[int, TernaryValue],
+    ) -> List[TernaryValue]:
+        """Ternary values of ``roots`` (AIG literals).
+
+        Missing latches/inputs default to X.  AND over ternary: False
+        dominates, then X, then True.
+        """
+        cache: Dict[int, TernaryValue] = {0: False}
+        aig = self.aig
+        out: List[TernaryValue] = []
+        for root in roots:
+            stack = [aig_var(root)]
+            while stack:
+                idx = stack[-1]
+                if idx in cache:
+                    stack.pop()
+                    continue
+                kind = aig.kind(idx)
+                if kind == "input":
+                    cache[idx] = input_values.get(idx * 2, None)
+                    stack.pop()
+                elif kind == "latch":
+                    cache[idx] = latch_values.get(idx * 2, None)
+                    stack.pop()
+                else:  # and
+                    left, right = aig.and_fanins(idx)
+                    lv, rv = aig_var(left), aig_var(right)
+                    pending = [v for v in (lv, rv) if v not in cache]
+                    if pending:
+                        stack.extend(pending)
+                        continue
+                    lval = _apply_sign(cache[lv], is_negated(left))
+                    rval = _apply_sign(cache[rv], is_negated(right))
+                    if lval is False or rval is False:
+                        cache[idx] = False
+                    elif lval is None or rval is None:
+                        cache[idx] = None
+                    else:
+                        cache[idx] = True
+                    stack.pop()
+            out.append(_apply_sign(cache[aig_var(root)], is_negated(root)))
+        return out
+
+
+def _apply_sign(value: TernaryValue, negated: bool) -> TernaryValue:
+    if value is None:
+        return None
+    return (not value) if negated else value
+
+
+def lift_state(
+    aig: AIG,
+    latch_order: Sequence[int],
+    latch_values: Sequence[bool],
+    input_values: Dict[int, bool],
+    require_true: Sequence[int],
+    require_false: Sequence[int] = (),
+) -> List[Optional[bool]]:
+    """Greedily X out latches while all requirements stay *definite*.
+
+    ``latch_order`` lists latch literals positionally; ``latch_values``
+    the concrete model values.  ``require_true``/``require_false`` are
+    AIG literals that must keep evaluating to a definite True/False under
+    the (fixed, concrete) ``input_values``.
+
+    Returns per-position values with ``None`` for lifted-away latches.
+    The result always contains the original state and is sound by
+    construction: ternary simulation is conservative, so a definite
+    output is definite for every completion of the X-ed latches.
+    """
+    evaluator = TernaryEvaluator(aig)
+    targets = list(require_true) + list(require_false)
+    n_true = len(list(require_true))
+
+    def check(assignment: Dict[int, TernaryValue]) -> bool:
+        values = evaluator.evaluate(targets, assignment, input_values)
+        for i, value in enumerate(values):
+            expected = i < n_true
+            if value is None or value is not expected:
+                return False
+        return True
+
+    current: Dict[int, TernaryValue] = {
+        lit: bool(v) for lit, v in zip(latch_order, latch_values)
+    }
+    if not check(current):
+        raise ValueError("lifting targets do not hold in the concrete state")
+    # Greedy elimination, last latch first (later latches are usually
+    # deeper in the design's pipelines and more often irrelevant).
+    for lit in reversed(list(latch_order)):
+        saved = current[lit]
+        current[lit] = None
+        if not check(current):
+            current[lit] = saved
+    return [current[lit] for lit in latch_order]

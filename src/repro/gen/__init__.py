@@ -1,0 +1,42 @@
+"""Benchmark and test-design generators (the offline HWMCC substitute)."""
+
+from .blocks import (
+    good_chain_slice,
+    guarded_counter_slice,
+    hold_slice,
+    lfsr_ballast,
+    shared_invariant_slice,
+    token_ring_slice,
+)
+from .counter import buggy_counter, fixed_counter
+from .families import (
+    ALL_TRUE_SPECS,
+    FAILING_SPECS,
+    LARGE_DESIGN_NAMES,
+    DesignSpec,
+    all_true_designs,
+    failing_designs,
+    huge_design,
+    large_design,
+)
+from .random_designs import random_design
+
+__all__ = [
+    "buggy_counter",
+    "fixed_counter",
+    "guarded_counter_slice",
+    "token_ring_slice",
+    "good_chain_slice",
+    "hold_slice",
+    "lfsr_ballast",
+    "shared_invariant_slice",
+    "DesignSpec",
+    "FAILING_SPECS",
+    "ALL_TRUE_SPECS",
+    "LARGE_DESIGN_NAMES",
+    "failing_designs",
+    "all_true_designs",
+    "large_design",
+    "huge_design",
+    "random_design",
+]

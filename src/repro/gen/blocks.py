@@ -1,0 +1,237 @@
+"""Reusable sub-circuits ("slices") for the synthetic benchmark families.
+
+The HWMCC-12/13 multi-property designs the paper evaluates on are not
+redistributable here, so the families in :mod:`repro.gen.families` are
+assembled from these blocks, each of which realizes one of the
+structural mechanisms the paper's results rest on:
+
+* :func:`guarded_counter_slice` — a shallow-failing *guard* property plus
+  deep-failing *dependent* properties that hold locally (Example 1's
+  mechanism, with tunable counterexample depth).  This is what makes
+  joint verification grind on deep CEXs while JA-verification replaces
+  them with cheap local proofs (Tables II, III, V).
+* :func:`token_ring_slice` — all-true mutual-exclusion properties whose
+  proofs share one inductive invariant (one-hotness); the clause-re-use
+  mechanism of Section 6 shines here (Table VII).
+* :func:`good_chain_slice` — a pipeline of implications: each property is
+  1-step inductive given its neighbour, but needs a proof of depth ``i``
+  on its own (the Table X local-vs-global gap).
+* :func:`hold_slice` — trivially inductive filler properties.
+
+Every block allocates its own inputs and latches, so properties from
+different slices have disjoint cones — the "aggregate property depends
+on a large subset of state variables" regime of Section 9-A.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.aig import AIG, aig_not
+from ..circuit import words
+
+
+def guarded_counter_slice(
+    aig: AIG,
+    prefix: str,
+    counter_bits: int,
+    guard_depth: int,
+    deep_values: List[int],
+    include_true_prop: bool = True,
+) -> List[str]:
+    """A slice with one guard property and ``len(deep_values)`` dependents.
+
+    Structure: a request input feeds a shift chain of ``guard_depth``
+    mode latches; the counter increments only while the last mode latch
+    is set.  The guard property ``<prefix>_G`` (the mode never arms)
+    fails at depth ``guard_depth + 1``; each dependent ``<prefix>_D<j>``
+    asserts ``val != deep_values[j]`` and fails globally only at depth
+    ``guard_depth + 1 + deep_values[j]`` — but holds *locally*, because
+    assuming the guard pins the counter at zero.
+
+    Returns the property names added, in design order (guard first).
+    """
+    if guard_depth < 1:
+        raise ValueError("guard_depth must be >= 1")
+    req = aig.add_input(f"{prefix}_req")
+    modes = []
+    feed = req
+    for i in range(guard_depth):
+        mode = aig.add_latch(f"{prefix}_m{i}", init=0)
+        aig.set_next(mode, feed)
+        feed = mode
+        modes.append(mode)
+    armed = modes[-1]
+    val = words.word_latches(aig, f"{prefix}_val", counter_bits, init=0)
+    incremented = words.inc(aig, val)
+    words.set_next_word(aig, val, words.mux_word(aig, armed, incremented, val))
+
+    names = []
+    guard_name = f"{prefix}_G"
+    aig.add_property(guard_name, aig_not(armed))
+    names.append(guard_name)
+    for j, value in enumerate(deep_values):
+        if not 0 < value < (1 << counter_bits):
+            raise ValueError(f"deep value {value} out of range for {counter_bits} bits")
+        name = f"{prefix}_D{j}"
+        aig.add_property(name, aig_not(words.eq_const(aig, val, value)))
+        names.append(name)
+    if include_true_prop:
+        # A globally-true property on the same slice: a shadow counter
+        # that saturates (instead of wrapping) can never exceed its limit.
+        sat_val = words.word_latches(aig, f"{prefix}_sat", 2, init=0)
+        limit = 2  # saturate at 2
+        at_limit = words.eq_const(aig, sat_val, limit)
+        sat_inc = words.inc(aig, sat_val)
+        hold = words.mux_word(aig, at_limit, sat_val, sat_inc)
+        words.set_next_word(aig, sat_val, words.mux_word(aig, armed, hold, sat_val))
+        name = f"{prefix}_T"
+        aig.add_property(name, words.ule_const(aig, sat_val, limit))
+        names.append(name)
+    return names
+
+
+def token_ring_slice(
+    aig: AIG,
+    prefix: str,
+    size: int,
+    n_props: int | None = None,
+) -> List[str]:
+    """A rotating one-hot token ring with mutual-exclusion properties.
+
+    All properties are TRUE but none is inductive alone: IC3 must
+    discover (most of) the pairwise one-hotness invariant for the first
+    one; every later property can re-use those clauses (Section 6).
+    """
+    if size < 3:
+        raise ValueError("ring size must be >= 3")
+    step = aig.add_input(f"{prefix}_step")
+    tokens = []
+    for i in range(size):
+        token = aig.add_latch(f"{prefix}_t{i}", init=1 if i == 0 else 0)
+        tokens.append(token)
+    for i, token in enumerate(tokens):
+        rotated = tokens[(i - 1) % size]
+        aig.set_next(token, aig.mux(step, rotated, token))
+    names = []
+    count = size if n_props is None else min(n_props, size)
+    for i in range(count):
+        name = f"{prefix}_X{i}"
+        a, b = tokens[i], tokens[(i + 1) % size]
+        aig.add_property(name, aig_not(aig.and_(a, b)))
+        names.append(name)
+    return names
+
+
+def good_chain_slice(
+    aig: AIG,
+    prefix: str,
+    depth: int,
+    expose_every: int = 1,
+) -> List[str]:
+    """A "good flag" pipeline: ``g0`` is stuck at 1 and propagates.
+
+    Property ``<prefix>_C<i>`` asserts ``g_i == 1``.  Locally (assuming
+    the neighbour property) each is 1-step inductive; globally, proving
+    ``g_i`` requires walking the chain back ``i`` stages.  Exposing only
+    a subset (``expose_every``) leaves unassumable gaps, which makes the
+    local proofs proportionally harder — a knob the family specs use.
+    """
+    if depth < 1:
+        raise ValueError("chain depth must be >= 1")
+    flags = []
+    prev = None
+    for i in range(depth):
+        flag = aig.add_latch(f"{prefix}_g{i}", init=1)
+        aig.set_next(flag, flag if prev is None else prev)
+        flags.append(flag)
+        prev = flag
+    names = []
+    for i in range(0, depth, expose_every):
+        name = f"{prefix}_C{i}"
+        aig.add_property(name, flags[i])
+        names.append(name)
+    return names
+
+
+def shared_invariant_slice(
+    aig: AIG,
+    prefix: str,
+    mode_size: int,
+    n_props: int,
+) -> List[str]:
+    """Properties that all need one *hidden* shared inductive invariant.
+
+    A one-hot mode ring rotates internally but is not mentioned by any
+    property.  Each property ``<prefix>_S<k>`` asserts that its error
+    latch stays low; the error latch is set whenever *any two* mode
+    tokens coincide.  Proving any single property therefore requires
+    discovering the full pairwise one-hotness of the hidden ring —
+    an invariant that the other properties, being about unrelated error
+    latches, cannot supply as assumptions.  This realizes the regime of
+    the paper's Table VII: the first local proof is expensive, and its
+    exported strengthening clauses make every later proof nearly free.
+    """
+    if mode_size < 3:
+        raise ValueError("mode ring size must be >= 3")
+    if n_props < 1:
+        raise ValueError("need at least one property")
+    step = aig.add_input(f"{prefix}_step")
+    modes = []
+    for i in range(mode_size):
+        mode = aig.add_latch(f"{prefix}_m{i}", init=1 if i == 0 else 0)
+        modes.append(mode)
+    for i, mode in enumerate(modes):
+        rotated = modes[(i - 1) % mode_size]
+        aig.set_next(mode, aig.mux(step, rotated, mode))
+    collision = aig.or_many(
+        aig.and_(modes[a], modes[b])
+        for a in range(mode_size)
+        for b in range(a + 1, mode_size)
+    )
+    names = []
+    for k in range(n_props):
+        err = aig.add_latch(f"{prefix}_e{k}", init=0)
+        aig.set_next(err, aig.or_(err, collision))
+        name = f"{prefix}_S{k}"
+        aig.add_property(name, aig_not(err))
+        names.append(name)
+    return names
+
+
+def lfsr_ballast(
+    aig: AIG, prefix: str, width: int, taps_per_bit: int = 6, seed: int = 99
+) -> None:
+    """A property-free, densely connected LFSR-style register bank.
+
+    Adds no properties; its purpose is to make the *shared* transition
+    relation large.  Monolithic engines (ours, like many) encode every
+    latch's next-state function in every solver, so separate verification
+    pays this encoding cost once per property while joint verification
+    amortizes it over one aggregate run — the mechanism behind the one
+    Table II benchmark (6s403) where joint verification wins.  A
+    cone-of-influence-reducing front end would remove this cost; see the
+    ablation notes in EXPERIMENTS.md.
+    """
+    import random
+
+    rng = random.Random(seed)
+    regs = [aig.add_latch(f"{prefix}_q{i}", init=0) for i in range(width)]
+    stir = aig.add_input(f"{prefix}_in")
+    for i, reg in enumerate(regs):
+        acc = regs[(i + 1) % width]
+        for _ in range(taps_per_bit):
+            acc = aig.xor(acc, rng.choice(regs))
+        aig.set_next(reg, aig.xor(acc, stir) if i == 0 else acc)
+
+
+def hold_slice(aig: AIG, prefix: str, count: int) -> List[str]:
+    """Trivially inductive filler properties (a zero register stays zero)."""
+    names = []
+    for i in range(count):
+        z = aig.add_latch(f"{prefix}_z{i}", init=0)
+        aig.set_next(z, z)
+        name = f"{prefix}_Z{i}"
+        aig.add_property(name, aig_not(z))
+        names.append(name)
+    return names

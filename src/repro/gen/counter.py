@@ -1,0 +1,81 @@
+"""The paper's Example 1: an 8-bit resettable counter with a reset bug.
+
+Faithful translation of the Verilog module ``counter``::
+
+    module counter (enable, clk, req);
+      parameter rval = 1 << 7;
+      input enable, clk, req;
+      reg [7:0] val;
+      wire reset;
+      initial val = 0;
+      assign reset = ((val == rval) && req);   // BUG: reset requires req
+      always @(posedge clk) begin
+        if (enable) begin
+          if (reset) val = 0;
+          else       val = val + 1;
+        end
+      end
+      P0: assert property (req == 1);
+      P1: assert property (val <= rval);
+    endmodule
+
+``P0`` fails globally and locally at the very first frame (``req`` is a
+free input).  ``P1`` fails globally — after ``rval + 1`` enabled steps
+without a reset the counter exceeds ``rval`` — but the counterexample
+depth grows as ``2^(bits-1)``, which is what makes global BMC/PDR blow
+up in Table I.  Locally, assuming ``P0`` (``req ≡ 1``) makes ``P1``
+inductive, so the local proof is instant at every width.  The debugging
+set is ``{P0}``.
+"""
+
+from __future__ import annotations
+
+from ..circuit.aig import AIG
+from ..circuit import words
+
+
+def buggy_counter(bits: int = 8, rval: int | None = None) -> AIG:
+    """Example 1's counter at an arbitrary width (Table I's #bits column)."""
+    if bits < 2:
+        raise ValueError("counter needs at least 2 bits")
+    if rval is None:
+        rval = 1 << (bits - 1)
+    if not 0 < rval < (1 << bits):
+        raise ValueError(f"rval {rval} must fit in {bits} bits")
+    aig = AIG()
+    enable = aig.add_input("enable")
+    req = aig.add_input("req")
+    val = words.word_latches(aig, "val", bits, init=0)
+    at_rval = words.eq_const(aig, val, rval)
+    reset = aig.and_(at_rval, req)  # the buggy line: reset only when req
+    incremented = words.inc(aig, val)
+    when_enabled = words.mux_word(aig, reset, words.const_word(0, bits), incremented)
+    words.set_next_word(aig, val, words.mux_word(aig, enable, when_enabled, val))
+    aig.add_property("P0", req)
+    aig.add_property("P1", words.ule_const(aig, val, rval))
+    return aig
+
+
+def fixed_counter(bits: int = 8, rval: int | None = None) -> AIG:
+    """The repaired counter: ``reset = (val == rval) || req``.
+
+    With the fix, ``P1`` holds globally (the counter can never pass
+    ``rval``); ``P0`` still fails, of course — it asserts an input.
+    Used by tests to separate "bug present" from "bug absent" behaviour.
+    """
+    if bits < 2:
+        raise ValueError("counter needs at least 2 bits")
+    if rval is None:
+        rval = 1 << (bits - 1)
+    aig = AIG()
+    enable = aig.add_input("enable")
+    req = aig.add_input("req")
+    val = words.word_latches(aig, "val", bits, init=0)
+    at_rval = words.eq_const(aig, val, rval)
+    reset = aig.or_(at_rval, req)
+    incremented = words.inc(aig, val)
+    when_enabled = words.mux_word(aig, reset, words.const_word(0, bits), incremented)
+    words.set_next_word(aig, val, words.mux_word(aig, enable, when_enabled, val))
+    aig.add_property("P0", req)
+    aig.add_property("P1", words.ule_const(aig, val, rval))
+    return aig

@@ -1,0 +1,45 @@
+"""Multi-property verification drivers: JA-verification (the paper's
+contribution), joint verification, separate-global verification, the
+strengthening-clause database, debugging-set analysis, ordering
+heuristics, and the simulated parallel scheduler."""
+
+from .clausedb import ClauseDB
+from .clustering import ClusterOptions, cluster_properties, clustered_verify
+from .debugging import DebuggingReport, check_proposition6, debugging_report
+from .sweep import SweepResult, sweep, swept_ja_verify
+from .ja import JAOptions, JAVerifier, ja_verify
+from .joint import JointOptions, joint_verify
+from .ordering import by_cone_size, design_order, shuffled
+from .parallel import ParallelSimResult, measure_global_proofs, measure_local_proofs
+from .report import MultiPropReport, PropOutcome, format_time, render_table
+from .separate import SeparateOptions, separate_verify
+
+__all__ = [
+    "ja_verify",
+    "JAVerifier",
+    "JAOptions",
+    "joint_verify",
+    "JointOptions",
+    "separate_verify",
+    "SeparateOptions",
+    "ClauseDB",
+    "MultiPropReport",
+    "PropOutcome",
+    "render_table",
+    "format_time",
+    "DebuggingReport",
+    "debugging_report",
+    "check_proposition6",
+    "design_order",
+    "by_cone_size",
+    "shuffled",
+    "measure_local_proofs",
+    "measure_global_proofs",
+    "ParallelSimResult",
+    "clustered_verify",
+    "cluster_properties",
+    "ClusterOptions",
+    "sweep",
+    "swept_ja_verify",
+    "SweepResult",
+]

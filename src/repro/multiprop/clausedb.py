@@ -1,0 +1,119 @@
+"""The strengthening-clause database (the paper's ``clauseDB`` file).
+
+Section 7-B: Ja-ver maintains an external file that accumulates the
+strengthening clauses produced while proving each property; when Ic3-db
+is invoked for the next property, all clauses collected so far initialize
+its frames.
+
+Clauses are stored over *state literals* (signed latch positions, see
+:mod:`repro.ts.system`), so a database is meaningful only relative to a
+fixed latch order; :meth:`ClauseDB.save`/:meth:`load` persist them in a
+small text format with the latch names recorded as a header, which is
+validated on load.
+
+Soundness note (expanded from the paper).  A clause set exported by a
+*global* proof over-approximates the reachable states of ``(I, T)`` and
+can seed any later run.  A clause set exported by a *local* proof
+over-approximates reachability of the *constrained* system only; seeding
+it into a run with a different assumption set is justified by a
+minimal-counterexample argument (any locally failing property has a CEX
+whose states all survive every such clause set), but the final invariant
+of a seeded run is no longer self-evidently inductive.  The IC3 engine
+therefore re-validates its final certificate and raises
+:class:`~repro.engines.ic3.SeedCertificateError` when seeds poisoned it;
+drivers respond by re-running without seeds.  In the (empirically rare)
+poisoned-seed case the paper's Ja-ver would silently keep an unchecked
+proof; we keep the optimization and add the check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..ts.system import Clause, TransitionSystem, normalize_cube
+
+
+class ClauseDB:
+    """An in-memory, optionally persisted, pool of strengthening clauses."""
+
+    def __init__(self, ts: TransitionSystem) -> None:
+        self.ts = ts
+        self._clauses: List[Clause] = []
+        self._seen = set()
+        self.stats = {"added": 0, "duplicates": 0, "rejected": 0}
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def add(self, clause: Iterable[int]) -> bool:
+        """Add one clause; returns False if rejected or duplicate.
+
+        Rejects clauses that do not hold in the initial states (they can
+        never be part of a reachability over-approximation) and clauses
+        mentioning out-of-range state variables.
+        """
+        try:
+            normalized = normalize_cube(clause)
+        except ValueError:
+            self.stats["rejected"] += 1
+            return False
+        if not normalized:
+            self.stats["rejected"] += 1
+            return False
+        if any(abs(l) > self.ts.num_state_vars for l in normalized):
+            self.stats["rejected"] += 1
+            return False
+        if not self.ts.clause_holds_at_init(normalized):
+            self.stats["rejected"] += 1
+            return False
+        if normalized in self._seen:
+            self.stats["duplicates"] += 1
+            return False
+        self._seen.add(normalized)
+        self._clauses.append(normalized)
+        self.stats["added"] += 1
+        return True
+
+    def add_all(self, clauses: Iterable[Iterable[int]]) -> int:
+        """Add many clauses; returns how many were new."""
+        return sum(1 for c in clauses if self.add(c))
+
+    def clauses(self) -> List[Clause]:
+        """Snapshot of all collected clauses (ordered by insertion)."""
+        return list(self._clauses)
+
+    # ------------------------------------------------------------------
+    # Persistence (the external clauseDB file of Section 7-B)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as f:
+            f.write("clausedb 1\n")
+            f.write(" ".join(latch.name for latch in self.ts.latches) + "\n")
+            for clause in self._clauses:
+                f.write(" ".join(str(l) for l in clause) + "\n")
+
+    @classmethod
+    def load(cls, path: str, ts: TransitionSystem) -> "ClauseDB":
+        """Load and validate a clause database against ``ts``.
+
+        Raises ``ValueError`` if the latch signature does not match (the
+        clauses would be meaningless) — stale databases must not silently
+        corrupt proofs.
+        """
+        db = cls(ts)
+        with open(path, "r", encoding="ascii") as f:
+            header = f.readline().split()
+            if header[:1] != ["clausedb"]:
+                raise ValueError(f"{path}: not a clauseDB file")
+            names = f.readline().split()
+            expected = [latch.name for latch in ts.latches]
+            if names != expected:
+                raise ValueError(
+                    f"{path}: latch signature mismatch "
+                    f"(file has {len(names)} latches, design has {len(expected)})"
+                )
+            for line in f:
+                lits = [int(tok) for tok in line.split()]
+                if lits:
+                    db.add(lits)
+        return db

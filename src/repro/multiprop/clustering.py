@@ -1,0 +1,124 @@
+"""Structure-aware property grouping (the related-work baseline).
+
+The paper's Related Work (Sec. 12) discusses Cabodi-Nocco [8] and
+Camurati et al. [10]: group *similar* properties (similar cones of
+influence) and verify each group jointly.  The paper contrasts its
+purely semantic approach with this structural one and notes the two are
+orthogonal — local proofs and clause re-use "can be incorporated in any
+structure-aware approach".
+
+This module implements the structural baseline so the comparison can be
+run: properties are clustered by Jaccard similarity of their latch
+cones, and each cluster is verified jointly (optionally with the cluster
+restricted to its own cone of influence, which is what makes grouping
+pay).  It also exposes the hybrid the paper hints at: JA-verification
+*within* each cluster, assuming only the cluster's own properties.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..circuit.coi import coi_signature, reduce_to_cone
+from ..ts.system import TransitionSystem
+from .ja import JAOptions, ja_verify
+from .joint import JointOptions, joint_verify
+from .report import MultiPropReport
+
+
+@dataclass
+class ClusterOptions:
+    """Configuration for clustered verification."""
+
+    similarity_threshold: float = 0.5  # Jaccard threshold for merging
+    use_coi_reduction: bool = True
+    inner: str = "joint"  # "joint" or "ja" within each cluster
+    total_time: Optional[float] = None
+    per_property_time: Optional[float] = None
+
+
+def jaccard(a: frozenset, b: frozenset) -> float:
+    """Jaccard similarity of two cone signatures."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def cluster_properties(
+    ts: TransitionSystem, threshold: float = 0.5
+) -> List[List[str]]:
+    """Greedy single-link clustering of properties by cone similarity.
+
+    Properties are scanned in design order; each joins the first cluster
+    whose *representative* (first member) has Jaccard similarity above
+    the threshold, else starts a new cluster.  Greedy single-pass
+    matching keeps the procedure deterministic and linear-ish, which is
+    what the structural-grouping papers use in practice.
+    """
+    signatures = {p.name: coi_signature(ts.aig, p) for p in ts.properties}
+    clusters: List[List[str]] = []
+    reps: List[frozenset] = []
+    for prop in ts.properties:
+        sig = signatures[prop.name]
+        placed = False
+        for i, rep in enumerate(reps):
+            if jaccard(sig, rep) >= threshold:
+                clusters[i].append(prop.name)
+                placed = True
+                break
+        if not placed:
+            clusters.append([prop.name])
+            reps.append(sig)
+    return clusters
+
+
+def clustered_verify(
+    ts: TransitionSystem,
+    options: Optional[ClusterOptions] = None,
+    design_name: str = "design",
+) -> MultiPropReport:
+    """Verify property clusters independently (joint or JA per cluster)."""
+    opts = options or ClusterOptions()
+    if opts.inner not in ("joint", "ja"):
+        raise ValueError(f"unknown inner method {opts.inner!r}")
+    start = time.monotonic()
+    clusters = cluster_properties(ts, opts.similarity_threshold)
+    report = MultiPropReport(method=f"clustered-{opts.inner}", design=design_name)
+
+    for cluster in clusters:
+        remaining = None
+        if opts.total_time is not None:
+            remaining = opts.total_time - (time.monotonic() - start)
+        if opts.use_coi_reduction:
+            reduction = reduce_to_cone(ts.aig, cluster)
+            sub_ts = TransitionSystem(reduction.aig)
+        else:
+            sub_ts = TransitionSystem(
+                ts.aig, properties=[ts.prop_by_name[n] for n in cluster]
+            )
+        if opts.inner == "joint":
+            sub_report = joint_verify(
+                sub_ts,
+                JointOptions(total_time=remaining),
+                design_name=design_name,
+            )
+        else:
+            sub_report = ja_verify(
+                sub_ts,
+                JAOptions(
+                    per_property_time=opts.per_property_time,
+                    total_time=remaining,
+                ),
+                design_name=design_name,
+            )
+        report.outcomes.update(sub_report.outcomes)
+
+    report.total_time = time.monotonic() - start
+    report.stats = {
+        "clusters": len(clusters),
+        "largest_cluster": max((len(c) for c in clusters), default=0),
+    }
+    return report

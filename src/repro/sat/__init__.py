@@ -1,0 +1,23 @@
+"""Pure-Python CDCL SAT solver (substrate for all model-checking engines).
+
+Public API:
+
+* :class:`Solver` — incremental CDCL solver over signed DIMACS literals.
+* :class:`Status` — SAT / UNSAT / UNKNOWN.
+* :func:`parse_dimacs` / :func:`write_dimacs` — DIMACS CNF I/O.
+"""
+
+from .dimacs import dimacs_str, parse_dimacs, write_dimacs
+from .solver import Solver, luby
+from .types import Status, from_dimacs, to_dimacs
+
+__all__ = [
+    "Solver",
+    "Status",
+    "luby",
+    "parse_dimacs",
+    "write_dimacs",
+    "dimacs_str",
+    "from_dimacs",
+    "to_dimacs",
+]

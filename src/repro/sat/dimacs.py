@@ -1,0 +1,68 @@
+"""Reading and writing DIMACS CNF files.
+
+Used for debugging and for exporting the CNF instances that the engines
+construct, so that runs can be cross-checked against external solvers
+when one is available.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO, Tuple
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``.
+
+    Accepts comment lines (``c ...``), a problem line (``p cnf V C``), and
+    whitespace-separated clause literals terminated by ``0``.  The clause
+    count on the problem line is not enforced (many real files get it
+    wrong); the variable count is taken as a lower bound.
+    """
+    num_vars = 0
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    saw_problem_line = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            saw_problem_line = True
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                num_vars = max(num_vars, abs(lit))
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    if not saw_problem_line and not clauses:
+        raise ValueError("not a DIMACS CNF file (no problem line, no clauses)")
+    return num_vars, clauses
+
+
+def write_dimacs(stream: TextIO, num_vars: int, clauses: List[List[int]], comment: str = "") -> None:
+    """Write clauses in DIMACS CNF format to a text stream."""
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    stream.write(f"p cnf {num_vars} {len(clauses)}\n")
+    for clause in clauses:
+        stream.write(" ".join(str(lit) for lit in clause))
+        stream.write(" 0\n")
+
+
+def dimacs_str(num_vars: int, clauses: List[List[int]], comment: str = "") -> str:
+    """Render clauses as a DIMACS CNF string."""
+    import io
+
+    buf = io.StringIO()
+    write_dimacs(buf, num_vars, clauses, comment)
+    return buf.getvalue()

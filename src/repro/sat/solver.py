@@ -1,0 +1,687 @@
+"""A CDCL SAT solver in pure Python.
+
+The solver implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with recursive clause minimization,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* activity-driven learned-clause database reduction,
+* incremental solving under assumptions with final-conflict (core)
+  extraction, MiniSat style.
+
+The public API speaks signed DIMACS-style integers (``+v``/``-v``,
+``v >= 1``).  Internally literals are packed as ``2*v (+) / 2*v+1 (-)``
+(see :mod:`repro.sat.types`).
+
+The solver is deliberately deterministic: given the same sequence of
+``add_clause``/``solve`` calls it always explores the same search tree,
+which the test-suite and the experiment harness rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .types import FALSE, TRUE, UNASSIGNED, Status, from_dimacs, to_dimacs
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+def luby(y: float, x: int) -> float:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 ... scaled by ``y``."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return y**seq
+
+
+class Solver:
+    """Incremental CDCL SAT solver.
+
+    Example
+    -------
+    >>> s = Solver()
+    >>> s.add_clause([1, 2])
+    True
+    >>> s.add_clause([-1])
+    True
+    >>> s.solve()
+    <Status.SAT: 1>
+    >>> s.value(2)
+    True
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Per-variable state (index = internal var).
+        self._assign: List[int] = []  # TRUE / FALSE / UNASSIGNED
+        self._level: List[int] = []
+        self._reason: List[Optional[list]] = []
+        self._activity: List[float] = []
+        self._polarity: List[bool] = []  # saved phase; True = last was negative
+        self._seen: List[bool] = []
+        # Watches indexed by internal literal -> list of clauses.
+        self._watches: List[List[list]] = []
+        # Clause store. A clause is a plain list of internal lits; learned
+        # clauses carry their activity in a parallel dict keyed by id().
+        self._clauses: List[list] = []
+        self._learnts: List[list] = []
+        self._cla_activity: dict = {}
+        self._cla_inc = 1.0
+        self._var_inc = 1.0
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._order_heap: List[tuple] = []  # lazy (-activity, var) heap
+        self._in_heap: List[bool] = []
+        self._ok = True
+        self._model: List[int] = []
+        self._conflict_core: frozenset = frozenset()
+        self._assumptions: List[int] = []
+        # Statistics & budgets.
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "removed": 0,
+            "minimized_lits": 0,
+        }
+        self._conflict_budget: Optional[int] = None
+        self._propagation_budget: Optional[int] = None
+        self._minimize_touched: List[int] = []
+        self._budget_conflict_mark = 0
+        self._budget_prop_mark = 0
+
+    # ------------------------------------------------------------------
+    # Variable / clause creation
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Create a fresh variable; returns its 1-based DIMACS index."""
+        self.num_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(True)
+        self._seen.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        self._in_heap.append(False)
+        return self.num_vars
+
+    def _ensure_var(self, var: int) -> None:
+        while self.num_vars < var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of signed DIMACS literals.
+
+        Returns ``False`` if the formula became trivially unsatisfiable
+        (an empty clause was derived at decision level 0).
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("add_clause is only allowed at decision level 0")
+        internal = []
+        for lit in lits:
+            self._ensure_var(abs(lit))
+            internal.append(from_dimacs(lit))
+        # Sort/dedup; detect tautologies and already-falsified literals.
+        internal = sorted(set(internal))
+        out = []
+        prev = -1
+        for lit in internal:
+            if lit == prev ^ 1 and prev != -1:
+                return True  # tautology: contains l and ~l
+            val = self._lit_value(lit)
+            if val == TRUE and self._level[lit >> 1] == 0:
+                return True  # satisfied at root
+            if val == FALSE and self._level[lit >> 1] == 0:
+                prev = lit
+                continue  # drop root-falsified literal
+            out.append(lit)
+            prev = lit
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        self._attach(out)
+        self._clauses.append(out)
+        return True
+
+    def _attach(self, clause: list) -> None:
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        val = self._assign[lit >> 1]
+        if val == UNASSIGNED:
+            return UNASSIGNED
+        return val ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[list]) -> bool:
+        val = self._lit_value(lit)
+        if val != UNASSIGNED:
+            return val == TRUE
+        var = lit >> 1
+        self._assign[var] = TRUE ^ (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # ------------------------------------------------------------------
+    # Unit propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[list]:
+        """Propagate all enqueued facts; return a conflicting clause or None."""
+        watches = self._watches
+        assign = self._assign
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            falsified = lit ^ 1
+            watch_list = watches[lit]
+            new_list = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Make sure the falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                v0 = assign[first >> 1]
+                if v0 != UNASSIGNED and (v0 ^ (first & 1)) == TRUE:
+                    new_list.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    vk = assign[lk >> 1]
+                    if vk == UNASSIGNED or (vk ^ (lk & 1)) == TRUE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[clause[1] ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_list.append(clause)
+                # Clause is unit or conflicting on `first`.
+                if v0 == UNASSIGNED:
+                    var = first >> 1
+                    assign[var] = TRUE ^ (first & 1)
+                    self._level[var] = len(self._trail_lim)
+                    self._reason[var] = clause
+                    self._trail.append(first)
+                else:
+                    # Conflict: restore remaining watches and bail out.
+                    new_list.extend(watch_list[i:])
+                    watches[lit] = new_list
+                    self._qhead = len(self._trail)
+                    return clause
+            watches[lit] = new_list
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: list) -> tuple:
+        """First-UIP learning. Returns (learnt_clause, backtrack_level)."""
+        learnt = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        level = self._level
+        counter = 0
+        lit = -1
+        index = len(self._trail) - 1
+        cur_level = self._decision_level()
+        reason_lits: Iterable[int] = conflict
+        self._bump_clause(conflict)
+        while True:
+            for q in reason_lits:
+                if q == lit:
+                    continue  # skip the literal we resolved on
+                var = q >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick the next literal on the trail to resolve on.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+            assert reason is not None
+            self._bump_clause(reason)
+            reason_lits = reason
+        learnt[0] = lit ^ 1
+        # Clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for q in learnt[1:]:
+            abstract_levels |= 1 << (level[q >> 1] & 31)
+        minimized = [learnt[0]]
+        to_clear = [q >> 1 for q in learnt[1:]]
+        for q in learnt[1:]:
+            seen[q >> 1] = True
+        for q in learnt[1:]:
+            if self._reason[q >> 1] is None or not self._lit_redundant(q, abstract_levels):
+                minimized.append(q)
+            else:
+                self.stats["minimized_lits"] += 1
+        for var in to_clear:
+            seen[var] = False
+        for var in self._minimize_touched:
+            seen[var] = False
+        self._minimize_touched = []
+        learnt = minimized
+        # Compute backtrack level: second-highest level in the clause.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if level[learnt[k] >> 1] > level[learnt[max_i] >> 1]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = level[learnt[1] >> 1]
+        return learnt, bt_level
+
+    def _lit_redundant(self, lit: int, abstract_levels: int) -> bool:
+        """Check whether ``lit`` is implied by the other learnt literals."""
+        stack = [lit]
+        top = len(self._minimize_touched)
+        while stack:
+            p = stack.pop()
+            reason = self._reason[p >> 1]
+            assert reason is not None
+            for q in reason:
+                if q == p or (q >> 1) == (p >> 1):
+                    continue
+                var = q >> 1
+                if self._seen[var] or self._level[var] == 0:
+                    continue
+                if self._reason[var] is None or not (
+                    (1 << (self._level[var] & 31)) & abstract_levels
+                ):
+                    # Undo the marks made during this check.
+                    for marked in self._minimize_touched[top:]:
+                        self._seen[marked] = False
+                    del self._minimize_touched[top:]
+                    return False
+                self._seen[var] = True
+                self._minimize_touched.append(var)
+                stack.append(q)
+        return True
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _RESCALE_LIMIT:
+            for i in range(self.num_vars):
+                self._activity[i] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+            self._rebuild_heap()
+            return
+        if self._assign[var] == UNASSIGNED:
+            # Lazy heap: push an updated entry; stale ones are skipped on pop.
+            import heapq
+
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+            self._in_heap[var] = True
+
+    def _bump_clause(self, clause: list) -> None:
+        key = id(clause)
+        if key in self._cla_activity:
+            self._cla_activity[key] += self._cla_inc
+            if self._cla_activity[key] > _RESCALE_LIMIT:
+                for k in self._cla_activity:
+                    self._cla_activity[k] *= _RESCALE_FACTOR
+                self._cla_inc *= _RESCALE_FACTOR
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= 0.95
+        self._cla_inc /= 0.999
+
+    # ------------------------------------------------------------------
+    # Decision heuristic (lazy binary heap over activities)
+    # ------------------------------------------------------------------
+    def _rebuild_heap(self) -> None:
+        import heapq
+
+        self._order_heap = [
+            (-self._activity[v], v)
+            for v in range(self.num_vars)
+            if self._assign[v] == UNASSIGNED
+        ]
+        for v in range(self.num_vars):
+            self._in_heap[v] = self._assign[v] == UNASSIGNED
+        heapq.heapify(self._order_heap)
+
+    def _heap_push(self, var: int) -> None:
+        import heapq
+
+        heapq.heappush(self._order_heap, (-self._activity[var], var))
+        self._in_heap[var] = True
+
+    def _pick_branch_var(self) -> int:
+        import heapq
+
+        heap = self._order_heap
+        activity = self._activity
+        assign = self._assign
+        while heap:
+            neg_act, var = heapq.heappop(heap)
+            if assign[var] != UNASSIGNED:
+                continue
+            if -neg_act != activity[var]:
+                continue  # stale entry; a fresher one exists
+            self._in_heap[var] = False
+            return var
+        # Heap exhausted: linear scan fallback (covers vars never pushed).
+        best, best_act = -1, -1.0
+        for v in range(self.num_vars):
+            if assign[v] == UNASSIGNED and activity[v] > best_act:
+                best, best_act = v, activity[v]
+        return best
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for idx in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[idx]
+            var = lit >> 1
+            self._assign[var] = UNASSIGNED
+            self._polarity[var] = bool(lit & 1)
+            self._reason[var] = None
+            self._heap_push(var)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Learned-clause DB reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        acts = self._cla_activity
+        locked = set()
+        for var in range(self.num_vars):
+            r = self._reason[var]
+            if r is not None:
+                locked.add(id(r))
+        self._learnts.sort(key=lambda c: acts.get(id(c), 0.0))
+        keep_from = len(self._learnts) // 2
+        kept = []
+        for i, clause in enumerate(self._learnts):
+            if i >= keep_from or id(clause) in locked or len(clause) == 2:
+                kept.append(clause)
+            else:
+                self._detach(clause)
+                acts.pop(id(clause), None)
+                self.stats["removed"] += 1
+        self._learnts = kept
+
+    def _detach(self, clause: list) -> None:
+        for w in (clause[0] ^ 1, clause[1] ^ 1):
+            lst = self._watches[w]
+            for i, c in enumerate(lst):
+                if c is clause:
+                    lst[i] = lst[-1]
+                    lst.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # Budgets
+    # ------------------------------------------------------------------
+    def set_budget(
+        self, conflicts: Optional[int] = None, propagations: Optional[int] = None
+    ) -> None:
+        """Limit the next ``solve`` call; it returns UNKNOWN when exceeded."""
+        self._conflict_budget = conflicts
+        self._propagation_budget = propagations
+
+    def _within_budget(self) -> bool:
+        if (
+            self._conflict_budget is not None
+            and self.stats["conflicts"] >= self._budget_conflict_mark + self._conflict_budget
+        ):
+            return False
+        if (
+            self._propagation_budget is not None
+            and self.stats["propagations"]
+            >= self._budget_prop_mark + self._propagation_budget
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> Status:
+        """Solve under the given signed assumption literals."""
+        self._model = []
+        self._conflict_core = frozenset()
+        if not self._ok:
+            return Status.UNSAT
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+        self._assumptions = [from_dimacs(lit) for lit in assumptions]
+        self._budget_conflict_mark = self.stats["conflicts"]
+        self._budget_prop_mark = self.stats["propagations"]
+        # (Re)seed the decision heap.
+        for var in range(self.num_vars):
+            if not self._in_heap[var] and self._assign[var] == UNASSIGNED:
+                self._heap_push(var)
+
+        restarts = 0
+        while True:
+            budget = int(luby(2.0, restarts) * 100)
+            status = self._search(budget)
+            restarts += 1
+            if status is not None:
+                self._cancel_until(0)
+                return status
+            self.stats["restarts"] += 1
+            if not self._within_budget():
+                self._cancel_until(0)
+                return Status.UNKNOWN
+
+    def _search(self, conflict_budget: int) -> Optional[Status]:
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return Status.UNSAT
+                if self._decision_level() <= len(self._assumptions):
+                    # Conflict under assumptions: compute the failed core.
+                    self._conflict_core = self._analyze_final(conflict)
+                    return Status.UNSAT
+                learnt, bt_level = self._analyze(conflict)
+                self._cancel_until(max(bt_level, 0))
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    self._learnts.append(learnt)
+                    self._cla_activity[id(learnt)] = self._cla_inc
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.stats["learned"] += 1
+                self._decay_activities()
+                if not self._within_budget():
+                    return None
+                if conflicts_here >= conflict_budget:
+                    self._cancel_until(len(self._assumptions))
+                    return None
+                if len(self._learnts) > 4000 + 500 * self.stats["restarts"] // 10:
+                    self._reduce_db()
+            else:
+                # Place assumptions as pseudo-decisions.
+                if self._decision_level() < len(self._assumptions):
+                    lit = self._assumptions[self._decision_level()]
+                    val = self._lit_value(lit)
+                    if val == TRUE:
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    if val == FALSE:
+                        self._conflict_core = self._analyze_final_lit(lit)
+                        return Status.UNSAT
+                    self.stats["decisions"] += 1
+                    self._trail_lim.append(len(self._trail))
+                    self._enqueue(lit, None)
+                    continue
+                var = self._pick_branch_var()
+                if var == -1:
+                    # All variables assigned: SAT.
+                    self._model = list(self._assign)
+                    return Status.SAT
+                self.stats["decisions"] += 1
+                self._trail_lim.append(len(self._trail))
+                lit = var * 2 + (1 if self._polarity[var] else 0)
+                self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # Final-conflict (assumption core) analysis
+    # ------------------------------------------------------------------
+    def _analyze_final_lit(self, failing: int) -> frozenset:
+        """Core when an assumption literal is already false on the trail."""
+        core = {failing ^ 1}
+        seen = self._seen
+        touched = []
+        var0 = failing >> 1
+        if self._level[var0] > 0:
+            seen[var0] = True
+            touched.append(var0)
+        for idx in range(len(self._trail) - 1, -1, -1):
+            lit = self._trail[idx]
+            var = lit >> 1
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core.add(lit ^ 1)
+            else:
+                for q in reason:
+                    if (q >> 1) != var and self._level[q >> 1] > 0 and not seen[q >> 1]:
+                        seen[q >> 1] = True
+                        touched.append(q >> 1)
+            seen[var] = False
+        for var in touched:
+            seen[var] = False
+        return frozenset(to_dimacs(l ^ 1) for l in core)
+
+    def _analyze_final(self, conflict: list) -> frozenset:
+        """Failed-assumption core from a conflict clause under assumptions."""
+        seen = self._seen
+        touched = []
+        core_internal = set()
+        for q in conflict:
+            var = q >> 1
+            if self._level[var] > 0:
+                seen[var] = True
+                touched.append(var)
+        for idx in range(len(self._trail) - 1, -1, -1):
+            lit = self._trail[idx]
+            var = lit >> 1
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core_internal.add(lit)
+            else:
+                for q in reason:
+                    qv = q >> 1
+                    if qv != var and self._level[qv] > 0 and not seen[qv]:
+                        seen[qv] = True
+                        touched.append(qv)
+            seen[var] = False
+        for var in touched:
+            seen[var] = False
+        assumed = set(self._assumptions)
+        return frozenset(
+            to_dimacs(l) for l in core_internal if l in assumed
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def value(self, lit: int) -> Optional[bool]:
+        """Model value of a signed literal after a SAT answer."""
+        if not self._model:
+            return None
+        var = abs(lit) - 1
+        if var >= len(self._model):
+            return None
+        val = self._model[var]
+        if val == UNASSIGNED:
+            return None
+        truth = val == TRUE
+        return truth if lit > 0 else not truth
+
+    def model(self) -> List[int]:
+        """The model as a list of signed literals (one per variable)."""
+        out = []
+        for var, val in enumerate(self._model):
+            if val == UNASSIGNED:
+                continue
+            out.append(var + 1 if val == TRUE else -(var + 1))
+        return out
+
+    def core(self) -> frozenset:
+        """Failed assumptions (signed) after an UNSAT answer under assumptions."""
+        return self._conflict_core
+
+    @property
+    def ok(self) -> bool:
+        """False once the clause set is unsatisfiable at level 0."""
+        return self._ok
+
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def num_learnts(self) -> int:
+        return len(self._learnts)

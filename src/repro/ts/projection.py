@@ -1,0 +1,195 @@
+"""The paper's ``T^P`` projection, realized as property constraints.
+
+Section 2-C defines the projection of ``T`` onto the aggregate property
+``P``: transitions out of a ``¬P``-state are removed (except self-loops).
+Section 7-A explains how Ic3-db realizes this *without* rewriting ``T``:
+it adds constraints forcing every assumed property to be 1 in present
+states.  This module computes the assumption sets and provides a
+materialized projection for small designs (used by the tests to validate
+the implementation against the definition).
+
+Why constraints are equivalent to the definition here: engines only ever
+search for a *first* property failure, so the self-loop component of
+``T^P`` (which merely keeps ``¬P``-states from being dead ends) never
+participates in any counterexample or proof obligation.  Cutting the
+outgoing transitions — which is exactly what asserting the assumptions on
+the transition's source frame does — yields the same traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from .system import TransitionSystem
+
+
+def assumption_names(
+    ts: TransitionSystem,
+    target: str,
+    extra_excluded: Sequence[str] = (),
+) -> List[str]:
+    """Names of the properties assumed while proving ``target`` locally.
+
+    Per Section 4 the assumption set is every other property; per
+    Section 5 properties that are Expected To Fail are *never* assumed
+    (their failures are legitimate behaviours, so excluding traces where
+    they fail first would be a mistake).  ``extra_excluded`` supports
+    drivers that drop assumptions dynamically (e.g. properties already
+    shown false locally can optionally be excluded — the default driver
+    keeps them, as the paper's Ja-ver does).
+    """
+    if target not in ts.prop_by_name:
+        raise KeyError(f"unknown property {target!r}")
+    excluded = set(extra_excluded) | {target}
+    return [
+        p.name
+        for p in ts.properties
+        if p.name not in excluded and not p.expected_to_fail
+    ]
+
+
+def assumption_lits(ts: TransitionSystem, names: Sequence[str]) -> List[int]:
+    """AIG literals of the named assumed properties."""
+    return [ts.prop_by_name[n].lit for n in names]
+
+
+class ProjectedReachability:
+    """Explicit-state semantics of ``(I, T)`` and ``(I, T^P)``.
+
+    Exact ground truth for small designs (used heavily by the test
+    suite).  States are latch valuations; because properties may also
+    depend on inputs, the paper's "``Q``-state" notion generalizes to
+    (state, input) pairs:
+
+    * a transition ``s -[x]-> s'`` is *allowed under assumptions A* iff
+      every property in ``A`` evaluates TRUE at ``(s, x)``;
+    * property ``Q`` *fails locally w.r.t. A* iff some state ``s``
+      reachable through allowed transitions admits an input ``x`` with
+      ``Q(s, x)`` false.
+
+    With ``A = all properties but Q`` this is exactly local failure with
+    respect to ``T^P`` (Section 4); with ``A = {}`` it is global failure.
+    """
+
+    def __init__(self, ts: TransitionSystem, max_states: int = 1 << 16) -> None:
+        self.ts = ts
+        aig = ts.aig
+        n_latch = len(ts.latches)
+        n_input = len(aig.inputs)
+        if (1 << n_latch) * max(1, 1 << n_input) > max_states * 64:
+            raise ValueError(
+                f"design too large for explicit enumeration "
+                f"({n_latch} latches, {n_input} inputs)"
+            )
+        self.n_latch = n_latch
+        self.n_input = n_input
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        from ..circuit.simulate import Simulator
+
+        ts = self.ts
+        aig = ts.aig
+        sim = Simulator(aig)
+        n_latch, n_input = self.n_latch, self.n_input
+        self.prop_names = [p.name for p in ts.properties]
+        # successor[s][x] -> s' ; prop_ok[s][x] -> frozenset of TRUE props
+        self.successor: List[List[int]] = []
+        self.prop_true: List[List[FrozenSet[str]]] = []
+        for s in range(1 << n_latch):
+            sim.state = {
+                latch.lit: bool((s >> i) & 1) for i, latch in enumerate(ts.latches)
+            }
+            succ_row: List[int] = []
+            prop_row: List[FrozenSet[str]] = []
+            for x in range(1 << n_input):
+                inputs = {
+                    inp: bool((x >> i) & 1) for i, inp in enumerate(aig.inputs)
+                }
+                true_props = frozenset(
+                    p.name for p in ts.properties if sim.eval_lit(p.lit, inputs)
+                )
+                prop_row.append(true_props)
+                saved = dict(sim.state)
+                sim.step(inputs)
+                succ = 0
+                for i, latch in enumerate(ts.latches):
+                    if sim.state[latch.lit]:
+                        succ |= 1 << i
+                succ_row.append(succ)
+                sim.state = saved
+            self.successor.append(succ_row)
+            self.prop_true.append(prop_row)
+        # Initial states (set of ints): product over init pattern.
+        inits = [0]
+        for i, latch in enumerate(ts.latches):
+            if latch.init == 1:
+                inits = [s | (1 << i) for s in inits]
+            elif latch.init is None:
+                inits = inits + [s | (1 << i) for s in inits]
+        self.initial_states = set(inits)
+
+    # ------------------------------------------------------------------
+    def reachable_states(self, assumed: Sequence[str] = ()) -> set:
+        """States reachable via transitions allowed under ``assumed``."""
+        assumed_set = set(assumed)
+        seen = set(self.initial_states)
+        frontier = list(seen)
+        while frontier:
+            s = frontier.pop()
+            for x in range(1 << self.n_input):
+                if not assumed_set <= self.prop_true[s][x]:
+                    continue  # transition source violates an assumption
+                succ = self.successor[s][x]
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def fails(self, prop_name: str, assumed: Sequence[str] = ()) -> bool:
+        """Does ``prop_name`` fail (locally w.r.t. ``assumed``)?"""
+        reach = self.reachable_states(assumed)
+        return any(
+            prop_name not in self.prop_true[s][x]
+            for s in reach
+            for x in range(1 << self.n_input)
+        )
+
+    def fails_globally(self, prop_name: str) -> bool:
+        return self.fails(prop_name, ())
+
+    def fails_locally(self, prop_name: str) -> bool:
+        """Local failure in the paper's sense (all other ETH props assumed)."""
+        assumed = assumption_names(self.ts, prop_name)
+        return self.fails(prop_name, assumed)
+
+    def debugging_set(self) -> List[str]:
+        """Names of properties that fail locally (Section 4)."""
+        return [p.name for p in self.ts.properties if self.fails_locally(p.name)]
+
+    def min_cex_depth(self, prop_name: str, assumed: Sequence[str] = ()) -> Optional[int]:
+        """Length (in frames) of a shortest CEX, or None if the property holds.
+
+        Depth 1 means the property already fails at the initial state
+        under some input.
+        """
+        assumed_set = set(assumed)
+        dist: Dict[int, int] = {s: 0 for s in self.initial_states}
+        frontier = sorted(self.initial_states)
+        while True:
+            for s in frontier:
+                for x in range(1 << self.n_input):
+                    if prop_name not in self.prop_true[s][x]:
+                        return dist[s] + 1
+            next_frontier = []
+            for s in frontier:
+                for x in range(1 << self.n_input):
+                    if not assumed_set <= self.prop_true[s][x]:
+                        continue
+                    succ = self.successor[s][x]
+                    if succ not in dist:
+                        dist[succ] = dist[s] + 1
+                        next_frontier.append(succ)
+            if not next_frontier:
+                return None
+            frontier = next_frontier

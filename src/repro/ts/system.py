@@ -1,0 +1,238 @@
+"""Transition systems over AIGs, plus the CNF encodings the engines use.
+
+A :class:`TransitionSystem` wraps an AIG and fixes the *state-variable
+order*: latch ``i`` (0-based position in ``aig.latches``) is represented
+in cubes and clauses by the signed integer ``±(i+1)``.  A **cube** is a
+sorted tuple of such literals read conjunctively (a set of states); a
+**clause** is the same tuple read disjunctively.  All frame clauses,
+strengthening clauses and the clauseDB use this representation, which is
+independent of any particular SAT solver instance.
+
+Properties follow the paper's convention: the property *literal* must be
+TRUE in every reachable state.  Properties may depend on primary inputs
+as well as latches (as in the paper's Example 1, where ``P0: req == 1``
+constrains an input); a "state" in the sense of the paper's ``P``-states
+is then a (latch valuation, input valuation) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.aig import AIG, Property
+from ..encode.tseitin import ClauseSink, ConeEncoder
+
+Cube = Tuple[int, ...]
+Clause = Tuple[int, ...]
+
+
+def normalize_cube(lits: Iterable[int]) -> Cube:
+    """Canonical form: sorted by variable, duplicates removed.
+
+    Raises on contradictory literals — a cube containing ``v`` and ``-v``
+    denotes the empty set of states and always indicates a caller bug.
+    """
+    seen: Dict[int, int] = {}
+    for lit in lits:
+        if lit == 0:
+            raise ValueError("0 is not a state literal")
+        var = abs(lit)
+        if var in seen and seen[var] != lit:
+            raise ValueError(f"contradictory literals for state var {var}")
+        seen[var] = lit
+    return tuple(sorted(seen.values(), key=abs))
+
+
+def negate_cube(cube: Cube) -> Clause:
+    """The clause blocking a cube (and vice versa)."""
+    return tuple(sorted((-lit for lit in cube), key=abs))
+
+
+def cube_subsumes(small: Cube, big: Cube) -> bool:
+    """True if ``small``'s literals are a subset of ``big``'s.
+
+    For cubes: ``small`` denotes a superset of states and every state in
+    ``big`` is in ``small``.  For clauses: ``small`` subsumes ``big``.
+    """
+    return set(small) <= set(big)
+
+
+@dataclass
+class StepEncoding:
+    """One copy of the transition relation inside a solver.
+
+    ``curr[i]``/``next[i]`` are the CNF variables of latch ``i`` in the
+    present and next state; ``inputs`` maps AIG input literals to CNF
+    variables; ``prop_curr`` maps property names to signed CNF literals
+    evaluated over the *present* frame (latches + inputs).
+    """
+
+    curr: List[int]
+    next: List[int]
+    inputs: Dict[int, int]
+    prop_curr: Dict[str, int]
+    constraint_curr: List[int]
+    encoder: ConeEncoder
+
+    def cube_lits_curr(self, cube: Cube) -> List[int]:
+        return [self.curr[abs(l) - 1] * (1 if l > 0 else -1) for l in cube]
+
+    def cube_lits_next(self, cube: Cube) -> List[int]:
+        return [self.next[abs(l) - 1] * (1 if l > 0 else -1) for l in cube]
+
+    def clause_lits_curr(self, clause: Clause) -> List[int]:
+        return self.cube_lits_curr(clause)  # same literal-wise mapping
+
+
+@dataclass
+class FrameEncoding:
+    """A single combinational frame (no transition): used for init/bad queries."""
+
+    curr: List[int]
+    inputs: Dict[int, int]
+    prop_curr: Dict[str, int]
+    constraint_curr: List[int]
+    encoder: ConeEncoder
+
+    def cube_lits_curr(self, cube: Cube) -> List[int]:
+        return [self.curr[abs(l) - 1] * (1 if l > 0 else -1) for l in cube]
+
+    clause_lits_curr = cube_lits_curr
+
+
+class TransitionSystem:
+    """An ``(I, T)``-system with a set of named safety properties."""
+
+    def __init__(self, aig: AIG, properties: Optional[Sequence[Property]] = None) -> None:
+        self.aig = aig
+        self.latches = list(aig.latches)
+        self.properties: List[Property] = list(
+            properties if properties is not None else aig.properties
+        )
+        names = [p.name for p in self.properties]
+        if len(set(names)) != len(names):
+            raise ValueError("property names must be unique")
+        self.prop_by_name: Dict[str, Property] = {p.name: p for p in self.properties}
+        self.num_state_vars = len(self.latches)
+        # Initial-state pattern: +1/-1/None per latch position (I is a cube).
+        self.init_pattern: List[Optional[int]] = []
+        for i, latch in enumerate(self.latches):
+            if latch.init is None:
+                self.init_pattern.append(None)
+            else:
+                self.init_pattern.append((i + 1) if latch.init == 1 else -(i + 1))
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    def cube_intersects_init(self, cube: Cube) -> bool:
+        """Exact check: does the cube contain an initial state?
+
+        Since AIGER initial states form a cube (each latch is 0, 1 or
+        free), the check is syntactic: the cube intersects I unless some
+        literal contradicts the init pattern.
+        """
+        for lit in cube:
+            pattern = self.init_pattern[abs(lit) - 1]
+            if pattern is not None and pattern != lit:
+                return False
+        return True
+
+    def clause_holds_at_init(self, clause: Clause) -> bool:
+        """``I -> clause``: no initial state falsifies the clause."""
+        return not self.cube_intersects_init(negate_cube(clause))
+
+    def state_cube_from(self, latch_values: Sequence[bool]) -> Cube:
+        """Full cube for a concrete latch valuation (position order)."""
+        return tuple(
+            (i + 1) if value else -(i + 1) for i, value in enumerate(latch_values)
+        )
+
+    # ------------------------------------------------------------------
+    # Encodings
+    # ------------------------------------------------------------------
+    def _encode_frame(self, solver: ClauseSink) -> FrameEncoding:
+        enc = ConeEncoder(self.aig, solver)
+        curr = []
+        for latch in self.latches:
+            var = solver.new_var()
+            enc.set_leaf(latch.lit, var)
+            curr.append(var)
+        inputs = {}
+        for inp in self.aig.inputs:
+            var = solver.new_var()
+            enc.set_leaf(inp, var)
+            inputs[inp] = var
+        prop_curr = {p.name: enc.lit(p.lit) for p in self.properties}
+        constraint_curr = [enc.lit(c) for c in self.aig.constraints]
+        return FrameEncoding(curr, inputs, prop_curr, constraint_curr, enc)
+
+    def encode_step(self, solver: ClauseSink) -> StepEncoding:
+        """Encode one transition ``T(S, X, S')`` into a solver.
+
+        Invariant constraints of the AIG (if any) are asserted on the
+        present frame.  Property literals are *not* asserted — callers add
+        the paper's ``T^P`` constraints by asserting units on
+        ``prop_curr`` (see :mod:`repro.ts.projection`).
+        """
+        frame = self._encode_frame(solver)
+        nxt = []
+        for latch in self.latches:
+            lit = frame.encoder.lit(latch.next)
+            var = solver.new_var()
+            solver.add_clause([-var, lit])
+            solver.add_clause([var, -lit])
+            nxt.append(var)
+        for c in frame.constraint_curr:
+            solver.add_clause([c])
+        return StepEncoding(
+            curr=frame.curr,
+            next=nxt,
+            inputs=frame.inputs,
+            prop_curr=frame.prop_curr,
+            constraint_curr=frame.constraint_curr,
+            encoder=frame.encoder,
+        )
+
+    def encode_bad_frame(self, solver: ClauseSink) -> FrameEncoding:
+        """Encode a final (bad) frame: combinational only, constraints asserted.
+
+        AIG-level invariant constraints apply to every considered state,
+        including the failing one; the paper's property assumptions do
+        *not* apply here (the final state of a local CEX only needs to
+        falsify the target property).
+        """
+        frame = self._encode_frame(solver)
+        for c in frame.constraint_curr:
+            solver.add_clause([c])
+        return frame
+
+    def encode_init_frame(self, solver: ClauseSink) -> FrameEncoding:
+        """Encode a frame constrained to the initial states."""
+        frame = self.encode_bad_frame(solver)
+        for i, latch in enumerate(self.latches):
+            if latch.init == 0:
+                solver.add_clause([-frame.curr[i]])
+            elif latch.init == 1:
+                solver.add_clause([frame.curr[i]])
+        return frame
+
+    # ------------------------------------------------------------------
+    def eth_properties(self) -> List[Property]:
+        """Properties Expected To Hold (the assumption pool of Sec. 5)."""
+        return [p for p in self.properties if not p.expected_to_fail]
+
+    def aggregate_property_lit(self, names: Optional[Iterable[str]] = None) -> int:
+        """AIG literal of ``P1 & ... & Pk`` (over the named subset)."""
+        if names is None:
+            props: Iterable[Property] = self.properties
+        else:
+            props = [self.prop_by_name[n] for n in names]
+        return self.aig.and_many(p.lit for p in props)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TransitionSystem(latches={len(self.latches)}, "
+            f"properties={len(self.properties)})"
+        )

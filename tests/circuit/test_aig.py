@@ -1,0 +1,151 @@
+"""Unit tests for the AIG circuit model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.aig import AIG, FALSE_LIT, TRUE_LIT, aig_not, aig_var, is_negated
+
+
+class TestLiterals:
+    def test_not_flips_parity(self):
+        assert aig_not(4) == 5
+        assert aig_not(5) == 4
+
+    def test_var_and_sign(self):
+        assert aig_var(7) == 3
+        assert is_negated(7)
+        assert not is_negated(6)
+
+    def test_constants(self):
+        assert TRUE_LIT == aig_not(FALSE_LIT)
+
+
+class TestSimplification:
+    def setup_method(self):
+        self.aig = AIG()
+        self.a = self.aig.add_input("a")
+        self.b = self.aig.add_input("b")
+
+    def test_and_false_annihilates(self):
+        assert self.aig.and_(self.a, FALSE_LIT) == FALSE_LIT
+
+    def test_and_true_is_identity(self):
+        assert self.aig.and_(self.a, TRUE_LIT) == self.a
+
+    def test_and_idempotent(self):
+        assert self.aig.and_(self.a, self.a) == self.a
+
+    def test_and_complement_is_false(self):
+        assert self.aig.and_(self.a, aig_not(self.a)) == FALSE_LIT
+
+    def test_structural_hashing(self):
+        g1 = self.aig.and_(self.a, self.b)
+        g2 = self.aig.and_(self.b, self.a)  # commuted
+        assert g1 == g2
+        assert self.aig.stats()["ands"] == 1
+
+    def test_or_demorgan(self):
+        g = self.aig.or_(self.a, self.b)
+        assert is_negated(g)
+
+    def test_xor_of_equal_is_false(self):
+        assert self.aig.xor(self.a, self.a) == FALSE_LIT
+
+    def test_xor_of_complement_is_true(self):
+        assert self.aig.xor(self.a, aig_not(self.a)) == TRUE_LIT
+
+    def test_mux_constant_select(self):
+        assert self.aig.mux(TRUE_LIT, self.a, self.b) == self.a
+        assert self.aig.mux(FALSE_LIT, self.a, self.b) == self.b
+
+    def test_implies(self):
+        g = self.aig.implies(self.a, self.a)
+        assert g == TRUE_LIT
+
+    def test_and_many_empty_is_true(self):
+        assert self.aig.and_many([]) == TRUE_LIT
+
+    def test_or_many_empty_is_false(self):
+        assert self.aig.or_many([]) == FALSE_LIT
+
+
+class TestLatches:
+    def test_latch_creation_and_next(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=1)
+        aig.set_next(q, aig_not(q))
+        latch = aig.latch_by_lit(q)
+        assert latch.init == 1
+        assert latch.next == aig_not(q)
+        assert latch.name == "q"
+
+    def test_uninitialized_latch(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=None)
+        assert aig.latch_by_lit(q).init is None
+
+    def test_bad_init_rejected(self):
+        with pytest.raises(ValueError):
+            AIG().add_latch("q", init=2)
+
+    def test_set_next_rejects_inverted_target(self):
+        aig = AIG()
+        q = aig.add_latch("q")
+        with pytest.raises(ValueError):
+            aig.set_next(aig_not(q), q)
+
+    def test_set_next_rejects_non_latch(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        with pytest.raises(ValueError):
+            aig.set_next(x, x)
+
+
+class TestProperties:
+    def test_property_registration(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        prop = aig.add_property("p", x, expected_to_fail=True)
+        assert prop.expected_to_fail
+        assert aig.properties == [prop]
+
+    def test_out_of_range_literal_rejected(self):
+        aig = AIG()
+        with pytest.raises(ValueError):
+            aig.add_property("p", 9999)
+
+    def test_constraints(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        aig.add_constraint(x)
+        assert aig.constraints == [x]
+
+
+class TestConeOfInfluence:
+    def test_combinational_cone(self):
+        aig = AIG()
+        a, b, c = (aig.add_input(n) for n in "abc")
+        g = aig.and_(a, b)
+        nodes, latches = aig.cone_of_influence([g])
+        assert aig_var(c) not in nodes
+        assert not latches
+
+    def test_cone_follows_latch_next(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        q1 = aig.add_latch("q1")
+        q2 = aig.add_latch("q2")
+        aig.set_next(q1, x)
+        aig.set_next(q2, q1)
+        _, latches = aig.cone_of_influence([q2])
+        assert latches == {q1, q2}
+
+    def test_disjoint_slices_have_disjoint_cones(self):
+        aig = AIG()
+        q1, q2 = aig.add_latch("q1"), aig.add_latch("q2")
+        aig.set_next(q1, q1)
+        aig.set_next(q2, q2)
+        _, latches1 = aig.cone_of_influence([q1])
+        _, latches2 = aig.cone_of_influence([q2])
+        assert latches1 & latches2 == set()

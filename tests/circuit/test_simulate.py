@@ -1,0 +1,121 @@
+"""Unit tests for the concrete simulator."""
+
+from __future__ import annotations
+
+from repro.circuit.aig import AIG, aig_not
+from repro.circuit.simulate import Simulator
+
+
+class TestCombinational:
+    def test_gates(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        g_and = aig.and_(a, b)
+        g_or = aig.or_(a, b)
+        g_xor = aig.xor(a, b)
+        sim = Simulator(aig)
+        for va in (False, True):
+            for vb in (False, True):
+                inputs = {a: va, b: vb}
+                assert sim.eval_lit(g_and, inputs) == (va and vb)
+                assert sim.eval_lit(g_or, inputs) == (va or vb)
+                assert sim.eval_lit(g_xor, inputs) == (va != vb)
+
+    def test_constants(self):
+        aig = AIG()
+        sim = Simulator(aig)
+        assert sim.eval_lit(0, {}) is False
+        assert sim.eval_lit(1, {}) is True
+
+    def test_missing_inputs_default_false(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        sim = Simulator(aig)
+        assert sim.eval_lit(a, {}) is False
+
+    def test_deep_chain_no_recursion_error(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        lit = x
+        other = aig.add_input("y")
+        for _ in range(5000):
+            lit = aig.and_(lit, other)
+        sim = Simulator(aig)
+        assert sim.eval_lit(lit, {x: True, other: True}) is True
+
+
+class TestSequential:
+    def test_toggler(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, aig_not(q))
+        sim = Simulator(aig)
+        values = []
+        for _ in range(4):
+            values.append(sim.state[q])
+            sim.step({})
+        assert values == [False, True, False, True]
+
+    def test_reset_restores_init(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=1)
+        aig.set_next(q, 0)
+        sim = Simulator(aig)
+        sim.step({})
+        assert sim.state[q] is False
+        sim.reset()
+        assert sim.state[q] is True
+
+    def test_uninitialized_latch_values(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=None)
+        aig.set_next(q, q)
+        sim = Simulator(aig)
+        assert sim.state[q] is False  # default
+        sim.reset({q: True})
+        assert sim.state[q] is True
+
+    def test_enabled_register(self):
+        aig = AIG()
+        en, d = aig.add_input("en"), aig.add_input("d")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, aig.mux(en, d, q))
+        sim = Simulator(aig)
+        sim.step({en: False, d: True})
+        assert sim.state[q] is False  # not enabled: holds
+        sim.step({en: True, d: True})
+        assert sim.state[q] is True
+
+    def test_run_watches_literals(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, aig_not(q))
+        sim = Simulator(aig)
+        rows = sim.run([{}] * 3, watch=[q, aig_not(q)])
+        assert [r[q] for r in rows] == [False, True, False]
+        assert [r[aig_not(q)] for r in rows] == [True, False, True]
+
+
+class TestPropertyFailure:
+    def test_failure_frame(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, aig_not(q))
+        prop = aig_not(q)  # fails when q first becomes 1, at frame 1
+        sim = Simulator(aig)
+        assert sim.check_property_failure([{}] * 5, prop) == 1
+
+    def test_no_failure_returns_none(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, q)
+        sim = Simulator(aig)
+        assert sim.check_property_failure([{}] * 5, aig_not(q)) is None
+
+    def test_input_dependent_property(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        aig.add_latch("pad", init=0)  # keep the design sequential
+        sim = Simulator(aig)
+        seq = [{x: True}, {x: True}, {x: False}]
+        assert sim.check_property_failure(seq, x) == 2

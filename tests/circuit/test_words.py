@@ -1,0 +1,143 @@
+"""Property-based tests of word-level circuit builders against integers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.aig import AIG
+from repro.circuit.simulate import Simulator
+from repro.circuit import words
+
+
+def _eval_word(aig: AIG, bits, inputs) -> int:
+    sim = Simulator(aig)
+    return words.word_value([sim.eval_lit(b, inputs) for b in bits])
+
+
+def _eval_bit(aig: AIG, lit, inputs) -> bool:
+    return Simulator(aig).eval_lit(lit, inputs)
+
+
+def _input_word(aig: AIG, name: str, width: int):
+    return [aig.add_input(f"{name}{i}") for i in range(width)]
+
+
+def _assign(word_bits, value):
+    return {bit: bool((value >> i) & 1) for i, bit in enumerate(word_bits)}
+
+
+WIDTH = st.integers(min_value=1, max_value=6)
+
+
+class TestConstWord:
+    def test_value_roundtrip(self):
+        assert words.word_value([True, False, False, True]) == 9
+
+    def test_const_bits(self):
+        assert words.const_word(5, 4) == [1, 0, 1, 0]  # TRUE,FALSE,TRUE,FALSE
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            words.const_word(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            words.const_word(-1, 4)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            words.const_word(0, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(WIDTH, st.data())
+def test_add_matches_integers(width, data):
+    a = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    b = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    aig = AIG()
+    wa = _input_word(aig, "a", width)
+    wb = _input_word(aig, "b", width)
+    out = words.add(aig, wa, wb)
+    inputs = {**_assign(wa, a), **_assign(wb, b)}
+    assert _eval_word(aig, out, inputs) == (a + b) % (1 << width)
+
+
+@settings(max_examples=60, deadline=None)
+@given(WIDTH, st.data())
+def test_inc_matches_integers(width, data):
+    a = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    aig = AIG()
+    wa = _input_word(aig, "a", width)
+    out = words.inc(aig, wa)
+    assert _eval_word(aig, out, _assign(wa, a)) == (a + 1) % (1 << width)
+
+
+@settings(max_examples=60, deadline=None)
+@given(WIDTH, st.data())
+def test_comparators_match_integers(width, data):
+    a = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    b = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    aig = AIG()
+    wa = _input_word(aig, "a", width)
+    wb = _input_word(aig, "b", width)
+    eq = words.eq(aig, wa, wb)
+    lt = words.ult(aig, wa, wb)
+    le = words.ule(aig, wa, wb)
+    inputs = {**_assign(wa, a), **_assign(wb, b)}
+    assert _eval_bit(aig, eq, inputs) == (a == b)
+    assert _eval_bit(aig, lt, inputs) == (a < b)
+    assert _eval_bit(aig, le, inputs) == (a <= b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(WIDTH, st.data())
+def test_const_comparators(width, data):
+    a = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    c = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    aig = AIG()
+    wa = _input_word(aig, "a", width)
+    eqc = words.eq_const(aig, wa, c)
+    lec = words.ule_const(aig, wa, c)
+    inputs = _assign(wa, a)
+    assert _eval_bit(aig, eqc, inputs) == (a == c)
+    assert _eval_bit(aig, lec, inputs) == (a <= c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(WIDTH, st.data())
+def test_mux_word(width, data):
+    a = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    b = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    sel = data.draw(st.booleans())
+    aig = AIG()
+    s = aig.add_input("s")
+    wa = _input_word(aig, "a", width)
+    wb = _input_word(aig, "b", width)
+    out = words.mux_word(aig, s, wa, wb)
+    inputs = {**_assign(wa, a), **_assign(wb, b), s: sel}
+    assert _eval_word(aig, out, inputs) == (a if sel else b)
+
+
+class TestRegisters:
+    def test_word_latches_init(self):
+        aig = AIG()
+        reg = words.word_latches(aig, "r", 4, init=5)
+        inits = [aig.latch_by_lit(b).init for b in reg]
+        assert inits == [1, 0, 1, 0]
+
+    def test_set_next_word_width_mismatch(self):
+        aig = AIG()
+        reg = words.word_latches(aig, "r", 3)
+        with pytest.raises(ValueError):
+            words.set_next_word(aig, reg, [0, 0])
+
+    def test_counter_counts(self):
+        aig = AIG()
+        reg = words.word_latches(aig, "r", 3, init=0)
+        words.set_next_word(aig, reg, words.inc(aig, reg))
+        sim = Simulator(aig)
+        for expected in range(10):
+            got = words.word_value([sim.state[b] for b in reg])
+            assert got == expected % 8
+            sim.step({})

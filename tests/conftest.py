@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro.circuit.aig import AIG, aig_not
+from repro.gen.counter import buggy_counter
+from repro.ts.system import TransitionSystem
+
+
+def brute_force_sat(num_vars: int, clauses: Sequence[Sequence[int]]) -> bool:
+    """Reference satisfiability by exhaustive enumeration (tiny instances)."""
+    for model in range(1 << num_vars):
+        if all(
+            any(((model >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0) for l in c)
+            for c in clauses
+        ):
+            return True
+    return False
+
+
+def random_cnf(
+    rng: random.Random, max_vars: int = 8, max_clauses: int = 35, max_width: int = 3
+) -> Tuple[int, List[List[int]]]:
+    """A random small CNF instance."""
+    num_vars = rng.randint(2, max_vars)
+    num_clauses = rng.randint(1, max_clauses)
+    clauses = [
+        [
+            rng.choice([-1, 1]) * rng.randint(1, num_vars)
+            for _ in range(rng.randint(1, max_width))
+        ]
+        for _ in range(num_clauses)
+    ]
+    return num_vars, clauses
+
+
+@pytest.fixture
+def counter4() -> TransitionSystem:
+    """Example 1's counter at 4 bits (rval = 8): fast but non-trivial."""
+    return TransitionSystem(buggy_counter(bits=4))
+
+
+@pytest.fixture
+def toggler() -> TransitionSystem:
+    """A 1-latch toggling design with one true and one false property."""
+    aig = AIG()
+    q = aig.add_latch("q", init=0)
+    aig.set_next(q, aig_not(q))
+    r = aig.add_latch("r", init=0)
+    aig.set_next(r, r)
+    aig.add_property("never_r", aig_not(r))  # true: r stuck at 0
+    aig.add_property("never_q", aig_not(q))  # false at frame 1
+    return TransitionSystem(aig)

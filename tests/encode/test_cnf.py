@@ -1,0 +1,43 @@
+"""Tests for the CNF container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encode.cnf import CnfBuilder
+
+
+class TestCnfBuilder:
+    def test_new_vars_sequential(self):
+        cnf = CnfBuilder()
+        assert [cnf.new_var() for _ in range(3)] == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_add_clause_tracks_vars(self):
+        cnf = CnfBuilder()
+        cnf.add_clause([4, -7])
+        assert cnf.num_vars == 7
+        assert cnf.clauses == [[4, -7]]
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            CnfBuilder().add_clause([1, 0])
+
+    def test_add_all(self):
+        cnf = CnfBuilder()
+        cnf.add_all([[1], [2, -1]])
+        assert len(cnf) == 2
+
+    def test_copy_is_deep(self):
+        cnf = CnfBuilder()
+        cnf.add_clause([1, 2])
+        clone = cnf.copy()
+        clone.clauses[0][0] = 9
+        clone.add_clause([3])
+        assert cnf.clauses == [[1, 2]]
+        assert clone.num_vars == 3
+
+    def test_extend_vars(self):
+        cnf = CnfBuilder()
+        cnf.new_var()
+        assert cnf.extend_vars(3) == [2, 3, 4]

@@ -1,0 +1,99 @@
+"""Unroller tests: frame semantics must match step-by-step simulation."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.aig import AIG, aig_not
+from repro.circuit.simulate import Simulator
+from repro.encode.unroll import Unroller
+from repro.gen.random_designs import random_design
+from repro.sat import Solver, Status
+
+
+class TestFrames:
+    def test_initial_values_pinned(self):
+        aig = AIG()
+        q0 = aig.add_latch("q0", init=0)
+        q1 = aig.add_latch("q1", init=1)
+        aig.set_next(q0, q0)
+        aig.set_next(q1, q1)
+        solver = Solver()
+        unroller = Unroller(aig, solver)
+        assert solver.solve([unroller.latch_var(q0, 0)]) == Status.UNSAT
+        assert solver.solve([-unroller.latch_var(q1, 0)]) == Status.UNSAT
+
+    def test_uninitialized_latch_free_at_frame0(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=None)
+        aig.set_next(q, q)
+        solver = Solver()
+        unroller = Unroller(aig, solver)
+        assert solver.solve([unroller.latch_var(q, 0)]) == Status.SAT
+        assert solver.solve([-unroller.latch_var(q, 0)]) == Status.SAT
+
+    def test_toggler_frame_parity(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, aig_not(q))
+        solver = Solver()
+        unroller = Unroller(aig, solver)
+        for t in range(6):
+            lit = unroller.lit(q, t)
+            can_be_true = solver.solve([lit]) == Status.SAT
+            assert can_be_true == (t % 2 == 1)
+
+    def test_num_frames_tracks_extension(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, q)
+        unroller = Unroller(aig, Solver())
+        assert unroller.num_frames == 0
+        unroller.frame(2)
+        assert unroller.num_frames == 3
+
+    def test_extract_inputs_roundtrip(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, x)
+        solver = Solver()
+        unroller = Unroller(aig, solver)
+        # Force q true at frame 2 => x true at frame 1.
+        assert solver.solve([unroller.lit(q, 2)]) == Status.SAT
+        inputs = unroller.extract_inputs(solver.value, 2)
+        assert inputs[1][x] is True
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=1, max_value=5))
+def test_unrolling_agrees_with_simulation(seed, depth):
+    """A forced input sequence drives the CNF to the simulated latch values."""
+    aig = random_design(seed, n_props=1)
+    rng = random.Random(seed + 1)
+    sequence = [
+        {inp: rng.random() < 0.5 for inp in aig.inputs} for _ in range(depth + 1)
+    ]
+    sim = Simulator(aig)
+
+    solver = Solver()
+    unroller = Unroller(aig, solver)
+    unroller.frame(depth)
+    assumptions = []
+    for t, frame_inputs in enumerate(sequence[: depth + 1]):
+        for inp, value in frame_inputs.items():
+            var = unroller.input_var(inp, t)
+            assumptions.append(var if value else -var)
+    # Pin uninitialized latches to the simulator's defaults (False).
+    for latch in aig.latches:
+        if latch.init is None:
+            assumptions.append(-unroller.latch_var(latch.lit, 0))
+    assert solver.solve(assumptions) == Status.SAT
+    for t, frame_inputs in enumerate(sequence[: depth + 1]):
+        for latch in aig.latches:
+            expected = sim.state[latch.lit]
+            got = solver.value(unroller.latch_var(latch.lit, t))
+            assert got == expected, (seed, t, latch.name)
+        sim.step(frame_inputs)

@@ -1,0 +1,104 @@
+"""Tests for the BMC engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.bmc import bmc_check
+from repro.engines.result import PropStatus, ResourceBudget
+from repro.gen.counter import buggy_counter, fixed_counter
+from repro.gen.random_designs import random_design
+from repro.ts.projection import ProjectedReachability, assumption_names
+from repro.ts.system import TransitionSystem
+
+
+class TestCounterExample1:
+    def test_p0_fails_at_depth_1(self, counter4):
+        result = bmc_check(counter4, "P0", max_depth=4)
+        assert result.status is PropStatus.FAILS
+        assert result.frames == 1
+
+    def test_p1_fails_at_exact_depth(self, counter4):
+        # 4-bit counter, rval=8: P1 first fails when val=9, at frame 9.
+        result = bmc_check(counter4, "P1", max_depth=16)
+        assert result.status is PropStatus.FAILS
+        assert result.frames == 10
+        assert result.cex is not None
+        assert result.cex.validate(counter4.aig, counter4.prop_by_name["P1"].lit)
+
+    def test_depth_doubles_with_width(self):
+        # Table I: the number of BMC time frames grows as 2^(bits-1).
+        depths = {}
+        for bits in (3, 4, 5):
+            ts = TransitionSystem(buggy_counter(bits))
+            result = bmc_check(ts, "P1", max_depth=40)
+            assert result.fails
+            depths[bits] = result.frames
+        # depth = rval + 2 = 2^(bits-1) + 2
+        assert depths == {3: 6, 4: 10, 5: 18}
+
+    def test_unknown_when_bound_too_small(self, counter4):
+        result = bmc_check(counter4, "P1", max_depth=5)
+        assert result.status is PropStatus.UNKNOWN
+        assert result.frames == 5
+
+    def test_local_mode_p1_no_cex(self, counter4):
+        # Under assumption P0 (req==1) the counter always resets: no CEX
+        # at any depth (BMC can of course not *prove* P1).
+        result = bmc_check(counter4, "P1", max_depth=14, assumed=["P0"])
+        assert result.status is PropStatus.UNKNOWN
+
+    def test_local_mode_p0_still_fails(self, counter4):
+        result = bmc_check(counter4, "P0", max_depth=4, assumed=["P1"])
+        assert result.status is PropStatus.FAILS
+        assert result.frames == 1
+
+    def test_fixed_counter_p1_never_fails(self):
+        ts = TransitionSystem(fixed_counter(4))
+        result = bmc_check(ts, "P1", max_depth=24)
+        assert result.status is PropStatus.UNKNOWN
+
+
+class TestGuards:
+    def test_self_assumption_rejected(self, counter4):
+        with pytest.raises(ValueError):
+            bmc_check(counter4, "P1", assumed=["P1"])
+
+    def test_unknown_property_rejected(self, counter4):
+        with pytest.raises(KeyError):
+            bmc_check(counter4, "nope")
+
+    def test_budget_exhaustion(self, counter4):
+        budget = ResourceBudget(conflict_limit=0, time_limit=None)
+        budget.charge_conflicts(1)
+        result = bmc_check(counter4, "P1", max_depth=16, budget=budget)
+        assert result.status is PropStatus.UNKNOWN
+
+
+class TestAgainstGroundTruth:
+    def test_cex_depth_matches_bfs(self):
+        for seed in range(25):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            for prop in ts.properties:
+                expected_depth = gt.min_cex_depth(prop.name, ())
+                result = bmc_check(ts, prop.name, max_depth=20)
+                if expected_depth is None:
+                    assert result.status is PropStatus.UNKNOWN
+                else:
+                    assert result.fails, (seed, prop.name)
+                    assert result.frames == expected_depth
+
+    def test_local_cex_depth_matches_bfs(self):
+        for seed in range(15):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            for prop in ts.properties:
+                assumed = assumption_names(ts, prop.name)
+                expected_depth = gt.min_cex_depth(prop.name, assumed)
+                result = bmc_check(ts, prop.name, max_depth=20, assumed=assumed)
+                if expected_depth is None:
+                    assert result.status is PropStatus.UNKNOWN
+                else:
+                    assert result.fails, (seed, prop.name)
+                    assert result.frames == expected_depth

@@ -1,0 +1,67 @@
+"""Tests for multi-property BMC sweeping."""
+
+from __future__ import annotations
+
+from repro.engines.bmc import bmc_sweep
+from repro.engines.result import PropStatus, ResourceBudget
+from repro.gen.random_designs import random_design
+from repro.ts.projection import ProjectedReachability
+from repro.ts.system import TransitionSystem
+
+
+class TestBmcSweep:
+    def test_counter(self, counter4):
+        results = bmc_sweep(counter4, max_depth=16)
+        assert results["P0"].fails and results["P0"].frames == 1
+        assert results["P1"].fails and results["P1"].frames == 10
+
+    def test_depth_limit(self, counter4):
+        results = bmc_sweep(counter4, max_depth=4)
+        assert results["P0"].fails
+        assert results["P1"].unknown
+
+    def test_subset_of_properties(self, counter4):
+        results = bmc_sweep(counter4, max_depth=4, names=["P0"])
+        assert set(results) == {"P0"}
+
+    def test_minimal_depths_match_ground_truth(self):
+        for seed in range(20):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            results = bmc_sweep(ts, max_depth=18)
+            for prop in ts.properties:
+                expected = gt.min_cex_depth(prop.name, ())
+                result = results[prop.name]
+                if expected is None:
+                    assert result.unknown, (seed, prop.name)
+                else:
+                    assert result.fails and result.frames == expected, (
+                        seed,
+                        prop.name,
+                    )
+
+    def test_all_cexs_validate(self):
+        for seed in range(10):
+            ts = TransitionSystem(random_design(seed))
+            for name, result in bmc_sweep(ts, max_depth=12).items():
+                if result.fails:
+                    assert result.cex.validate(ts.aig, ts.prop_by_name[name].lit)
+
+    def test_budget_stops_early(self, counter4):
+        budget = ResourceBudget(time_limit=0.0)
+        import time
+
+        time.sleep(0.01)
+        results = bmc_sweep(counter4, max_depth=16, budget=budget)
+        assert all(r.unknown for r in results.values())
+
+    def test_shared_unrolling_cheaper_than_separate(self, counter4):
+        from repro.engines.bmc import bmc_check
+
+        sweep_results = bmc_sweep(counter4, max_depth=12)
+        separate_queries = 0
+        for name in ("P0", "P1"):
+            separate_queries += bmc_check(counter4, name, max_depth=12).stats[
+                "sat_queries"
+            ]
+        assert sweep_results["P0"].stats["sat_queries"] <= separate_queries

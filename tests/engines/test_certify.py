@@ -1,0 +1,91 @@
+"""Tests for the standalone certification API."""
+
+from __future__ import annotations
+
+from repro.engines.certify import certify_cex, certify_invariant
+from repro.engines.ic3 import IC3Options, ic3_check
+from repro.gen.counter import buggy_counter
+from repro.gen.random_designs import random_design
+from repro.ts.system import TransitionSystem
+from repro.ts.trace import Trace
+
+
+class TestCertifyInvariant:
+    def test_accepts_engine_invariants(self):
+        for seed in range(15):
+            ts = TransitionSystem(random_design(seed))
+            for prop in ts.properties:
+                result = ic3_check(ts, prop.name)
+                if result.holds:
+                    report = certify_invariant(ts, prop.name, result.invariant)
+                    assert report.valid, report.reason
+
+    def test_accepts_local_invariants(self, counter4):
+        result = ic3_check(counter4, "P1", IC3Options(assumed=("P0",)))
+        assert result.holds
+        report = certify_invariant(counter4, "P1", result.invariant, assumed=("P0",))
+        assert report.valid
+        # Without the assumption the same clause set must NOT certify P1
+        # (P1 is globally false).
+        report = certify_invariant(counter4, "P1", result.invariant)
+        assert not report.valid
+
+    def test_rejects_init_violation(self, counter4):
+        report = certify_invariant(counter4, "P1", [(1,)], assumed=("P0",))
+        assert not report.valid
+        assert "initial" in report.reason
+
+    def test_rejects_non_inductive(self):
+        from repro.circuit.aig import AIG, aig_not
+
+        aig = AIG()
+        x = aig.add_input("x")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, x)
+        aig.add_property("p", 1)
+        ts = TransitionSystem(aig)
+        report = certify_invariant(ts, "p", [(-1,)])  # "q stays 0": wrong
+        assert not report.valid
+        assert "inductive" in report.reason
+
+    def test_rejects_unknown_names(self, counter4):
+        assert not certify_invariant(counter4, "zzz", [])
+        assert not certify_invariant(counter4, "P1", [], assumed=("zzz",))
+
+    def test_rejects_invariant_not_implying_property(self, toggler):
+        # Empty invariant proves nothing about the failing property.
+        report = certify_invariant(toggler, "never_q", [])
+        assert not report.valid
+        assert "imply" in report.reason
+
+
+class TestCertifyCex:
+    def test_accepts_valid_cex(self, counter4):
+        result = ic3_check(counter4, "P0")
+        report = certify_cex(counter4, "P0", result.cex)
+        assert report.valid
+
+    def test_rejects_wrong_frame(self, toggler):
+        trace = Trace(inputs=[{}, {}, {}])  # fails at 1, not at 2
+        report = certify_cex(toggler, "never_q", trace)
+        assert not report.valid
+        assert "frame" in report.reason
+
+    def test_rejects_non_failing_trace(self, toggler):
+        trace = Trace(inputs=[{}])
+        assert not certify_cex(toggler, "never_q", trace)
+
+    def test_rejects_empty_trace(self, toggler):
+        assert not certify_cex(toggler, "never_q", Trace(inputs=[]))
+
+    def test_local_side_condition(self, counter4):
+        # A trace where P0 fails before P1 is spurious as a local CEX for P1.
+        enable, req = counter4.aig.inputs
+        inputs = [{enable: True, req: False} for _ in range(10)]
+        trace = Trace(inputs=inputs)
+        prop = counter4.prop_by_name["P1"]
+        assert trace.validate(counter4.aig, prop.lit)
+        assert certify_cex(counter4, "P1", trace).valid
+        report = certify_cex(counter4, "P1", trace, assumed=("P0",))
+        assert not report.valid
+        assert "spurious" in report.reason

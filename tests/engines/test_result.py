@@ -1,0 +1,52 @@
+"""Tests for result types and resource budgets."""
+
+from __future__ import annotations
+
+import time
+
+from repro.engines.result import EngineResult, PropStatus, ResourceBudget
+
+
+class TestEngineResult:
+    def test_status_predicates(self):
+        holds = EngineResult(status=PropStatus.HOLDS, prop_name="p")
+        fails = EngineResult(status=PropStatus.FAILS, prop_name="p")
+        unknown = EngineResult(status=PropStatus.UNKNOWN, prop_name="p")
+        assert holds.holds and not holds.fails and not holds.unknown
+        assert fails.fails and not fails.holds
+        assert unknown.unknown
+
+    def test_status_str(self):
+        assert str(PropStatus.HOLDS) == "holds"
+        assert str(PropStatus.FAILS) == "fails"
+
+
+class TestResourceBudget:
+    def test_no_limits_never_exhausts(self):
+        budget = ResourceBudget()
+        budget.charge_conflicts(10**9)
+        assert not budget.exhausted()
+
+    def test_conflict_limit(self):
+        budget = ResourceBudget(conflict_limit=10)
+        budget.charge_conflicts(10)
+        assert not budget.exhausted()  # strict inequality
+        budget.charge_conflicts(1)
+        assert budget.exhausted()
+
+    def test_time_limit(self):
+        budget = ResourceBudget(time_limit=0.0)
+        time.sleep(0.01)
+        assert budget.exhausted()
+
+    def test_elapsed_monotone(self):
+        budget = ResourceBudget()
+        first = budget.elapsed()
+        time.sleep(0.005)
+        assert budget.elapsed() >= first
+
+    def test_combined_limits(self):
+        budget = ResourceBudget(time_limit=1000.0, conflict_limit=5)
+        assert not budget.exhausted()
+        budget.charge_conflicts(6)
+        assert budget.exhausted()

@@ -1,0 +1,143 @@
+"""Tests for ternary simulation and state lifting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuit.aig import AIG, aig_not
+from repro.circuit.simulate import Simulator
+from repro.engines.ic3.ternary import TernaryEvaluator, lift_state
+from repro.gen.random_designs import random_design
+
+
+class TestTernaryEvaluator:
+    def setup_method(self):
+        self.aig = AIG()
+        self.a = self.aig.add_input("a")
+        self.b = self.aig.add_input("b")
+        self.g = self.aig.and_(self.a, self.b)
+        self.evaluator = TernaryEvaluator(self.aig)
+
+    def _eval(self, lit, inputs):
+        return self.evaluator.evaluate([lit], {}, inputs)[0]
+
+    def test_definite_values(self):
+        assert self._eval(self.g, {self.a: True, self.b: True}) is True
+        assert self._eval(self.g, {self.a: True, self.b: False}) is False
+
+    def test_false_dominates_x(self):
+        assert self._eval(self.g, {self.a: False, self.b: None}) is False
+
+    def test_x_propagates(self):
+        assert self._eval(self.g, {self.a: True, self.b: None}) is None
+
+    def test_negation_of_x_is_x(self):
+        assert self._eval(aig_not(self.g), {self.a: True, self.b: None}) is None
+
+    def test_missing_leaf_defaults_to_x(self):
+        assert self._eval(self.g, {self.a: True}) is None
+
+    def test_constants(self):
+        assert self._eval(0, {}) is False
+        assert self._eval(1, {}) is True
+
+    def test_conservative_wrt_concrete(self):
+        # A definite ternary value must equal the concrete value for every
+        # completion of the X-ed inputs.
+        rng = random.Random(5)
+        for seed in range(20):
+            aig = random_design(seed, n_props=1)
+            evaluator = TernaryEvaluator(aig)
+            sim = Simulator(aig)
+            root = aig.properties[0].lit
+            latch_vals = {l.lit: rng.random() < 0.5 for l in aig.latches}
+            input_vals = {
+                x: rng.choice([True, False, None]) for x in aig.inputs
+            }
+            ternary = evaluator.evaluate([root], latch_vals, input_vals)[0]
+            if ternary is None:
+                continue
+            sim.state = dict(latch_vals)
+            for completion in range(4):
+                concrete = {
+                    x: (v if v is not None else bool(completion & 1))
+                    for x, v in input_vals.items()
+                }
+                assert sim.eval_lit(root, concrete) == ternary
+
+
+class TestLiftState:
+    def test_drops_irrelevant_latches(self):
+        aig = AIG()
+        q0 = aig.add_latch("q0", init=0)
+        q1 = aig.add_latch("q1", init=0)
+        aig.set_next(q0, q0)
+        aig.set_next(q1, q1)
+        lifted = lift_state(
+            aig,
+            latch_order=[q0, q1],
+            latch_values=[True, True],
+            input_values={},
+            require_true=[q0],
+        )
+        assert lifted == [True, None]  # q1 is irrelevant to the target
+
+    def test_keeps_required_latches(self):
+        aig = AIG()
+        q0 = aig.add_latch("q0", init=0)
+        q1 = aig.add_latch("q1", init=0)
+        g = aig.and_(q0, q1)
+        lifted = lift_state(
+            aig, [q0, q1], [True, True], {}, require_true=[g]
+        )
+        assert lifted == [True, True]
+
+    def test_require_false(self):
+        aig = AIG()
+        q0 = aig.add_latch("q0", init=0)
+        q1 = aig.add_latch("q1", init=0)
+        g = aig.and_(q0, q1)
+        lifted = lift_state(
+            aig, [q0, q1], [False, True], {}, require_true=[], require_false=[g]
+        )
+        # q0=False alone falsifies g: q1 can be lifted away.
+        assert lifted == [False, None]
+
+    def test_rejects_violated_targets(self):
+        aig = AIG()
+        q0 = aig.add_latch("q0", init=0)
+        with pytest.raises(ValueError):
+            lift_state(aig, [q0], [False], {}, require_true=[q0])
+
+    def test_lifting_is_sound(self):
+        # Every completion of the lifted cube keeps the targets definite.
+        rng = random.Random(11)
+        for seed in range(15):
+            aig = random_design(seed, n_props=2)
+            latch_order = [l.lit for l in aig.latches]
+            sim = Simulator(aig)
+            state = [rng.random() < 0.5 for _ in latch_order]
+            inputs = {x: rng.random() < 0.5 for x in aig.inputs}
+            sim.state = dict(zip(latch_order, state))
+            target = aig.properties[0].lit
+            want = sim.eval_lit(target, inputs)
+            lifted = lift_state(
+                aig,
+                latch_order,
+                state,
+                inputs,
+                require_true=[target] if want else [],
+                require_false=[] if want else [target],
+            )
+            free = [i for i, v in enumerate(lifted) if v is None]
+            for completion in range(1 << min(len(free), 5)):
+                values = list(lifted)
+                for k, idx in enumerate(free[:5]):
+                    values[idx] = bool((completion >> k) & 1)
+                for idx, v in enumerate(values):
+                    if v is None:
+                        values[idx] = state[idx]
+                sim.state = dict(zip(latch_order, values))
+                assert sim.eval_lit(target, inputs) == want

@@ -1,0 +1,83 @@
+"""Tests for the Example 1 counter generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.simulate import Simulator
+from repro.circuit import words
+from repro.gen.counter import buggy_counter, fixed_counter
+
+
+class TestBuggyCounter:
+    def test_structure(self):
+        aig = buggy_counter(8)
+        stats = aig.stats()
+        assert stats["latches"] == 8
+        assert stats["inputs"] == 2
+        assert [p.name for p in aig.properties] == ["P0", "P1"]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            buggy_counter(1)
+        with pytest.raises(ValueError):
+            buggy_counter(4, rval=16)
+
+    def test_counts_and_overflows_without_req(self):
+        aig = buggy_counter(4)
+        enable, req = aig.inputs
+        val_bits = [l.lit for l in aig.latches]
+        p1 = aig.properties[1].lit
+        sim = Simulator(aig)
+        stimulus = {enable: True, req: False}
+        for t in range(9):  # counts 0..8 without failing
+            assert sim.eval_lit(p1, stimulus)
+            sim.step(stimulus)
+        assert words.word_value([sim.state[b] for b in val_bits]) == 9
+        assert not sim.eval_lit(p1, stimulus)  # val=9 > rval=8
+
+    def test_resets_with_req_held_high(self):
+        aig = buggy_counter(4)
+        enable, req = aig.inputs
+        val_bits = [l.lit for l in aig.latches]
+        p1 = aig.properties[1].lit
+        sim = Simulator(aig)
+        stimulus = {enable: True, req: True}
+        for _ in range(25):
+            assert sim.eval_lit(p1, stimulus)
+            sim.step(stimulus)
+            assert words.word_value([sim.state[b] for b in val_bits]) <= 8
+
+    def test_disabled_counter_holds(self):
+        aig = buggy_counter(4)
+        enable, req = aig.inputs
+        val_bits = [l.lit for l in aig.latches]
+        sim = Simulator(aig)
+        sim.step({enable: False, req: False})
+        assert words.word_value([sim.state[b] for b in val_bits]) == 0
+
+    def test_custom_rval(self):
+        aig = buggy_counter(4, rval=5)
+        enable, req = aig.inputs
+        p1 = aig.properties[1].lit
+        sim = Simulator(aig)
+        stimulus = {enable: True, req: False}
+        for t in range(6):
+            assert sim.eval_lit(p1, stimulus), t
+            sim.step(stimulus)
+        assert not sim.eval_lit(p1, stimulus)  # val=6 > rval=5
+
+
+class TestFixedCounter:
+    def test_never_overflows(self):
+        aig = fixed_counter(4)
+        enable, req = aig.inputs
+        p1 = aig.properties[1].lit
+        sim = Simulator(aig)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(60):
+            stimulus = {enable: rng.random() < 0.9, req: rng.random() < 0.2}
+            assert sim.eval_lit(p1, stimulus)
+            sim.step(stimulus)

@@ -1,0 +1,93 @@
+"""Tests for the strengthening-clause database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.aig import AIG, aig_not
+from repro.multiprop.clausedb import ClauseDB
+from repro.ts.system import TransitionSystem
+
+
+def _system(n_latches=3):
+    aig = AIG()
+    latches = []
+    for i in range(n_latches):
+        q = aig.add_latch(f"q{i}", init=0)
+        aig.set_next(q, q)
+        latches.append(q)
+    aig.add_property("p", aig_not(latches[0]))
+    return TransitionSystem(aig)
+
+
+class TestAdd:
+    def test_add_and_snapshot(self):
+        db = ClauseDB(_system())
+        assert db.add([-1, 2])
+        assert db.clauses() == [(-1, 2)]
+
+    def test_duplicates_rejected(self):
+        db = ClauseDB(_system())
+        assert db.add([-1, 2])
+        assert not db.add([2, -1])  # same clause, different order
+        assert db.stats["duplicates"] == 1
+        assert len(db) == 1
+
+    def test_init_violating_clause_rejected(self):
+        db = ClauseDB(_system())
+        # Clause (1,) says latch q0 is TRUE, but q0 initializes to 0.
+        assert not db.add([1])
+        assert db.stats["rejected"] == 1
+
+    def test_out_of_range_variable_rejected(self):
+        db = ClauseDB(_system(2))
+        assert not db.add([-5])
+
+    def test_contradictory_clause_rejected(self):
+        db = ClauseDB(_system())
+        assert not db.add([1, -1])
+
+    def test_empty_clause_rejected(self):
+        db = ClauseDB(_system())
+        assert not db.add([])
+
+    def test_add_all_counts_new(self):
+        db = ClauseDB(_system())
+        added = db.add_all([[-1], [-2], [-1], [3, -1]])
+        assert added == 3
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        ts = _system()
+        db = ClauseDB(ts)
+        db.add([-1, 2])
+        db.add([-2, -3])
+        path = str(tmp_path / "clauses.db")
+        db.save(path)
+        loaded = ClauseDB.load(path, ts)
+        assert loaded.clauses() == db.clauses()
+
+    def test_load_rejects_wrong_design(self, tmp_path):
+        db = ClauseDB(_system(3))
+        db.add([-1])
+        path = str(tmp_path / "clauses.db")
+        db.save(path)
+        with pytest.raises(ValueError):
+            ClauseDB.load(path, _system(4))
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_text("not a clausedb\n")
+        with pytest.raises(ValueError):
+            ClauseDB.load(str(path), _system())
+
+    def test_load_validates_clauses(self, tmp_path):
+        # Hand-craft a file with one valid and one init-violating clause.
+        ts = _system()
+        path = tmp_path / "clauses.db"
+        names = " ".join(latch.name for latch in ts.latches)
+        path.write_text(f"clausedb 1\n{names}\n-1 2\n1\n")
+        loaded = ClauseDB.load(str(path), ts)
+        assert loaded.clauses() == [(-1, 2)]
+        assert loaded.stats["rejected"] == 1

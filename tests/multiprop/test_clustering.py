@@ -1,0 +1,104 @@
+"""Tests for structure-aware property clustering (related-work baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.aig import AIG
+from repro.gen.blocks import hold_slice, token_ring_slice
+from repro.gen.random_designs import random_design
+from repro.multiprop.clustering import (
+    ClusterOptions,
+    cluster_properties,
+    clustered_verify,
+    jaccard,
+)
+from repro.multiprop.separate import separate_verify
+from repro.ts.system import TransitionSystem
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_partial(self):
+        assert jaccard(frozenset({1, 2}), frozenset({2, 3})) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestClustering:
+    def _design(self):
+        aig = AIG()
+        token_ring_slice(aig, "r", 4)  # 4 props, same cone
+        hold_slice(aig, "z", 3)  # 3 props, disjoint cones
+        return TransitionSystem(aig)
+
+    def test_ring_props_cluster_together(self):
+        ts = self._design()
+        clusters = cluster_properties(ts, threshold=0.5)
+        ring_cluster = next(c for c in clusters if c[0].startswith("r_"))
+        assert len(ring_cluster) == 4
+
+    def test_hold_props_stay_separate(self):
+        ts = self._design()
+        clusters = cluster_properties(ts, threshold=0.5)
+        hold_clusters = [c for c in clusters if c[0].startswith("z_")]
+        assert all(len(c) == 1 for c in hold_clusters)
+
+    def test_threshold_zero_merges_everything(self):
+        ts = self._design()
+        clusters = cluster_properties(ts, threshold=0.0)
+        assert len(clusters) == 1
+
+    def test_covers_all_properties(self):
+        ts = self._design()
+        clusters = cluster_properties(ts)
+        flattened = sorted(n for c in clusters for n in c)
+        assert flattened == sorted(p.name for p in ts.properties)
+
+
+class TestClusteredVerify:
+    def test_matches_separate_verdicts(self):
+        for seed in range(15):
+            ts = TransitionSystem(random_design(seed))
+            clustered = clustered_verify(ts)
+            flat = separate_verify(ts)
+            assert clustered.false_props() == flat.false_props(), seed
+            assert not clustered.unsolved(), seed
+
+    def test_inner_ja(self):
+        # Cluster-local assumptions are a subset of full-JA assumptions,
+        # so the verdict sets nest:
+        #   full-JA debugging set ⊆ clustered-JA false ⊆ globally false.
+        from repro.multiprop.ja import ja_verify
+
+        for seed in range(8):
+            ts = TransitionSystem(random_design(seed))
+            report = clustered_verify(ts, ClusterOptions(inner="ja"))
+            assert not report.unsolved(), seed
+            flat = separate_verify(ts)
+            full_ja = ja_verify(ts)
+            assert set(full_ja.debugging_set()) <= set(report.false_props()), seed
+            assert set(report.false_props()) <= set(flat.false_props()), seed
+
+    def test_without_coi_reduction(self):
+        ts = TransitionSystem(random_design(3))
+        with_coi = clustered_verify(ts, ClusterOptions(use_coi_reduction=True))
+        without = clustered_verify(ts, ClusterOptions(use_coi_reduction=False))
+        assert with_coi.false_props() == without.false_props()
+
+    def test_rejects_bad_inner(self):
+        ts = TransitionSystem(random_design(0))
+        with pytest.raises(ValueError):
+            clustered_verify(ts, ClusterOptions(inner="magic"))
+
+    def test_stats_report_clusters(self):
+        ts = TransitionSystem(random_design(1))
+        report = clustered_verify(ts)
+        assert report.stats["clusters"] >= 1
+        assert report.stats["largest_cluster"] >= 1

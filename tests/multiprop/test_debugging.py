@@ -1,0 +1,71 @@
+"""Tests for debugging-set analysis and Proposition 6 checking."""
+
+from __future__ import annotations
+
+from repro.engines.bmc import bmc_check
+from repro.gen.random_designs import random_design
+from repro.multiprop.debugging import (
+    check_proposition6,
+    debugging_report,
+)
+from repro.multiprop.ja import ja_verify
+from repro.ts.system import TransitionSystem
+
+
+class TestDebuggingReport:
+    def test_counter_report(self, counter4):
+        report = debugging_report(ja_verify(counter4))
+        assert report.debugging_set == ["P0"]
+        assert report.locally_true == ["P1"]
+        assert not report.unsolved
+        assert not report.all_hold
+        assert "P0" in report.narrative()
+
+    def test_all_hold_narrative(self, toggler):
+        # Restrict to the true property only.
+        ts = TransitionSystem(toggler.aig, properties=[toggler.properties[0]])
+        report = debugging_report(ja_verify(ts))
+        assert report.all_hold
+        assert "Proposition 5" in report.narrative()
+
+    def test_cex_depths_recorded(self, counter4):
+        report = debugging_report(ja_verify(counter4))
+        assert report.cex_depths["P0"] == 1
+
+
+class TestProposition6:
+    def test_on_counter(self, counter4):
+        # Find a CEX for the aggregate property via BMC on P0 (the
+        # shallowest failure) and check it against the debugging set.
+        ja = ja_verify(counter4)
+        debug_set = ja.debugging_set()
+        cex = bmc_check(counter4, "P0", max_depth=4).cex
+        assert check_proposition6(counter4, debug_set, cex)
+
+    def test_on_random_designs(self):
+        # Every engine-found CEX for any property, interpreted as an
+        # aggregate CEX, must point at the debugging set per Prop. 6.
+        checked = 0
+        for seed in range(30):
+            ts = TransitionSystem(random_design(seed))
+            ja = ja_verify(ts)
+            debug_set = ja.debugging_set()
+            if not debug_set:
+                continue
+            for prop in ts.properties:
+                result = bmc_check(ts, prop.name, max_depth=12)
+                if result.cex is None:
+                    continue
+                assert check_proposition6(ts, debug_set, result.cex), (
+                    seed,
+                    prop.name,
+                )
+                checked += 1
+        assert checked > 10
+
+    def test_trace_failing_nothing_is_vacuous(self, counter4):
+        from repro.ts.trace import Trace
+
+        enable, req = counter4.aig.inputs
+        trace = Trace(inputs=[{enable: False, req: True}])
+        assert check_proposition6(counter4, [], trace)

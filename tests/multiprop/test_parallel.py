@@ -1,0 +1,65 @@
+"""Tests for the simulated parallel scheduler (Section 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.families import huge_design
+from repro.multiprop.parallel import (
+    ParallelSimResult,
+    measure_global_proofs,
+    measure_local_proofs,
+)
+from repro.ts.system import TransitionSystem
+
+
+class TestMakespan:
+    def _result(self, times):
+        r = ParallelSimResult()
+        r.prop_times = {f"p{i}": t for i, t in enumerate(times)}
+        return r
+
+    def test_single_worker_is_sequential(self):
+        r = self._result([1.0, 2.0, 3.0])
+        assert r.makespan(1) == pytest.approx(6.0)
+        assert r.speedup(1) == pytest.approx(1.0)
+
+    def test_enough_workers_bounded_by_longest_job(self):
+        r = self._result([1.0, 2.0, 3.0])
+        assert r.makespan(3) == pytest.approx(3.0)
+        assert r.makespan(100) == pytest.approx(3.0)
+
+    def test_greedy_balancing(self):
+        r = self._result([4.0, 3.0, 2.0, 1.0])
+        assert r.makespan(2) == pytest.approx(5.0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            self._result([1.0]).makespan(0)
+
+    def test_empty_result(self):
+        r = self._result([])
+        assert r.makespan(4) == 0.0
+        assert r.speedup(4) >= 1.0
+
+
+class TestMeasurement:
+    def test_local_proofs_flat_global_grows(self):
+        # Table X's two claims on the 6s289 stand-in.
+        ts = TransitionSystem(huge_design(chain_depth=24))
+        sample = ["c0_C2", "c0_C12", "c0_C23"]
+        local = measure_local_proofs(ts, sample)
+        glob = measure_global_proofs(ts, sample)
+        assert all(s == "holds" for s in local.statuses.values())
+        assert all(s == "holds" for s in glob.statuses.values())
+        # Local frame counts are flat and small.
+        assert max(local.prop_frames.values()) <= 3
+        # Global work grows along the chain.
+        assert glob.prop_times["c0_C23"] > local.prop_times["c0_C23"]
+
+    def test_speedup_increases_with_workers(self):
+        ts = TransitionSystem(huge_design(chain_depth=16))
+        sample = [f"c0_C{i}" for i in range(0, 16, 2)]
+        local = measure_local_proofs(ts, sample)
+        assert local.speedup(8) >= local.speedup(2) >= local.speedup(1)
+        assert local.speedup(1) == pytest.approx(1.0)

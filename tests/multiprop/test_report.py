@@ -1,0 +1,65 @@
+"""Tests for report aggregation and table rendering."""
+
+from __future__ import annotations
+
+from repro.engines.result import PropStatus
+from repro.multiprop.report import (
+    MultiPropReport,
+    PropOutcome,
+    format_time,
+    render_table,
+)
+
+
+def _report():
+    report = MultiPropReport(method="ja", design="d")
+    report.outcomes["a"] = PropOutcome("a", PropStatus.FAILS, local=True, cex_depth=3)
+    report.outcomes["b"] = PropOutcome("b", PropStatus.HOLDS, local=True)
+    report.outcomes["c"] = PropOutcome("c", PropStatus.UNKNOWN, local=True)
+    report.outcomes["d"] = PropOutcome("d", PropStatus.FAILS, local=False)
+    report.total_time = 1.5
+    return report
+
+
+class TestReport:
+    def test_partitions(self):
+        report = _report()
+        assert report.false_props() == ["a", "d"]
+        assert report.true_props() == ["b"]
+        assert [o.name for o in report.unsolved()] == ["c"]
+        assert len(report.solved()) == 3
+        assert report.num_props == 4
+
+    def test_debugging_set_only_local_failures(self):
+        assert _report().debugging_set() == ["a"]
+
+    def test_summary_mentions_counts(self):
+        text = _report().summary()
+        assert "2 false" in text and "1 true" in text and "1 unsolved" in text
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert format_time(2.5) == "2.50 s"
+
+    def test_large_seconds(self):
+        assert format_time(723) == "723 s"
+
+    def test_hours(self):
+        assert format_time(9000) == "2.5 h"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            "Table T", ["name", "time"], [["x", "1 s"], ["longer", "2 s"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table T"
+        assert "name" in lines[1] and "time" in lines[1]
+        assert lines[2].count("-") > 5
+        assert "longer" in text
+
+    def test_note_line(self):
+        text = render_table("T", ["a"], [["1"]], note="scaled down")
+        assert "scaled down" in text.splitlines()[1]

@@ -1,0 +1,71 @@
+"""Tests for DIMACS CNF I/O."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver, Status, dimacs_str, parse_dimacs
+
+
+class TestParse:
+    def test_basic(self):
+        text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3]]
+
+    def test_clause_spanning_lines(self):
+        num_vars, clauses = parse_dimacs("p cnf 2 1\n1\n-2 0\n")
+        assert clauses == [[1, -2]]
+
+    def test_var_count_grows_with_literals(self):
+        num_vars, clauses = parse_dimacs("p cnf 1 1\n7 0\n")
+        assert num_vars == 7
+
+    def test_missing_terminator_keeps_clause(self):
+        _, clauses = parse_dimacs("p cnf 2 1\n1 2\n")
+        assert clauses == [[1, 2]]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("hello world\n")
+
+    def test_rejects_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p sat 3\n")
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        clauses = [[1, -2], [2, 3], [-1]]
+        text = dimacs_str(3, clauses, comment="test")
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3
+        assert parsed == clauses
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=9).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def test_roundtrip_preserves_clauses(self, clauses):
+        num_vars = max((abs(l) for c in clauses for l in c), default=1)
+        _, parsed = parse_dimacs(dimacs_str(num_vars, clauses))
+        assert parsed == clauses
+
+    def test_roundtrip_preserves_satisfiability(self):
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+        _, parsed = parse_dimacs(dimacs_str(2, clauses))
+        s = Solver()
+        ok = all(s.add_clause(c) for c in parsed)
+        assert (not ok) or s.solve() == Status.UNSAT

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def counter_file(tmp_path):
+    path = str(tmp_path / "counter.aag")
+    assert main(["gen", "counter4", "-o", path]) == 0
+    return path
+
+
+class TestGen:
+    def test_gen_ascii(self, tmp_path, capsys):
+        path = str(tmp_path / "d.aag")
+        assert main(["gen", "f175", "-o", path]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(path) as f:
+            assert f.readline().startswith("aag ")
+
+    def test_gen_binary(self, tmp_path):
+        path = str(tmp_path / "d.aig")
+        assert main(["gen", "counter4", "-o", path]) == 0
+        with open(path, "rb") as f:
+            assert f.readline().startswith(b"aig ")
+
+    def test_gen_unknown(self, tmp_path, capsys):
+        assert main(["gen", "nope", "-o", str(tmp_path / "x.aag")]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info(self, counter_file, capsys):
+        assert main(["info", counter_file]) == 0
+        out = capsys.readouterr().out
+        assert "latches: 4" in out
+        assert "P0" in out and "P1" in out
+
+
+class TestSweep:
+    def test_sweep(self, counter_file, capsys):
+        assert main(["sweep", counter_file, "--runs", "8", "--depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out  # fails on nearly any stimulus
+        assert "survivors" in out
+
+
+class TestCheck:
+    def test_ja_finds_failures(self, counter_file, capsys):
+        assert main(["check", counter_file, "--method", "ja"]) == 1
+        out = capsys.readouterr().out
+        assert "Debugging set: {P0}" in out
+
+    def test_joint(self, counter_file, capsys):
+        assert main(["check", counter_file, "--method", "joint"]) == 1
+        out = capsys.readouterr().out
+        assert "fails" in out
+
+    def test_separate_with_options(self, counter_file):
+        code = main(
+            [
+                "check",
+                counter_file,
+                "--method",
+                "separate",
+                "--no-reuse",
+                "--order",
+                "cone",
+            ]
+        )
+        assert code == 1
+
+    def test_clustered(self, counter_file):
+        assert main(["check", counter_file, "--method", "clustered"]) == 1
+
+    def test_ja_with_all_flags(self, counter_file):
+        code = main(
+            [
+                "check",
+                counter_file,
+                "--method",
+                "ja",
+                "--coi",
+                "--ctg",
+                "--respect-lifting",
+                "--order",
+                "shuffled:3",
+            ]
+        )
+        assert code == 1
+
+    def test_all_true_design_exits_zero(self, tmp_path):
+        path = str(tmp_path / "t.aag")
+        assert main(["gen", "t273", "-o", path]) == 0
+        assert main(["check", path, "--method", "ja"]) == 0
+
+    def test_unsolved_exit_code(self, counter_file):
+        code = main(["check", counter_file, "--time-limit", "0.0"])
+        assert code in (1, 3)
+
+    def test_json_report(self, counter_file, tmp_path):
+        out_json = str(tmp_path / "report.json")
+        main(["check", counter_file, "--json", out_json])
+        with open(out_json) as f:
+            data = json.load(f)
+        assert data["debugging_set"] == ["P0"]
+        assert data["outcomes"]["P1"]["status"] == "holds"
+
+    def test_bad_order_rejected(self, counter_file, capsys):
+        assert main(["check", counter_file, "--order", "zigzag"]) == 2
+        assert "unknown order" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Tests for the T^P projection machinery and explicit-state ground truth.
+
+These validate the *theory* of the paper (Propositions 1-6) on concrete
+small systems, independently of any SAT-based engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.aig import AIG, aig_not
+from repro.gen.counter import buggy_counter, fixed_counter
+from repro.gen.random_designs import random_design
+from repro.ts.projection import (
+    ProjectedReachability,
+    assumption_lits,
+    assumption_names,
+)
+from repro.ts.system import TransitionSystem
+
+
+class TestAssumptionNames:
+    def test_excludes_target(self):
+        ts = TransitionSystem(buggy_counter(3))
+        assert assumption_names(ts, "P0") == ["P1"]
+        assert assumption_names(ts, "P1") == ["P0"]
+
+    def test_excludes_etf(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, q)
+        aig.add_property("a", aig_not(q))
+        aig.add_property("b", aig_not(q))
+        aig.add_property("etf", q, expected_to_fail=True)
+        ts = TransitionSystem(aig)
+        assert assumption_names(ts, "a") == ["b"]
+        # Even when checking the ETF property, only ETH ones are assumed.
+        assert assumption_names(ts, "etf") == ["a", "b"]
+
+    def test_extra_excluded(self):
+        ts = TransitionSystem(buggy_counter(3))
+        assert assumption_names(ts, "P0", extra_excluded=["P1"]) == []
+
+    def test_unknown_property(self):
+        ts = TransitionSystem(buggy_counter(3))
+        with pytest.raises(KeyError):
+            assumption_names(ts, "nope")
+
+    def test_assumption_lits(self):
+        ts = TransitionSystem(buggy_counter(3))
+        assert assumption_lits(ts, ["P1"]) == [ts.prop_by_name["P1"].lit]
+
+
+class TestExample1GroundTruth:
+    """The paper's Example 1, checked by explicit enumeration."""
+
+    def setup_method(self):
+        self.ts = TransitionSystem(buggy_counter(4))
+        self.gt = ProjectedReachability(self.ts)
+
+    def test_both_fail_globally(self):
+        assert self.gt.fails_globally("P0")
+        assert self.gt.fails_globally("P1")
+
+    def test_only_p0_fails_locally(self):
+        assert self.gt.fails_locally("P0")
+        assert not self.gt.fails_locally("P1")
+
+    def test_debugging_set_is_p0(self):
+        assert self.gt.debugging_set() == ["P0"]
+
+    def test_global_cex_depths(self):
+        # P0 fails immediately; P1's shortest CEX passes rval+1 increments.
+        assert self.gt.min_cex_depth("P0", ()) == 1
+        assert self.gt.min_cex_depth("P1", ()) == 8 + 2  # rval=8 at 4 bits
+
+    def test_fixed_counter_p1_holds(self):
+        gt = ProjectedReachability(TransitionSystem(fixed_counter(4)))
+        assert not gt.fails_globally("P1")
+        assert gt.debugging_set() == ["P0"]
+
+
+class TestPropositions:
+    """Empirical checks of the paper's propositions on random designs."""
+
+    def test_prop2a_global_holds_implies_local_holds(self):
+        # If Q holds w.r.t. T it holds w.r.t. T^P.
+        for seed in range(40):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            for p in ts.properties:
+                if not gt.fails_globally(p.name):
+                    assert not gt.fails_locally(p.name), (seed, p.name)
+
+    def test_prop5_all_local_iff_all_global(self):
+        # P holds iff every Pi holds w.r.t. T^P.
+        for seed in range(40):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            any_global_fail = any(gt.fails_globally(p.name) for p in ts.properties)
+            any_local_fail = any(gt.fails_locally(p.name) for p in ts.properties)
+            assert any_global_fail == any_local_fail, seed
+
+    def test_monotone_assumptions_shrink_reachability(self):
+        # More assumptions => fewer reachable states (T^P cuts transitions).
+        for seed in range(20):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            names = [p.name for p in ts.properties]
+            full = gt.reachable_states(())
+            for k in range(1, len(names) + 1):
+                constrained = gt.reachable_states(names[:k])
+                assert constrained <= full
+                full = constrained
+
+    def test_local_cex_not_longer_needed(self):
+        # A local CEX (when one exists) is never *shorter* than forbidden:
+        # its depth is >= 1 and <= the global CEX depth bound is NOT
+        # implied; but a locally failing property must also fail globally.
+        for seed in range(30):
+            ts = TransitionSystem(random_design(seed))
+            gt = ProjectedReachability(ts)
+            for p in ts.properties:
+                if gt.fails_locally(p.name):
+                    assert gt.fails_globally(p.name), (seed, p.name)
+
+
+class TestSimultaneousFailure:
+    """Two properties that only fail together must BOTH fail locally.
+
+    This is the corner case that motivates leaving the bad-state query
+    unconstrained (see repro.engines.ic3.core): if the final state were
+    required to satisfy the other properties, neither failure would be
+    found and Proposition 5 would break.
+    """
+
+    @staticmethod
+    def _design():
+        aig = AIG()
+        x = aig.add_input("x")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, x)
+        # Both properties are the same predicate: they fail simultaneously.
+        aig.add_property("A", aig_not(q))
+        aig.add_property("B", aig_not(q))
+        return TransitionSystem(aig)
+
+    def test_both_fail_locally(self):
+        gt = ProjectedReachability(self._design())
+        assert gt.fails_locally("A")
+        assert gt.fails_locally("B")
+        assert gt.debugging_set() == ["A", "B"]
+
+
+class TestRejectsLargeDesigns:
+    def test_too_many_latches(self):
+        aig = AIG()
+        for i in range(30):
+            q = aig.add_latch(f"q{i}", init=0)
+            aig.set_next(q, q)
+        aig.add_property("p", 1)
+        with pytest.raises(ValueError):
+            ProjectedReachability(TransitionSystem(aig), max_states=1 << 10)

@@ -1,0 +1,169 @@
+"""Tests for the transition-system layer: cubes, clauses, encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.aig import AIG, aig_not
+from repro.sat import Solver, Status
+from repro.ts.system import (
+    TransitionSystem,
+    cube_subsumes,
+    negate_cube,
+    normalize_cube,
+)
+
+
+class TestCubeAlgebra:
+    def test_normalize_sorts_by_var(self):
+        assert normalize_cube([3, -1, 2]) == (-1, 2, 3)
+
+    def test_normalize_dedups(self):
+        assert normalize_cube([2, 2, -1]) == (-1, 2)
+
+    def test_normalize_rejects_contradiction(self):
+        with pytest.raises(ValueError):
+            normalize_cube([1, -1])
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize_cube([0])
+
+    def test_negate_cube_involution(self):
+        cube = (-1, 2, 3)
+        assert negate_cube(negate_cube(cube)) == cube
+
+    def test_subsumption(self):
+        assert cube_subsumes((1,), (1, 2))
+        assert not cube_subsumes((1, 2), (1,))
+        assert not cube_subsumes((-1,), (1, 2))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_normalize_idempotent(self, lits):
+        try:
+            once = normalize_cube(lits)
+        except ValueError:
+            return
+        assert normalize_cube(once) == once
+
+
+def _two_latch_system(init0=0, init1=1):
+    aig = AIG()
+    a = aig.add_latch("a", init=init0)
+    b = aig.add_latch("b", init=init1)
+    aig.set_next(a, b)
+    aig.set_next(b, a)
+    aig.add_property("p", aig_not(aig.and_(a, b)))
+    return TransitionSystem(aig)
+
+
+class TestInitChecks:
+    def test_init_pattern(self):
+        ts = _two_latch_system()
+        assert ts.init_pattern == [-1, 2]
+
+    def test_cube_intersects_init(self):
+        ts = _two_latch_system()
+        assert ts.cube_intersects_init((-1, 2))  # exactly the init state
+        assert ts.cube_intersects_init((2,))  # superset of init
+        assert not ts.cube_intersects_init((1,))  # contradicts a=0
+
+    def test_uninit_latch_is_wildcard(self):
+        aig = AIG()
+        a = aig.add_latch("a", init=None)
+        aig.set_next(a, a)
+        aig.add_property("p", aig_not(a))
+        ts = TransitionSystem(aig)
+        assert ts.cube_intersects_init((1,))
+        assert ts.cube_intersects_init((-1,))
+
+    def test_clause_holds_at_init(self):
+        ts = _two_latch_system()
+        assert ts.clause_holds_at_init((-1,))  # a=0 holds initially
+        assert ts.clause_holds_at_init((-1, 2))
+        assert not ts.clause_holds_at_init((1,))
+
+    def test_state_cube_from_values(self):
+        ts = _two_latch_system()
+        assert ts.state_cube_from([True, False]) == (1, -2)
+
+
+class TestEncodings:
+    def test_step_encoding_transition(self):
+        ts = _two_latch_system()
+        solver = Solver()
+        enc = ts.encode_step(solver)
+        # a'=b: assuming a=0,b=1 forces a'=1,b'=0 (the swap).
+        status = solver.solve([-enc.curr[0], enc.curr[1], -enc.next[0]])
+        assert status == Status.UNSAT
+        status = solver.solve([-enc.curr[0], enc.curr[1], enc.next[0], -enc.next[1]])
+        assert status == Status.SAT
+
+    def test_init_frame_pins_latches(self):
+        ts = _two_latch_system()
+        solver = Solver()
+        enc = ts.encode_init_frame(solver)
+        assert solver.solve([enc.curr[0]]) == Status.UNSAT
+        assert solver.solve([enc.curr[1]]) == Status.SAT
+
+    def test_prop_literal_semantics(self):
+        ts = _two_latch_system()
+        solver = Solver()
+        enc = ts.encode_step(solver)
+        plit = enc.prop_curr["p"]
+        # p = not(a and b): a=1,b=1 forces p false.
+        assert solver.solve([enc.curr[0], enc.curr[1], plit]) == Status.UNSAT
+        assert solver.solve([enc.curr[0], -enc.curr[1], plit]) == Status.SAT
+
+    def test_cube_lits_mapping(self):
+        ts = _two_latch_system()
+        solver = Solver()
+        enc = ts.encode_step(solver)
+        assert enc.cube_lits_curr((1, -2)) == [enc.curr[0], -enc.curr[1]]
+        assert enc.cube_lits_next((-1,)) == [-enc.next[0]]
+
+    def test_constraints_asserted_on_step(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, x)
+        aig.add_property("p", aig_not(q))
+        aig.add_constraint(aig_not(x))  # inputs pinned low
+        ts = TransitionSystem(aig)
+        solver = Solver()
+        enc = ts.encode_step(solver)
+        assert solver.solve([enc.inputs[x]]) == Status.UNSAT
+
+    def test_duplicate_property_names_rejected(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, q)
+        aig.add_property("p", q)
+        aig.add_property("p", aig_not(q))
+        with pytest.raises(ValueError):
+            TransitionSystem(aig)
+
+
+class TestAggregates:
+    def test_aggregate_lit(self):
+        ts = _two_latch_system()
+        assert ts.aggregate_property_lit() == ts.properties[0].lit
+
+    def test_eth_excludes_etf(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, q)
+        aig.add_property("good", aig_not(q))
+        aig.add_property("bad", q, expected_to_fail=True)
+        ts = TransitionSystem(aig)
+        assert [p.name for p in ts.eth_properties()] == ["good"]

@@ -1,0 +1,109 @@
+"""Tests for counterexample traces and their replay/validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.aig import AIG, aig_not
+from repro.gen.counter import buggy_counter
+from repro.ts.system import TransitionSystem
+from repro.ts.trace import Trace
+
+
+def _toggler():
+    aig = AIG()
+    q = aig.add_latch("q", init=0)
+    aig.set_next(q, aig_not(q))
+    return aig, q
+
+
+class TestValidate:
+    def test_valid_trace(self):
+        aig, q = _toggler()
+        trace = Trace(inputs=[{}, {}])  # q=1 at frame 1
+        assert trace.validate(aig, aig_not(q))
+
+    def test_too_short_trace(self):
+        aig, q = _toggler()
+        trace = Trace(inputs=[{}])
+        assert not trace.validate(aig, aig_not(q))
+
+    def test_failure_must_be_at_last_frame(self):
+        aig, q = _toggler()
+        trace = Trace(inputs=[{}, {}, {}])  # fails at frame 1, not 2
+        assert not trace.validate(aig, aig_not(q))
+        assert trace.failure_frame(aig, aig_not(q)) == 1
+
+    def test_input_driven_failure(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, x)
+        trace = Trace(inputs=[{x: True}, {x: False}])
+        assert trace.validate(aig, aig_not(q))
+
+    def test_uninitialized_latch_choice(self):
+        aig = AIG()
+        q = aig.add_latch("q", init=None)
+        aig.set_next(q, q)
+        bad = Trace(inputs=[{}], uninit={q: True})
+        good = Trace(inputs=[{}], uninit={q: False})
+        assert bad.validate(aig, aig_not(q))
+        assert not good.validate(aig, aig_not(q))
+
+
+class TestFirstFailures:
+    def test_reports_earliest_and_all_names(self):
+        aig = AIG()
+        x = aig.add_input("x")
+        q = aig.add_latch("q", init=0)
+        aig.set_next(q, x)
+        props = {"A": aig_not(q), "B": aig_not(q), "C": aig_not(x)}
+        trace = Trace(inputs=[{x: True}, {x: False}])
+        frame, failed = trace.first_failures(aig, props)
+        assert frame == 0
+        assert failed == ["C"]  # C fails at frame 0 (x=1); A/B only at 1
+
+    def test_none_when_all_hold(self):
+        aig, q = _toggler()
+        trace = Trace(inputs=[{}])
+        frame, failed = trace.first_failures(aig, {"p": aig_not(q)})
+        assert frame is None and failed == []
+
+
+class TestTruncate:
+    def test_truncation(self):
+        trace = Trace(inputs=[{1: True}, {1: False}, {}])
+        shorter = trace.truncated(2)
+        assert len(shorter) == 2
+        assert shorter.inputs[0] == {1: True}
+
+    def test_truncation_copies(self):
+        trace = Trace(inputs=[{1: True}])
+        shorter = trace.truncated(1)
+        shorter.inputs[0][1] = False
+        assert trace.inputs[0][1] is True
+
+    def test_bad_length_rejected(self):
+        trace = Trace(inputs=[{}])
+        with pytest.raises(ValueError):
+            trace.truncated(0)
+        with pytest.raises(ValueError):
+            trace.truncated(2)
+
+
+class TestStates:
+    def test_states_enumerates_latch_valuations(self):
+        aig, q = _toggler()
+        trace = Trace(inputs=[{}, {}, {}])
+        states = trace.states(aig)
+        assert [s[q] for s in states] == [False, True, False]
+
+    def test_counter_trace_states(self):
+        aig = buggy_counter(3)
+        ts = TransitionSystem(aig)
+        enable = aig.inputs[0]
+        req = aig.inputs[1]
+        # Drive enable for 5 frames with req low: val counts 0..4, rval=4.
+        trace = Trace(inputs=[{enable: True, req: False}] * 6)
+        assert trace.validate(aig, ts.prop_by_name["P1"].lit)
