@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: verify the paper's Example 1 counter with JA-verification.
+"""Quickstart: verify the paper's Example 1 counter through the Session API.
 
 The design is an 8-bit counter with a buggy reset condition and two
 properties:
@@ -11,24 +11,36 @@ Global verification of P1 needs a 130-frame counterexample; JA-verification
 instead proves P1 *locally* (assuming P0) in milliseconds and reports the
 debugging set {P0}: the only behaviour that needs fixing first.
 
+Every strategy runs through the same :class:`repro.Session` facade; the
+strategy name selects the method, and progress events stream to any
+subscribed callback while the run is in flight.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import TransitionSystem, ic3_check, ja_verify
-from repro.multiprop import debugging_report
+from repro import Session, ic3_check
 from repro.gen import buggy_counter
+from repro.multiprop import debugging_report
+from repro.progress import PropertySolved, format_event
 
 
 def main() -> None:
     aig = buggy_counter(bits=8)
-    ts = TransitionSystem(aig)
     print(f"design: {aig!r}")
-    print(f"properties: {[p.name for p in ts.properties]}")
+    print(f"properties: {[p.name for p in aig.properties]}")
     print()
 
-    # --- JA-verification: every property checked under the assumption
-    # that all the others hold ---------------------------------------
-    report = ja_verify(ts, design_name="counter8")
+    # --- JA-verification via the unified Session API ------------------
+    # Each property is checked under the assumption that all the others
+    # hold; verdict events are printed live through the callback.
+    session = Session(aig, strategy="ja", design_name="counter8")
+    session.subscribe(
+        lambda event: print(f"  {format_event(event)}")
+        if isinstance(event, PropertySolved)
+        else None
+    )
+    report = session.run()
+    print()
     print(report.summary())
     for name, outcome in report.outcomes.items():
         verdict = outcome.status.value
@@ -46,7 +58,7 @@ def main() -> None:
     print()
 
     # --- contrast with global verification of P1 ---------------------
-    result = ic3_check(ts, "P1")
+    result = ic3_check(session.ts, "P1")
     print(
         f"for contrast, a *global* check of P1 needs a counterexample of "
         f"depth {result.frames} ({result.time_seconds:.2f}s with IC3; BMC "

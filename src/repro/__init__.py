@@ -16,17 +16,32 @@ Layers (bottom-up):
   constraints, two lifting modes, clause import/export);
 * :mod:`repro.multiprop` — JA-verification, joint and separate-global
   drivers, clauseDB, debugging-set analysis, parallel simulation;
+* :mod:`repro.session` — the unified orchestration API: a
+  :class:`Session` facade, one :class:`VerificationConfig`, a pluggable
+  strategy registry, and streaming :class:`ProgressEvent` channels;
 * :mod:`repro.gen` — benchmark generators (Example 1's counter and the
   synthetic HWMCC-12/13 stand-ins).
 
 Quickstart::
 
-    from repro import TransitionSystem, ja_verify
+    from repro import Session
     from repro.gen import buggy_counter
 
-    ts = TransitionSystem(buggy_counter(bits=8))
-    report = ja_verify(ts)
+    session = Session(buggy_counter(bits=8), strategy="ja")
+    report = session.run()
     print(report.debugging_set())   # ['P0']
+
+Progress events stream via callback or iterator::
+
+    session = Session(buggy_counter(bits=8), strategy="ja", on_event=print)
+    session.run()
+
+Every verification strategy (``ja``, ``joint``, ``separate``,
+``clustered``, ``sweep-ja``, and anything registered with
+:func:`register_strategy`) runs through the same ``Session`` API; see
+:mod:`repro.session` for the migration table from the older per-driver
+entry points (``ja_verify`` & friends), which remain available but are
+deprecated.
 """
 
 from .circuit import AIG, Simulator, load_aag, parse_aag, save_aag, write_aag
@@ -51,10 +66,21 @@ from .multiprop import (
     joint_verify,
     separate_verify,
 )
+from .progress import ProgressEvent, format_event
 from .sat import Solver, Status
+from .session import (
+    ConfigError,
+    Session,
+    Strategy,
+    UnknownStrategyError,
+    VerificationConfig,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 from .ts import ProjectedReachability, Trace, TransitionSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AIG",
@@ -75,6 +101,16 @@ __all__ = [
     "PropStatus",
     "EngineResult",
     "ResourceBudget",
+    "Session",
+    "VerificationConfig",
+    "ConfigError",
+    "Strategy",
+    "UnknownStrategyError",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "ProgressEvent",
+    "format_event",
     "ja_verify",
     "JAVerifier",
     "JAOptions",

@@ -115,7 +115,7 @@ def parse_aig_binary(data: bytes) -> AIG:
     nums = [int(x) for x in header[1:]]
     while len(nums) < 5:
         nums.append(0)
-    max_var, n_in, n_latch, n_out, n_and = nums[:5]
+    _max_var, n_in, n_latch, n_out, n_and = nums[:5]
     n_bad = nums[5] if len(nums) > 5 else 0
     n_constr = nums[6] if len(nums) > 6 else 0
 

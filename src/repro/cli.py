@@ -6,12 +6,15 @@ Commands
 ``info``      print design statistics and the property list
 ``gen``       generate a named benchmark design as an AIGER file
 ``sweep``     random-simulation property sweep (no SAT)
-``check``     multi-property verification (ja / joint / separate / clustered)
+``check``     multi-property verification through the session API
 
-The ``check`` command is the Ja-ver / Jnt-ver equivalent: it reads a
-(multi-property) AIGER file, runs the chosen driver, prints the verdict
-table and the debugging-set narrative, and optionally dumps machine-
-readable JSON.
+The ``check`` command reads a (multi-property) AIGER file, resolves the
+requested strategy through the :mod:`repro.session` registry — so
+strategies registered by plugins are immediately usable — drives it via
+:class:`~repro.session.Session`, prints the verdict table and the
+debugging-set narrative, and optionally dumps machine-readable JSON.
+``--progress`` streams the typed progress events as they happen;
+``--list-strategies`` enumerates the registry.
 """
 
 from __future__ import annotations
@@ -21,28 +24,22 @@ import json
 import sys
 from typing import List, Optional
 
-from .circuit.aiger import load_aag, save_aag
-from .circuit.aiger_binary import load_aig, save_aig
-from .multiprop import (
-    JAOptions,
-    JointOptions,
-    SeparateOptions,
-    debugging_report,
-    ja_verify,
-    joint_verify,
-    separate_verify,
-)
-from .multiprop.clustering import ClusterOptions, clustered_verify
-from .multiprop.ordering import by_cone_size, design_order, shuffled
+from . import __version__
+from .circuit.aiger import save_aag
+from .circuit.aiger_binary import save_aig
+from .multiprop import debugging_report
 from .multiprop.report import MultiPropReport, render_table
 from .multiprop.sweep import sweep as run_sweep
+from .progress import format_event
+from .session import (
+    ConfigError,
+    Session,
+    UnknownStrategyError,
+    VerificationConfig,
+    available_strategies,
+    load_design,
+)
 from .ts.system import TransitionSystem
-
-
-def _load_design(path: str):
-    if path.endswith(".aig"):
-        return load_aig(path)
-    return load_aag(path)
 
 
 def _save_design(aig, path: str) -> None:
@@ -54,7 +51,7 @@ def _save_design(aig, path: str) -> None:
 
 # ----------------------------------------------------------------------
 def cmd_info(args: argparse.Namespace) -> int:
-    aig = _load_design(args.design)
+    aig = load_design(args.design)
     stats = aig.stats()
     print(f"{args.design}:")
     for key, value in stats.items():
@@ -106,7 +103,7 @@ def cmd_gen(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    ts = TransitionSystem(_load_design(args.design))
+    ts = TransitionSystem(load_design(args.design))
     result = run_sweep(ts, runs=args.runs, depth=args.depth, seed=args.seed)
     rows = [
         [name, len(trace)] for name, trace in sorted(result.failed.items())
@@ -122,60 +119,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-_ORDERS = {"design": design_order, "cone": by_cone_size}
-
-
 def cmd_check(args: argparse.Namespace) -> int:
-    ts = TransitionSystem(_load_design(args.design))
-    order: Optional[List[str]] = None
-    if args.order:
-        if args.order.startswith("shuffled:"):
-            order = shuffled(ts, int(args.order.split(":", 1)[1]))
-        elif args.order in _ORDERS:
-            order = _ORDERS[args.order](ts)
-        else:
-            print(f"unknown order {args.order!r}", file=sys.stderr)
-            return 2
-
-    if args.method == "ja":
-        report = ja_verify(
-            ts,
-            JAOptions(
-                clause_reuse=not args.no_reuse,
-                respect_constraints_in_lifting=args.respect_lifting,
-                per_property_time=args.per_property_time,
-                total_time=args.time_limit,
-                order=order,
-                coi_reduction=args.coi,
-                ctg=args.ctg,
-            ),
-            design_name=args.design,
-        )
-    elif args.method == "joint":
-        report = joint_verify(
-            ts, JointOptions(total_time=args.time_limit), design_name=args.design
-        )
-    elif args.method == "separate":
-        report = separate_verify(
-            ts,
-            SeparateOptions(
-                clause_reuse=not args.no_reuse,
-                per_property_time=args.per_property_time,
-                total_time=args.time_limit,
-                order=order,
-            ),
-            design_name=args.design,
-        )
-    else:  # clustered
-        report = clustered_verify(
-            ts,
-            ClusterOptions(
-                total_time=args.time_limit,
-                per_property_time=args.per_property_time,
-                inner=args.cluster_inner,
-            ),
-            design_name=args.design,
-        )
+    config = VerificationConfig(
+        strategy=args.strategy,
+        total_time=args.time_limit,
+        per_property_time=args.per_property_time,
+        order=args.order,
+        clause_reuse=not args.no_reuse,
+        respect_constraints_in_lifting=args.respect_lifting,
+        coi_reduction=args.coi,
+        ctg=args.ctg,
+        cluster_inner=args.cluster_inner,
+    )
+    try:
+        session = Session(args.design, config)
+    except (ConfigError, UnknownStrategyError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.progress:
+        session.subscribe(lambda event: print(format_event(event)))
+    report = session.run()
 
     _print_report(report)
     if args.json:
@@ -237,10 +200,28 @@ def _report_to_json(report: MultiPropReport) -> dict:
 
 
 # ----------------------------------------------------------------------
+class _ListStrategiesAction(argparse.Action):
+    """``--list-strategies``: print the registry and exit."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        for name, description in available_strategies().items():
+            print(f"{name:<12} {description}")
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-property model checking with JA-verification (DATE'18 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--list-strategies",
+        action=_ListStrategiesAction,
+        nargs=0,
+        help="list registered verification strategies and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -263,9 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="verify all properties")
     p_check.add_argument("design")
     p_check.add_argument(
-        "--method",
-        choices=("ja", "joint", "separate", "clustered"),
+        "--strategy",
+        "--method",  # deprecated alias, kept for old scripts
+        dest="strategy",
         default="ja",
+        metavar="NAME",
+        help="verification strategy (see --list-strategies; default: ja)",
     )
     p_check.add_argument("--time-limit", type=float, default=None, help="total seconds")
     p_check.add_argument(
@@ -286,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster-inner", choices=("joint", "ja"), default="joint",
         help="method inside each cluster (clustered only)",
     )
+    p_check.add_argument(
+        "--progress",
+        action="store_true",
+        help="print progress events (frames, verdicts, clauseDB traffic) live",
+    )
     p_check.add_argument("--json", default=None, help="write JSON report here")
     p_check.set_defaults(func=cmd_check)
     return parser
@@ -294,7 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe closed (e.g. ``check --progress | head``);
+        # silence the shutdown and exit like a SIGPIPE'd process would.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from ..circuit.aig import aig_not
 from ..encode.unroll import Unroller
+from ..progress import BudgetCheckpoint, Emit, FrameAdvanced, emit_or_null
 from ..sat import Solver, Status
 from ..ts.system import TransitionSystem
 from ..ts.trace import Trace
@@ -30,16 +31,20 @@ def bmc_check(
     assumed: Sequence[str] = (),
     budget: Optional[ResourceBudget] = None,
     validate: bool = True,
+    emit: Optional[Emit] = None,
 ) -> EngineResult:
     """Search for a counterexample of depth ``<= max_depth`` frames.
 
     ``assumed`` names properties asserted at all frames before the
     failure frame (local verification); with ``assumed=()`` this is
-    plain global BMC.
+    plain global BMC.  ``emit``, when given, receives a
+    :class:`~repro.progress.FrameAdvanced` event per unrolling depth
+    (plus budget checkpoints when a budget is set).
 
     Depth convention matches :class:`Trace`: a depth-1 CEX fails in the
     initial state.
     """
+    send: Emit = emit_or_null(emit)
     start = time.monotonic()
     prop = ts.prop_by_name[prop_name]
     assumed_props = [ts.prop_by_name[n] for n in assumed]
@@ -61,8 +66,16 @@ def bmc_check(
         status = solver.solve([bad_lit])
         stats["sat_queries"] += 1
         stats["max_depth_reached"] = t + 1
+        send(FrameAdvanced(name=prop_name, frame=t + 1))
         if budget is not None:
             budget.charge_conflicts(solver.stats["conflicts"] - before)
+            send(
+                BudgetCheckpoint(
+                    scope=prop_name,
+                    elapsed=budget.elapsed(),
+                    conflicts=budget.conflicts_used,
+                )
+            )
         if status == Status.SAT:
             cex = Trace(
                 inputs=unroller.extract_inputs(solver.value, t),

@@ -37,6 +37,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...progress import (
+    BudgetCheckpoint,
+    ClauseImport,
+    Emit,
+    FrameAdvanced,
+    emit_or_null,
+)
 from ...sat import Solver, Status
 from ...ts.system import (
     Clause,
@@ -77,6 +84,9 @@ class IC3Options:
     # match the paper's Ic3-db baseline; the ablation bench measures it.
     ctg: bool = False
     max_ctgs: int = 3
+    # Progress events (frame advances, seed imports, budget checkpoints)
+    # are sent here; None keeps the engine silent.
+    emit: Optional[Emit] = None
 
 
 @dataclass
@@ -120,6 +130,9 @@ class IC3:
         }
         self._start_time = time.monotonic()
         self._counter = itertools.count()
+        self._emit: Emit = emit_or_null(self.options.emit)
+        if self._seeds:
+            self._emit(ClauseImport(name=self.prop.name, count=len(self._seeds)))
 
     # ------------------------------------------------------------------
     # Solver management
@@ -588,6 +601,15 @@ class IC3:
             if self.top >= self.options.max_frames:
                 return self._result(PropStatus.UNKNOWN, frames=self.top)
             self.frames.append([])
+            self._emit(FrameAdvanced(name=self.prop.name, frame=self.top))
+            if budget is not None:
+                self._emit(
+                    BudgetCheckpoint(
+                        scope=self.prop.name,
+                        elapsed=budget.elapsed(),
+                        conflicts=budget.conflicts_used,
+                    )
+                )
             self._rebuild_bad_solver()
             conv = self._propagate()
             if conv is not None:

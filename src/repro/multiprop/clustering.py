@@ -18,10 +18,11 @@ pay).  It also exposes the hybrid the paper hints at: JA-verification
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
 
 from ..circuit.coi import coi_signature, reduce_to_cone
+from ..progress import ClusterStarted, Emit
 from ..ts.system import TransitionSystem
 from .ja import JAOptions, ja_verify
 from .joint import JointOptions, joint_verify
@@ -37,6 +38,8 @@ class ClusterOptions:
     inner: str = "joint"  # "joint" or "ja" within each cluster
     total_time: Optional[float] = None
     per_property_time: Optional[float] = None
+    # Extra IC3Options fields forwarded to the inner driver's engine runs.
+    engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
 
 def jaccard(a: frozenset, b: frozenset) -> float:
@@ -79,8 +82,14 @@ def clustered_verify(
     ts: TransitionSystem,
     options: Optional[ClusterOptions] = None,
     design_name: str = "design",
+    emit: Optional[Emit] = None,
 ) -> MultiPropReport:
-    """Verify property clusters independently (joint or JA per cluster)."""
+    """Verify property clusters independently (joint or JA per cluster).
+
+    .. deprecated::
+        Prefer ``repro.session.Session(ts, strategy="clustered").run()``;
+        this wrapper remains for backward compatibility.
+    """
     opts = options or ClusterOptions()
     if opts.inner not in ("joint", "ja"):
         raise ValueError(f"unknown inner method {opts.inner!r}")
@@ -89,6 +98,8 @@ def clustered_verify(
     report = MultiPropReport(method=f"clustered-{opts.inner}", design=design_name)
 
     for cluster in clusters:
+        if emit is not None:
+            emit(ClusterStarted(members=tuple(cluster)))
         remaining = None
         if opts.total_time is not None:
             remaining = opts.total_time - (time.monotonic() - start)
@@ -102,8 +113,12 @@ def clustered_verify(
         if opts.inner == "joint":
             sub_report = joint_verify(
                 sub_ts,
-                JointOptions(total_time=remaining),
+                JointOptions(
+                    total_time=remaining,
+                    engine_overrides=opts.engine_overrides,
+                ),
                 design_name=design_name,
+                emit=emit,
             )
         else:
             sub_report = ja_verify(
@@ -111,8 +126,10 @@ def clustered_verify(
                 JAOptions(
                     per_property_time=opts.per_property_time,
                     total_time=remaining,
+                    engine_overrides=opts.engine_overrides,
                 ),
                 design_name=design_name,
+                emit=emit,
             )
         report.outcomes.update(sub_report.outcomes)
 

@@ -29,11 +29,19 @@ not masked.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..engines.ic3 import IC3Options, SeedCertificateError, ic3_check
 from ..engines.result import EngineResult, PropStatus, ResourceBudget
+from ..progress import (
+    BudgetCheckpoint,
+    ClauseExport,
+    Emit,
+    PropertySolved,
+    PropertyStarted,
+    emit_or_null,
+)
 from ..ts.projection import assumption_names
 from ..ts.system import TransitionSystem
 from .clausedb import ClauseDB
@@ -61,16 +69,30 @@ class JAOptions:
     # spurious.  See EXPERIMENTS.md's COI ablation.
     coi_reduction: bool = False
     ctg: bool = False  # forwarded to IC3 generalization
+    # Extra IC3Options fields (validated by the session layer) applied
+    # to every engine invocation, e.g. {"generalize_passes": 1}.
+    engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
 
 class JAVerifier:
-    """Drives separate verification with local proofs (Ja-ver analogue)."""
+    """Drives separate verification with local proofs (Ja-ver analogue).
 
-    def __init__(self, ts: TransitionSystem, options: Optional[JAOptions] = None) -> None:
+    ``emit``, when given, receives typed :mod:`repro.progress` events
+    (property started/solved, clauseDB exports, budget checkpoints, and
+    the engine's frame advances).
+    """
+
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        options: Optional[JAOptions] = None,
+        emit: Optional[Emit] = None,
+    ) -> None:
         self.ts = ts
         self.options = options or JAOptions()
         self.clause_db = ClauseDB(ts)
         self.results: Dict[str, EngineResult] = {}
+        self._emit: Emit = emit_or_null(emit)
 
     # ------------------------------------------------------------------
     def run(self, design_name: str = "design") -> MultiPropReport:
@@ -89,18 +111,39 @@ class JAVerifier:
                 report.outcomes[name] = PropOutcome(
                     name=name, status=PropStatus.UNKNOWN, local=True
                 )
+                self._emit(PropertyStarted(name=name))
+                self._emit(
+                    PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True)
+                )
                 continue
             outcome, result = self._check_one(name)
             spurious_reruns += outcome.reruns
             if result is not None and result.status is PropStatus.HOLDS:
                 if opts.clause_reuse and result.invariant is not None:
-                    self.clause_db.add_all(result.invariant)
+                    exported = self.clause_db.add_all(result.invariant)
+                    if exported:
+                        self._emit(ClauseExport(name=name, count=exported))
                     if opts.clause_db_path:
                         self.clause_db.save(opts.clause_db_path)
             certificate_retries += outcome_stats_get(result, "certificate_retry")
             report.outcomes[name] = outcome
             if result is not None:
                 self.results[name] = result
+            self._emit(
+                PropertySolved(
+                    name=name,
+                    status=outcome.status,
+                    local=True,
+                    time_seconds=outcome.time_seconds,
+                    cex_depth=outcome.cex_depth,
+                    assumed=tuple(outcome.assumed),
+                )
+            )
+            self._emit(
+                BudgetCheckpoint(
+                    scope="total", elapsed=time.monotonic() - start
+                )
+            )
 
         report.total_time = time.monotonic() - start
         report.stats = {
@@ -115,6 +158,7 @@ class JAVerifier:
         """One property: local IC3, spurious-CEX re-runs, seed fallback."""
         opts = self.options
         assumed = assumption_names(self.ts, name)
+        self._emit(PropertyStarted(name=name, assumed=tuple(assumed)))
         prop_lit_by_name = {
             n: self.ts.prop_by_name[n].lit for n in assumed
         }
@@ -186,6 +230,8 @@ class JAVerifier:
             budget=budget,
             max_frames=opts.max_frames,
             ctg=opts.ctg,
+            emit=self._emit,
+            **dict(opts.engine_overrides),
         )
         try:
             result = ic3_check(run_ts, name, ic3_opts)
@@ -307,6 +353,12 @@ def ja_verify(
     ts: TransitionSystem,
     options: Optional[JAOptions] = None,
     design_name: str = "design",
+    emit: Optional[Emit] = None,
 ) -> MultiPropReport:
-    """Convenience wrapper: run JA-verification on all properties."""
-    return JAVerifier(ts, options).run(design_name)
+    """Convenience wrapper: run JA-verification on all properties.
+
+    .. deprecated::
+        Prefer ``repro.session.Session(ts, strategy="ja").run()``; this
+        wrapper remains for backward compatibility.
+    """
+    return JAVerifier(ts, options, emit=emit).run(design_name)

@@ -14,12 +14,19 @@ exactly what Tables II and III measure.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
 
 from ..circuit.aig import Property
 from ..engines.ic3 import IC3Options, ic3_check
 from ..engines.result import PropStatus, ResourceBudget
+from ..progress import (
+    BudgetCheckpoint,
+    Emit,
+    PropertySolved,
+    PropertyStarted,
+    emit_or_null,
+)
 from ..ts.system import TransitionSystem
 from .report import MultiPropReport, PropOutcome
 
@@ -32,6 +39,8 @@ class JointOptions:
     total_conflicts: Optional[int] = None
     max_frames: int = 500
     include_etf: bool = True  # the HWMCC sets do not mark ETF properties
+    # Extra IC3Options fields applied to every engine invocation.
+    engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
 
 _AGGREGATE_PREFIX = "__aggregate"
@@ -41,9 +50,16 @@ def joint_verify(
     ts: TransitionSystem,
     options: Optional[JointOptions] = None,
     design_name: str = "design",
+    emit: Optional[Emit] = None,
 ) -> MultiPropReport:
-    """Run joint verification; returns per-property global verdicts."""
+    """Run joint verification; returns per-property global verdicts.
+
+    .. deprecated::
+        Prefer ``repro.session.Session(ts, strategy="joint").run()``;
+        this wrapper remains for backward compatibility.
+    """
     opts = options or JointOptions()
+    send: Emit = emit_or_null(emit)
     start = time.monotonic()
     report = MultiPropReport(method="joint", design=design_name)
     remaining: List[Property] = [
@@ -55,7 +71,19 @@ def joint_verify(
         time_limit=opts.total_time, conflict_limit=opts.total_conflicts
     )
     iteration = 0
-    prop_lits = {p.name: p.lit for p in ts.properties}
+
+    def record(prop_name: str, status: PropStatus, **kwargs: object) -> None:
+        outcome = PropOutcome(name=prop_name, status=status, local=False, **kwargs)
+        report.outcomes[prop_name] = outcome
+        send(
+            PropertySolved(
+                name=prop_name,
+                status=status,
+                local=False,
+                time_seconds=outcome.time_seconds,
+                cex_depth=outcome.cex_depth,
+            )
+        )
 
     while remaining:
         if budget.exhausted():
@@ -66,18 +94,28 @@ def joint_verify(
         # Not registered on the AIG: the aggregate is private to this view.
         agg_prop = Property(name=aggregate_name, lit=aggregate_lit)
         view = TransitionSystem(ts.aig, properties=[agg_prop])
+        send(PropertyStarted(name=aggregate_name))
         result = ic3_check(
             view,
             aggregate_name,
-            IC3Options(budget=budget, max_frames=opts.max_frames),
+            IC3Options(
+                budget=budget,
+                max_frames=opts.max_frames,
+                emit=send,
+                **dict(opts.engine_overrides),
+            ),
         )
         elapsed = time.monotonic() - start
+        send(
+            BudgetCheckpoint(
+                scope="total", elapsed=elapsed, conflicts=budget.conflicts_used
+            )
+        )
         if result.status is PropStatus.HOLDS:
             for p in remaining:
-                report.outcomes[p.name] = PropOutcome(
-                    name=p.name,
-                    status=PropStatus.HOLDS,
-                    local=False,
+                record(
+                    p.name,
+                    PropStatus.HOLDS,
                     frames=result.frames,
                     time_seconds=elapsed,
                 )
@@ -92,10 +130,9 @@ def joint_verify(
             if not failed_names:
                 raise RuntimeError("joint CEX refutes no individual property")
             for name in failed_names:
-                report.outcomes[name] = PropOutcome(
-                    name=name,
-                    status=PropStatus.FAILS,
-                    local=False,
+                record(
+                    name,
+                    PropStatus.FAILS,
                     frames=result.frames,
                     time_seconds=elapsed,
                     cex_depth=len(result.cex),
@@ -104,16 +141,12 @@ def joint_verify(
         else:  # UNKNOWN: budget exhausted
             break
 
-    for p in remaining:
-        report.outcomes[p.name] = PropOutcome(
-            name=p.name, status=PropStatus.UNKNOWN, local=False
-        )
-    # ETF properties excluded from the run are reported unknown.
+    # One pass covers both the budget-exhausted survivors and any ETF
+    # properties excluded from the run: everything without a verdict is
+    # reported UNKNOWN.
     for p in ts.properties:
         if p.name not in report.outcomes:
-            report.outcomes[p.name] = PropOutcome(
-                name=p.name, status=PropStatus.UNKNOWN, local=False
-            )
+            record(p.name, PropStatus.UNKNOWN)
     report.total_time = time.monotonic() - start
     report.stats = {"iterations": iteration}
     return report

@@ -10,11 +10,19 @@ Section 6-B justifies it).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
 
 from ..engines.ic3 import IC3Options, SeedCertificateError, ic3_check
 from ..engines.result import PropStatus, ResourceBudget
+from ..progress import (
+    BudgetCheckpoint,
+    ClauseExport,
+    Emit,
+    PropertySolved,
+    PropertyStarted,
+    emit_or_null,
+)
 from ..ts.system import TransitionSystem
 from .clausedb import ClauseDB
 from .report import MultiPropReport, PropOutcome
@@ -30,15 +38,24 @@ class SeparateOptions:
     total_time: Optional[float] = None
     order: Optional[Sequence[str]] = None
     max_frames: int = 500
+    # Extra IC3Options fields applied to every engine invocation.
+    engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
 
 def separate_verify(
     ts: TransitionSystem,
     options: Optional[SeparateOptions] = None,
     design_name: str = "design",
+    emit: Optional[Emit] = None,
 ) -> MultiPropReport:
-    """Check every property separately with global proofs."""
+    """Check every property separately with global proofs.
+
+    .. deprecated::
+        Prefer ``repro.session.Session(ts, strategy="separate").run()``;
+        this wrapper remains for backward compatibility.
+    """
     opts = options or SeparateOptions()
+    send: Emit = emit_or_null(emit)
     start = time.monotonic()
     report = MultiPropReport(method="separate-global", design=design_name)
     clause_db = ClauseDB(ts)
@@ -49,27 +66,28 @@ def separate_verify(
             report.outcomes[name] = PropOutcome(
                 name=name, status=PropStatus.UNKNOWN, local=False
             )
+            send(PropertyStarted(name=name))
+            send(PropertySolved(name=name, status=PropStatus.UNKNOWN, local=False))
             continue
+        send(PropertyStarted(name=name))
         budget = ResourceBudget(
             time_limit=opts.per_property_time,
             conflict_limit=opts.per_property_conflicts,
         )
         seeds = clause_db.clauses() if opts.clause_reuse else ()
+        ic3_opts = dict(opts.engine_overrides)
+        ic3_opts.update(budget=budget, max_frames=opts.max_frames, emit=send)
         try:
             result = ic3_check(
-                ts,
-                name,
-                IC3Options(
-                    seed_clauses=seeds, budget=budget, max_frames=opts.max_frames
-                ),
+                ts, name, IC3Options(seed_clauses=seeds, **ic3_opts)
             )
         except SeedCertificateError:
             # Cannot happen with globally sound seeds, but fail safe.
-            result = ic3_check(
-                ts, name, IC3Options(budget=budget, max_frames=opts.max_frames)
-            )
+            result = ic3_check(ts, name, IC3Options(**ic3_opts))
         if result.status is PropStatus.HOLDS and opts.clause_reuse:
-            clause_db.add_all(result.invariant or [])
+            exported = clause_db.add_all(result.invariant or [])
+            if exported:
+                send(ClauseExport(name=name, count=exported))
         report.outcomes[name] = PropOutcome(
             name=name,
             status=result.status,
@@ -78,6 +96,16 @@ def separate_verify(
             time_seconds=result.time_seconds,
             cex_depth=len(result.cex) if result.cex is not None else None,
         )
+        send(
+            PropertySolved(
+                name=name,
+                status=result.status,
+                local=False,
+                time_seconds=result.time_seconds,
+                cex_depth=len(result.cex) if result.cex is not None else None,
+            )
+        )
+        send(BudgetCheckpoint(scope="total", elapsed=time.monotonic() - start))
     report.total_time = time.monotonic() - start
     report.stats = {"clause_db_size": len(clause_db)}
     return report

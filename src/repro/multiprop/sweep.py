@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..circuit.simulate import Simulator
+from ..progress import Emit
 from ..ts.system import TransitionSystem
 from ..ts.trace import Trace
 from .ja import JAOptions, ja_verify
@@ -117,6 +118,7 @@ def swept_ja_verify(
     seed: int = 0,
     options: Optional[JAOptions] = None,
     design_name: str = "design",
+    emit: Optional[Emit] = None,
 ) -> MultiPropReport:
     """Sweep first, then JA-verify everything.
 
@@ -127,7 +129,7 @@ def swept_ja_verify(
     """
     start = time.monotonic()
     swept = sweep(ts, runs=sweep_runs, depth=sweep_depth, seed=seed)
-    report = ja_verify(ts, options, design_name=design_name)
+    report = ja_verify(ts, options, design_name=design_name, emit=emit)
     report.method = "sweep+ja"
     report.stats["sweep_failed"] = len(swept.failed)
     report.stats["sweep_runs"] = swept.runs

@@ -1,0 +1,205 @@
+"""Typed progress events streamed by engines and drivers.
+
+Every verification layer (the IC3/BMC engines, the multi-property
+drivers, the :class:`repro.session.Session` facade) reports progress by
+calling an ``emit`` callback with one of the frozen dataclasses below.
+The callback signature is ``Callable[[ProgressEvent], None]``; ``None``
+everywhere means "stay silent", so engines pay nothing when nobody
+listens.
+
+The event vocabulary mirrors what the paper's tables measure:
+
+* :class:`PropertyStarted` / :class:`PropertySolved` — exactly one
+  ``PropertySolved`` per property verdict (local or global);
+  ``PropertyStarted`` brackets each unit of engine work, which in
+  joint verification is the *aggregate* property, so one started
+  aggregate may yield several individual verdicts;
+* :class:`FrameAdvanced` — an engine unfolded one more frame (IC3) or
+  one more unrolling depth (BMC);
+* :class:`ClauseImport` / :class:`ClauseExport` — clauseDB traffic, the
+  Section 6 re-use optimization made observable;
+* :class:`BudgetCheckpoint` — resource usage at a known-safe point,
+  the hook for external schedulers to preempt or re-balance work;
+* :class:`ClusterStarted` — the structural baseline opened a group;
+* :class:`RunStarted` / :class:`RunFinished` — session bracketing.
+
+This module deliberately has no imports from the rest of the package so
+that every layer can use it without import cycles; the classes are
+re-exported by :mod:`repro.session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Optional, Tuple
+
+__all__ = [
+    "ProgressEvent",
+    "RunStarted",
+    "RunFinished",
+    "PropertyStarted",
+    "PropertySolved",
+    "FrameAdvanced",
+    "ClauseImport",
+    "ClauseExport",
+    "BudgetCheckpoint",
+    "ClusterStarted",
+    "Emit",
+    "null_emit",
+    "emit_or_null",
+    "format_event",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Base class of every progress event."""
+
+    kind: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class RunStarted(ProgressEvent):
+    """A verification run began (first event of every session)."""
+
+    kind: ClassVar[str] = "run-started"
+    strategy: str
+    design: str
+    properties: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RunFinished(ProgressEvent):
+    """A verification run completed (last event of every session)."""
+
+    kind: ClassVar[str] = "run-finished"
+    strategy: str
+    design: str
+    total_time: float
+    num_true: int
+    num_false: int
+    num_unknown: int
+
+
+@dataclass(frozen=True)
+class PropertyStarted(ProgressEvent):
+    """A driver started working on one property (or aggregate)."""
+
+    kind: ClassVar[str] = "property-started"
+    name: str
+    assumed: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PropertySolved(ProgressEvent):
+    """A final verdict was recorded for one property.
+
+    ``status`` is the ``repro.engines.result.PropStatus`` value (typed
+    loosely here to keep this module dependency-free).
+    """
+
+    kind: ClassVar[str] = "property-solved"
+    name: str
+    status: object
+    local: bool
+    time_seconds: float = 0.0
+    cex_depth: Optional[int] = None
+    assumed: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FrameAdvanced(ProgressEvent):
+    """An engine unfolded one more frame while checking ``name``."""
+
+    kind: ClassVar[str] = "frame-advanced"
+    name: str
+    frame: int
+
+
+@dataclass(frozen=True)
+class ClauseImport(ProgressEvent):
+    """An engine initialized its frames with clauseDB seed clauses."""
+
+    kind: ClassVar[str] = "clause-import"
+    name: str
+    count: int
+
+
+@dataclass(frozen=True)
+class ClauseExport(ProgressEvent):
+    """A driver exported strengthening clauses into the clauseDB."""
+
+    kind: ClassVar[str] = "clause-export"
+    name: str
+    count: int
+
+
+@dataclass(frozen=True)
+class BudgetCheckpoint(ProgressEvent):
+    """Resource usage at a preemption-safe point.
+
+    ``scope`` is a property name for per-property budgets or ``"total"``
+    for the whole run; ``conflicts`` is ``None`` when only wall-clock is
+    tracked.
+    """
+
+    kind: ClassVar[str] = "budget-checkpoint"
+    scope: str
+    elapsed: float
+    conflicts: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClusterStarted(ProgressEvent):
+    """The clustered driver opened one property group."""
+
+    kind: ClassVar[str] = "cluster-started"
+    members: Tuple[str, ...]
+
+
+Emit = Callable[[ProgressEvent], None]
+
+
+def null_emit(event: ProgressEvent) -> None:
+    """The no-listener sink: drivers default to this when ``emit`` is None."""
+
+
+def emit_or_null(emit: Optional[Emit]) -> Emit:
+    """Normalize an optional callback to a callable."""
+    return emit if emit is not None else null_emit
+
+
+def format_event(event: ProgressEvent) -> str:
+    """One-line human rendering (used by ``--progress`` and examples)."""
+    if isinstance(event, RunStarted):
+        return (
+            f"[{event.kind}] {event.strategy} on {event.design} "
+            f"({len(event.properties)} properties)"
+        )
+    if isinstance(event, RunFinished):
+        return (
+            f"[{event.kind}] {event.num_false} false, {event.num_true} true, "
+            f"{event.num_unknown} unknown in {event.total_time:.2f}s"
+        )
+    if isinstance(event, PropertyStarted):
+        assumed = f" assuming {list(event.assumed)}" if event.assumed else ""
+        return f"[{event.kind}] {event.name}{assumed}"
+    if isinstance(event, PropertySolved):
+        scope = "locally" if event.local else "globally"
+        depth = f", cex depth {event.cex_depth}" if event.cex_depth else ""
+        return (
+            f"[{event.kind}] {event.name}: {event.status} {scope}"
+            f"{depth} ({event.time_seconds:.3f}s)"
+        )
+    if isinstance(event, FrameAdvanced):
+        return f"[{event.kind}] {event.name}: frame {event.frame}"
+    if isinstance(event, (ClauseImport, ClauseExport)):
+        return f"[{event.kind}] {event.name}: {event.count} clauses"
+    if isinstance(event, BudgetCheckpoint):
+        conflicts = (
+            f", {event.conflicts} conflicts" if event.conflicts is not None else ""
+        )
+        return f"[{event.kind}] {event.scope}: {event.elapsed:.3f}s{conflicts}"
+    if isinstance(event, ClusterStarted):
+        return f"[{event.kind}] {{{', '.join(event.members)}}}"
+    return f"[{event.kind}] {event!r}"

@@ -1,0 +1,122 @@
+"""Unified session API: one facade over every verification strategy.
+
+This package is the stable orchestration surface of the reproduction:
+a :class:`Session` is constructed from a design (AIGER path,
+:class:`~repro.circuit.aig.AIG`, or
+:class:`~repro.ts.system.TransitionSystem`) plus one
+:class:`VerificationConfig`; the strategy named by the config is
+resolved through the registry and driven to a
+:class:`~repro.multiprop.report.MultiPropReport`, streaming typed
+:class:`~repro.progress.ProgressEvent` objects along the way::
+
+    from repro.session import Session
+
+    session = Session("design.aag", strategy="ja", on_event=print)
+    report = session.run()
+    print(report.debugging_set())
+
+or, consuming events as an iterator::
+
+    session = Session("design.aag", strategy="joint")
+    for event in session.stream():
+        print(event.kind, event)
+    report = session.report
+
+New strategies plug in without touching this package or the CLI::
+
+    from repro.session import register_strategy
+
+    @register_strategy("portfolio")
+    class Portfolio:
+        \"\"\"Races ja and joint, returns the first finisher.\"\"\"
+
+        def run(self, ts, config, emit):
+            ...
+
+Migration from the pre-session entry points
+-------------------------------------------
+
+The per-driver functions remain available but are deprecated; each maps
+onto :class:`VerificationConfig` fields as follows:
+
+===========================================  ==================================
+old entry point / option                      session equivalent
+===========================================  ==================================
+``ja_verify(ts, JAOptions(...))``             ``Session(ts, strategy="ja", ...)``
+``joint_verify(ts, JointOptions(...))``       ``Session(ts, strategy="joint", ...)``
+``separate_verify(ts, SeparateOptions(...))`` ``Session(ts, strategy="separate", ...)``
+``clustered_verify(ts, ClusterOptions(...))`` ``Session(ts, strategy="clustered", ...)``
+``swept_ja_verify(ts, ...)``                  ``Session(ts, strategy="sweep-ja", ...)``
+``JAOptions.clause_reuse``                    ``VerificationConfig.clause_reuse``
+``JAOptions.respect_constraints_in_lifting``  ``VerificationConfig.respect_constraints_in_lifting``
+``JAOptions.per_property_time``               ``VerificationConfig.per_property_time``
+``JAOptions.per_property_conflicts``          ``VerificationConfig.per_property_conflicts``
+``*Options.total_time``                       ``VerificationConfig.total_time``
+``JointOptions.total_conflicts``              ``VerificationConfig.total_conflicts``
+``JAOptions.order`` (explicit list)           ``VerificationConfig.order`` (list or
+                                              ``"design" | "cone" | "shuffled:<seed>"``)
+``JAOptions.coi_reduction`` / ``.ctg``        ``VerificationConfig.coi_reduction`` / ``.ctg``
+``JAOptions.clause_db_path``                  ``VerificationConfig.clause_db_path``
+``*Options.max_frames``                       ``VerificationConfig.max_frames``
+``JointOptions.include_etf``                  ``VerificationConfig.include_etf``
+``ClusterOptions.inner``                      ``VerificationConfig.cluster_inner``
+``ClusterOptions.similarity_threshold``       ``VerificationConfig.similarity_threshold``
+``IC3Options`` tuning knobs                   ``VerificationConfig.engine`` dict
+``design_name=...`` argument                  ``VerificationConfig.design_name``
+===========================================  ==================================
+"""
+
+from ..progress import (
+    BudgetCheckpoint,
+    ClauseExport,
+    ClauseImport,
+    ClusterStarted,
+    Emit,
+    FrameAdvanced,
+    ProgressEvent,
+    PropertySolved,
+    PropertyStarted,
+    RunFinished,
+    RunStarted,
+    format_event,
+)
+from .config import ENGINE_OVERRIDE_KEYS, ConfigError, VerificationConfig, resolve_order
+from .core import Session, load_design
+from .registry import (
+    Strategy,
+    UnknownStrategyError,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+
+# Importing the module registers the built-in strategies.
+from . import strategies as _builtin_strategies  # noqa: E402,F401
+
+__all__ = [
+    "Session",
+    "VerificationConfig",
+    "ConfigError",
+    "ENGINE_OVERRIDE_KEYS",
+    "resolve_order",
+    "load_design",
+    "Strategy",
+    "UnknownStrategyError",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+    "ProgressEvent",
+    "RunStarted",
+    "RunFinished",
+    "PropertyStarted",
+    "PropertySolved",
+    "FrameAdvanced",
+    "ClauseImport",
+    "ClauseExport",
+    "BudgetCheckpoint",
+    "ClusterStarted",
+    "Emit",
+    "format_event",
+]

@@ -1,0 +1,162 @@
+"""The single configuration object consumed by every strategy.
+
+:class:`VerificationConfig` replaces the per-driver option dataclasses
+(``JAOptions``, ``JointOptions``, ``SeparateOptions``, ``ClusterOptions``)
+at the API surface: one object names the strategy, the budgets, the
+property ordering, the clause-reuse policy, and low-level engine
+overrides.  Strategy adapters translate the relevant subset into the
+driver options they wrap, so the drivers themselves stay unchanged and
+independently usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..ts.system import TransitionSystem
+
+#: ``IC3Options`` knobs that may be overridden through ``engine``.
+#: Budgets, assumptions and seeds are owned by the drivers; exposing
+#: them here would let a config silently break driver invariants.
+ENGINE_OVERRIDE_KEYS = frozenset(
+    {"generalize_passes", "max_ctgs", "validate_cex", "validate_invariant"}
+)
+
+#: Named property orders understood by :func:`resolve_order`.
+ORDER_NAMES = ("design", "cone")
+
+
+class ConfigError(ValueError):
+    """A :class:`VerificationConfig` failed validation."""
+
+
+@dataclass
+class VerificationConfig:
+    """Everything one verification run needs, in one object.
+
+    Fields irrelevant to the selected strategy are ignored by its
+    adapter (e.g. ``cluster_inner`` outside the clustered strategy),
+    mirroring how the paper's tables vary one axis at a time.
+    """
+
+    strategy: str = "ja"
+    # -- budgets -------------------------------------------------------
+    total_time: Optional[float] = None
+    per_property_time: Optional[float] = None
+    per_property_conflicts: Optional[int] = None
+    total_conflicts: Optional[int] = None
+    # -- property ordering ---------------------------------------------
+    #: ``None`` (design order), ``"design"``, ``"cone"``,
+    #: ``"shuffled:<seed>"``, or an explicit sequence of property names.
+    order: Union[None, str, Sequence[str]] = None
+    # -- clause re-use (Section 6) -------------------------------------
+    clause_reuse: bool = True
+    clause_db_path: Optional[str] = None
+    # -- local-proof details (Sections 6-C, 7-A) -----------------------
+    respect_constraints_in_lifting: bool = False
+    coi_reduction: bool = False
+    ctg: bool = False
+    # -- engine ceiling ------------------------------------------------
+    max_frames: int = 500
+    # -- joint/clustered specifics -------------------------------------
+    include_etf: bool = True
+    cluster_inner: str = "joint"
+    similarity_threshold: float = 0.5
+    # -- escape hatch: validated IC3Options overrides ------------------
+    engine: Dict[str, object] = field(default_factory=dict)
+    # -- reporting -----------------------------------------------------
+    design_name: str = "design"
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any inconsistent field."""
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise ConfigError("strategy must be a non-empty string")
+        for name in (
+            "total_time",
+            "per_property_time",
+            "per_property_conflicts",
+            "total_conflicts",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value!r}")
+        if self.max_frames < 1:
+            raise ConfigError(f"max_frames must be >= 1, got {self.max_frames!r}")
+        if self.cluster_inner not in ("joint", "ja"):
+            raise ConfigError(
+                f"unknown cluster_inner {self.cluster_inner!r}; expected 'joint' or 'ja'"
+            )
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ConfigError(
+                f"similarity_threshold must be within [0, 1], "
+                f"got {self.similarity_threshold!r}"
+            )
+        self._validate_order_spec()
+        unknown = set(self.engine) - ENGINE_OVERRIDE_KEYS
+        if unknown:
+            raise ConfigError(
+                f"unknown engine override(s) {sorted(unknown)}; "
+                f"allowed: {sorted(ENGINE_OVERRIDE_KEYS)}"
+            )
+
+    def _validate_order_spec(self) -> None:
+        order = self.order
+        if order is None:
+            return
+        if isinstance(order, str):
+            if order in ORDER_NAMES:
+                return
+            if order.startswith("shuffled:"):
+                seed = order.split(":", 1)[1]
+                try:
+                    int(seed)
+                except ValueError:
+                    raise ConfigError(
+                        f"unknown order {order!r}: shuffled seed must be an integer"
+                    ) from None
+                return
+            raise ConfigError(
+                f"unknown order {order!r}; expected one of "
+                f"{', '.join(ORDER_NAMES)}, shuffled:<seed>, or a name list"
+            )
+        if not all(isinstance(name, str) for name in order):
+            raise ConfigError("an explicit order must be a sequence of property names")
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **overrides: object) -> "VerificationConfig":
+        """A copy with the given fields replaced (unknown names rejected)."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(f"unknown config field(s): {sorted(unknown)}")
+        return replace(self, **overrides)
+
+
+def resolve_order(
+    ts: TransitionSystem, order: Union[None, str, Sequence[str]]
+) -> Optional[List[str]]:
+    """Turn a config order spec into an explicit property-name list.
+
+    ``None`` stays ``None`` (drivers default to design order); unknown
+    names in an explicit list are rejected here so every strategy fails
+    the same way.
+    """
+    from ..multiprop.ordering import by_cone_size, design_order, shuffled
+
+    if order is None:
+        return None
+    if isinstance(order, str):
+        if order == "design":
+            return design_order(ts)
+        if order == "cone":
+            return by_cone_size(ts)
+        if order.startswith("shuffled:"):
+            return shuffled(ts, int(order.split(":", 1)[1]))
+        raise ConfigError(f"unknown order {order!r}")
+    names = list(order)
+    unknown = set(names) - {p.name for p in ts.properties}
+    if unknown:
+        raise ConfigError(f"unknown properties in order: {sorted(unknown)}")
+    return names

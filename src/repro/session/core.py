@@ -1,0 +1,188 @@
+"""The :class:`Session` facade: one entry point for every strategy.
+
+A session binds a design (path, :class:`~repro.circuit.aig.AIG`, or
+:class:`~repro.ts.system.TransitionSystem`) to one
+:class:`~repro.session.config.VerificationConfig`, resolves the strategy
+through the registry, and fans progress events out to subscribers.
+Events can be consumed two ways:
+
+* **callback** — ``Session(..., on_event=print)`` or
+  :meth:`Session.subscribe`, then :meth:`Session.run`;
+* **iterator** — ``for event in session.stream(): ...`` drives the run
+  on a worker thread and yields events as they happen; the report is
+  available as ``session.report`` once the iterator is exhausted.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Iterator, List, Optional, Union
+
+from ..circuit.aig import AIG
+from ..multiprop.report import MultiPropReport
+from ..progress import Emit, ProgressEvent, RunFinished, RunStarted
+from ..ts.system import TransitionSystem
+from .config import ConfigError, VerificationConfig, resolve_order
+from .registry import get_strategy
+
+DesignLike = Union[str, "os.PathLike[str]", AIG, TransitionSystem]
+
+
+def load_design(path: Union[str, "os.PathLike[str]"]) -> AIG:
+    """Load an AIGER design, dispatching on the ``.aig``/``.aag`` suffix."""
+    from ..circuit.aiger import load_aag
+    from ..circuit.aiger_binary import load_aig
+
+    path = os.fspath(path)
+    if path.endswith(".aig"):
+        return load_aig(path)
+    return load_aag(path)
+
+
+class Session:
+    """One verification run: design + config + event subscribers.
+
+    ``overrides`` are :class:`VerificationConfig` fields applied on top
+    of ``config`` (or of a default config when none is given), so the
+    common cases stay one-liners::
+
+        report = Session("design.aag", strategy="joint", total_time=60).run()
+    """
+
+    def __init__(
+        self,
+        design: DesignLike,
+        config: Optional[VerificationConfig] = None,
+        *,
+        on_event: Optional[Emit] = None,
+        **overrides: object,
+    ) -> None:
+        base = config if config is not None else VerificationConfig()
+        if overrides:
+            base = base.with_overrides(**overrides)
+        self.ts, design_name = self._coerce_design(design)
+        if base.design_name == "design" and design_name is not None:
+            base = base.with_overrides(design_name=design_name)
+        base.validate()
+        get_strategy(base.strategy)  # fail fast on unknown strategies
+        resolve_order(self.ts, base.order)  # ... and on unknown property names
+        self.config = base
+        self.report: Optional[MultiPropReport] = None
+        self._subscribers: List[Emit] = []
+        if on_event is not None:
+            self.subscribe(on_event)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_design(design: DesignLike):
+        if isinstance(design, TransitionSystem):
+            return design, None
+        if isinstance(design, AIG):
+            return TransitionSystem(design), None
+        if isinstance(design, (str, os.PathLike)):
+            path = os.fspath(design)
+            return TransitionSystem(load_design(path)), path
+        raise ConfigError(
+            f"design must be a path, AIG, or TransitionSystem, "
+            f"not {type(design).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Event channel
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Emit) -> Emit:
+        """Register an event callback; returns it (usable as decorator)."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Emit) -> None:
+        """Remove a previously subscribed callback."""
+        self._subscribers.remove(callback)
+
+    def _emit(self, event: ProgressEvent) -> None:
+        for callback in list(self._subscribers):
+            callback(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> MultiPropReport:
+        """Run the configured strategy to completion, emitting events.
+
+        :class:`RunFinished` is emitted even when the strategy raises
+        (with zeroed counters), so subscribers can always close their
+        bookkeeping on it; the exception then propagates to the caller.
+        """
+        strategy = get_strategy(self.config.strategy)
+        self._emit(
+            RunStarted(
+                strategy=self.config.strategy,
+                design=self.config.design_name,
+                properties=tuple(p.name for p in self.ts.properties),
+            )
+        )
+        report: Optional[MultiPropReport] = None
+        try:
+            report = strategy.run(self.ts, self.config, self._emit)
+        finally:
+            self._emit(
+                RunFinished(
+                    strategy=self.config.strategy,
+                    design=self.config.design_name,
+                    total_time=report.total_time if report is not None else 0.0,
+                    num_true=len(report.true_props()) if report is not None else 0,
+                    num_false=len(report.false_props()) if report is not None else 0,
+                    num_unknown=len(report.unsolved()) if report is not None else 0,
+                )
+            )
+        self.report = report
+        return report
+
+    def stream(self) -> Iterator[ProgressEvent]:
+        """Run on a worker thread, yielding events as they are emitted.
+
+        The generator terminates after :class:`RunFinished`; the report
+        is then available as :attr:`report`.  Exceptions raised by the
+        strategy re-raise here, on the consumer's thread.
+
+        Abandoning the iterator early (``break``, ``close()``) detaches
+        rather than blocks: the strategy has no cancellation point, so
+        the daemon worker keeps running in the background and ``report``
+        is populated whenever it finishes.
+        """
+        events: "queue.Queue[object]" = queue.Queue()
+        done = object()
+        failure: List[BaseException] = []
+
+        def pump(event: ProgressEvent) -> None:
+            events.put(event)
+
+        def worker() -> None:
+            try:
+                self.run()
+            except BaseException as exc:  # re-raised on the consumer side
+                failure.append(exc)
+            finally:
+                events.put(done)
+
+        self.subscribe(pump)
+        thread = threading.Thread(
+            target=worker, name="repro-session", daemon=True
+        )
+        thread.start()
+        finished = False
+        try:
+            while True:
+                item = events.get()
+                if item is done:
+                    finished = True
+                    break
+                yield item  # type: ignore[misc]
+        finally:
+            self.unsubscribe(pump)
+            if finished:
+                thread.join()
+        if failure:
+            raise failure[0]

@@ -1,0 +1,111 @@
+"""Built-in strategy adapters: the paper's methods behind one protocol.
+
+Each adapter translates the relevant slice of a
+:class:`~repro.session.config.VerificationConfig` into the option
+dataclass of the driver it wraps and forwards the ``emit`` callback.
+The drivers keep their standalone APIs (and their tests); the adapters
+are the only place that knows how config fields map onto them, which is
+exactly the migration table documented in :mod:`repro.session`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..multiprop.clustering import ClusterOptions, clustered_verify
+from ..multiprop.ja import JAOptions, JAVerifier
+from ..multiprop.joint import JointOptions, joint_verify
+from ..multiprop.separate import SeparateOptions, separate_verify
+from ..multiprop.sweep import swept_ja_verify
+from .config import VerificationConfig, resolve_order
+from .registry import register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..multiprop.report import MultiPropReport
+    from ..progress import Emit
+    from ..ts.system import TransitionSystem
+
+
+def _ja_options(ts: "TransitionSystem", config: VerificationConfig) -> JAOptions:
+    return JAOptions(
+        clause_reuse=config.clause_reuse,
+        respect_constraints_in_lifting=config.respect_constraints_in_lifting,
+        per_property_time=config.per_property_time,
+        per_property_conflicts=config.per_property_conflicts,
+        total_time=config.total_time,
+        order=resolve_order(ts, config.order),
+        max_frames=config.max_frames,
+        clause_db_path=config.clause_db_path,
+        coi_reduction=config.coi_reduction,
+        ctg=config.ctg,
+        engine_overrides=dict(config.engine),
+    )
+
+
+@register_strategy("ja")
+class JAStrategy:
+    """JA-verification: local proofs under wrong assumptions (Ja-ver, Sec. 4)."""
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        verifier = JAVerifier(ts, _ja_options(ts, config), emit=emit)
+        return verifier.run(config.design_name)
+
+
+@register_strategy("joint")
+class JointStrategy:
+    """Joint verification of the aggregate property (Jnt-ver, Sec. 9)."""
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        options = JointOptions(
+            total_time=config.total_time,
+            total_conflicts=config.total_conflicts,
+            max_frames=config.max_frames,
+            include_etf=config.include_etf,
+            engine_overrides=dict(config.engine),
+        )
+        return joint_verify(ts, options, design_name=config.design_name, emit=emit)
+
+
+@register_strategy("separate")
+class SeparateStrategy:
+    """Separate verification with global proofs (Tables V, VI, X baseline)."""
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        options = SeparateOptions(
+            clause_reuse=config.clause_reuse,
+            per_property_time=config.per_property_time,
+            per_property_conflicts=config.per_property_conflicts,
+            total_time=config.total_time,
+            order=resolve_order(ts, config.order),
+            max_frames=config.max_frames,
+            engine_overrides=dict(config.engine),
+        )
+        return separate_verify(ts, options, design_name=config.design_name, emit=emit)
+
+
+@register_strategy("clustered")
+class ClusteredStrategy:
+    """Structure-aware grouping, joint or JA inside each cluster (Sec. 12)."""
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        options = ClusterOptions(
+            similarity_threshold=config.similarity_threshold,
+            inner=config.cluster_inner,
+            total_time=config.total_time,
+            per_property_time=config.per_property_time,
+            engine_overrides=dict(config.engine),
+        )
+        return clustered_verify(ts, options, design_name=config.design_name, emit=emit)
+
+
+@register_strategy("sweep-ja")
+class SweptJAStrategy:
+    """Random-simulation sweep for shallow failures, then JA-verification."""
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        return swept_ja_verify(
+            ts,
+            options=_ja_options(ts, config),
+            design_name=config.design_name,
+            emit=emit,
+        )

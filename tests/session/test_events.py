@@ -1,0 +1,147 @@
+"""Event-stream contracts: bracketing, ordering, and channel parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.result import PropStatus
+from repro.progress import (
+    ClauseExport,
+    ClauseImport,
+    FrameAdvanced,
+    ProgressEvent,
+    PropertySolved,
+    PropertyStarted,
+    RunFinished,
+    RunStarted,
+)
+from repro.session import Session
+
+
+def collect(design, **config):
+    events = []
+    session = Session(design, on_event=events.append, **config)
+    report = session.run()
+    return events, report
+
+
+class TestBracketing:
+    @pytest.mark.parametrize("strategy", ["ja", "joint", "separate", "clustered"])
+    def test_run_events_bracket_the_stream(self, counter4, strategy):
+        events, report = collect(counter4, strategy=strategy)
+        assert isinstance(events[0], RunStarted)
+        assert isinstance(events[-1], RunFinished)
+        assert events[0].strategy == strategy
+        assert events[0].properties == ("P0", "P1")
+        finished = events[-1]
+        assert finished.num_false == len(report.false_props())
+        assert finished.num_true == len(report.true_props())
+        assert finished.num_unknown == len(report.unsolved())
+
+
+class TestOrdering:
+    def test_started_precedes_solved_per_property(self, counter4):
+        events, _ = collect(counter4, strategy="ja")
+        for name in ("P0", "P1"):
+            started = next(
+                i for i, e in enumerate(events)
+                if isinstance(e, PropertyStarted) and e.name == name
+            )
+            solved = next(
+                i for i, e in enumerate(events)
+                if isinstance(e, PropertySolved) and e.name == name
+            )
+            assert started < solved
+
+    def test_one_solved_event_per_property(self, counter4):
+        events, report = collect(counter4, strategy="separate")
+        solved = [e for e in events if isinstance(e, PropertySolved)]
+        assert sorted(e.name for e in solved) == sorted(report.outcomes)
+        by_name = {e.name: e for e in solved}
+        for name, outcome in report.outcomes.items():
+            assert by_name[name].status is outcome.status
+            assert by_name[name].local == outcome.local
+
+    def test_frames_advance_monotonically_per_property(self, counter4):
+        events, _ = collect(counter4, strategy="ja")
+        frames = {}
+        for event in events:
+            if isinstance(event, FrameAdvanced):
+                assert event.frame > frames.get(event.name, 0)
+                frames[event.name] = event.frame
+        assert frames, "IC3 emitted no frame events"
+
+    def test_clause_reuse_emits_export_then_import(self, toggler):
+        # toggler: never_r holds (exports clauses), never_q is checked
+        # after and imports them via the clauseDB.
+        events, report = collect(toggler, strategy="separate")
+        assert report.outcomes["never_r"].status is PropStatus.HOLDS
+        kinds = [type(e) for e in events]
+        assert ClauseExport in kinds
+        export_at = kinds.index(ClauseExport)
+        import_at = kinds.index(ClauseImport)
+        assert export_at < import_at
+
+
+class TestChannels:
+    def test_stream_iterator_matches_callback_channel(self, counter4):
+        callback_events, _ = collect(counter4, strategy="joint")
+        session = Session(counter4, strategy="joint")
+        streamed = list(session.stream())
+        assert session.report is not None
+        assert [type(e) for e in streamed] == [type(e) for e in callback_events]
+        assert all(isinstance(e, ProgressEvent) for e in streamed)
+
+    def test_stream_reraises_strategy_errors(self, counter4):
+        from repro.session import register_strategy, unregister_strategy
+
+        @register_strategy("exploding")
+        class Exploding:
+            """Always raises."""
+
+            def run(self, ts, config, emit):
+                raise RuntimeError("boom")
+
+        try:
+            session = Session(counter4, strategy="exploding")
+            seen = []
+            session.subscribe(seen.append)
+            with pytest.raises(RuntimeError, match="boom"):
+                list(session.stream())
+            # RunFinished still brackets the stream on failure.
+            assert isinstance(seen[-1], RunFinished)
+            assert seen[-1].num_true == seen[-1].num_false == 0
+        finally:
+            unregister_strategy("exploding")
+
+    def test_stream_abandoned_early_does_not_block(self, counter4):
+        session = Session(counter4, strategy="ja")
+        iterator = session.stream()
+        first = next(iterator)
+        assert isinstance(first, RunStarted)
+        iterator.close()  # must detach promptly, not join the whole run
+
+    def test_started_and_solved_paired_when_budget_skips(self, counter4):
+        # total_time=0 exhausts before any property: every verdict is
+        # UNKNOWN, yet each still gets a started/solved pair.
+        for strategy in ("ja", "separate"):
+            events, report = collect(counter4, strategy=strategy, total_time=0.0)
+            assert {o.status for o in report.outcomes.values()} == {
+                PropStatus.UNKNOWN
+            }
+            started = [e.name for e in events if isinstance(e, PropertyStarted)]
+            solved = [e.name for e in events if isinstance(e, PropertySolved)]
+            assert started == solved == ["P0", "P1"]
+
+    def test_subscribe_and_unsubscribe(self, counter4):
+        session = Session(counter4, strategy="ja")
+        seen = []
+        callback = session.subscribe(seen.append)
+        session.unsubscribe(callback)
+        session.run()
+        assert seen == []
+
+    def test_events_are_immutable(self, counter4):
+        events, _ = collect(counter4, strategy="ja")
+        with pytest.raises(Exception):
+            events[0].strategy = "hacked"

@@ -115,3 +115,67 @@ class TestCheck:
     def test_bad_order_rejected(self, counter_file, capsys):
         assert main(["check", counter_file, "--order", "zigzag"]) == 2
         assert "unknown order" in capsys.readouterr().err
+
+    def test_strategy_flag(self, counter_file):
+        assert main(["check", counter_file, "--strategy", "joint"]) == 1
+
+    def test_unknown_strategy_rejected(self, counter_file, capsys):
+        assert main(["check", counter_file, "--strategy", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err and "ja" in err
+
+    def test_progress_streams_events(self, counter_file, capsys):
+        assert main(["check", counter_file, "--progress"]) == 1
+        out = capsys.readouterr().out
+        assert "[run-started]" in out
+        assert "[property-solved]" in out
+        assert "[run-finished]" in out
+
+
+class TestTopLevelFlags:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_list_strategies(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--list-strategies"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("ja", "joint", "separate", "clustered"):
+            assert name in out
+
+
+class TestRegisteredStrategyViaCLI:
+    def test_custom_strategy_runs_from_cli(self, counter_file, capsys):
+        """A strategy registered by a plugin is usable without CLI changes."""
+        from repro.engines.result import PropStatus
+        from repro.multiprop.report import MultiPropReport, PropOutcome
+        from repro.session import register_strategy, unregister_strategy
+
+        @register_strategy("dummy")
+        class Dummy:
+            """Reports every property unknown."""
+
+            def run(self, ts, config, emit):
+                report = MultiPropReport(method="dummy", design=config.design_name)
+                for prop in ts.properties:
+                    report.outcomes[prop.name] = PropOutcome(
+                        name=prop.name, status=PropStatus.UNKNOWN, local=False
+                    )
+                return report
+
+        try:
+            # Exit code 3: unsolved properties remain.
+            assert main(["check", counter_file, "--strategy", "dummy"]) == 3
+            out = capsys.readouterr().out
+            assert "unknown" in out
+            with pytest.raises(SystemExit):
+                main(["--list-strategies"])
+            assert "dummy" in capsys.readouterr().out
+        finally:
+            unregister_strategy("dummy")
