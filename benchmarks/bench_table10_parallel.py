@@ -1,5 +1,5 @@
 """Table X — single properties of the huge design, global vs local, plus
-the Section 11 parallel-computing projection.
+the Section 11 parallel run, executed for real.
 
 Paper layout: for a sample of individual properties of the 10,789-
 property benchmark 6s289, the number of time frames and the run time of
@@ -7,22 +7,30 @@ a global proof vs a local proof (no clause exchange in either case).
 
 Expected shape: local proofs converge at 1-2 frames in near-constant
 time at every sampled position; global proofs grow with the property's
-pipeline depth.  The scheduler simulation then shows near-linear
-speedup of JA-verification with the number of workers.
+pipeline depth.  The second table then runs JA-verification through the
+``parallel-ja`` process pool at increasing worker counts and reports
+*measured* wall-clock speedup next to the legacy scheduler simulation's
+projected makespan; on a single-core host only the projection can show
+speedup, so the measured-speedup assertion is gated on the CPU count.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.engines.result import PropStatus
 from repro.gen.families import huge_design
 from repro.multiprop.parallel import measure_global_proofs, measure_local_proofs
+from repro.session import Session
 from repro.ts.system import TransitionSystem
 
 from benchmarks._harness import cell_time, publish_table
 
 CHAIN_DEPTH = 48
 SAMPLE = (1, 5, 10, 16, 24, 32, 40, 47)
+WORKER_COUNTS = (1, 2, 4)
 
 
 def build_tables():
@@ -61,45 +69,65 @@ def build_tables():
         ),
     )
 
-    # Section 11: simulated parallel speedup of the full local run.
+    # Section 11: real process-parallel JA-verification of all properties,
+    # with the legacy list-scheduling projection alongside.  One
+    # standalone measurement pass feeds every projected makespan.
     full_local = measure_local_proofs(ts, per_property_time=20.0)
+    reports = {}
     sched_rows = []
-    for workers in (1, 2, 4, 8, 16, len(full_local.prop_times)):
+    for workers in WORKER_COUNTS:
+        report = Session(ts, strategy="parallel-ja", workers=workers).run()
+        reports[workers] = report
+        base = reports[WORKER_COUNTS[0]].total_time
         sched_rows.append(
             [
                 workers,
+                cell_time(report.total_time),
+                f"{base / report.total_time:.2f}x",
                 cell_time(full_local.makespan(workers)),
-                f"{full_local.speedup(workers):.2f}x",
             ]
         )
     publish_table(
         "table10b",
-        "Section 11: simulated parallel JA-verification (greedy list scheduling)",
-        ["workers", "makespan", "speedup"],
+        "Section 11: process-parallel JA-verification (measured vs projected)",
+        ["workers", "wall-clock", "measured speedup", "projected makespan"],
         sched_rows,
-        note="independent local proofs scheduled on w workers",
+        note=(
+            f"{len(ts.properties)} local proofs on {os.cpu_count() or 1} CPU(s); "
+            "live clause exchange on"
+        ),
     )
-    return rows, sched_rows, glob, local
+    return rows, sched_rows, glob, local, reports, full_local
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="table10")
 def test_table10_parallel(benchmark):
-    rows, sched_rows, glob, local = benchmark.pedantic(
+    rows, sched_rows, glob, local, reports, full_local = benchmark.pedantic(
         build_tables, rounds=1, iterations=1
     )
     # Local proofs are flat: identical frame counts at every position.
     local_frames = {row[3] for row in rows[:-1]}
     assert len(local_frames) == 1
     # Global work grows with chain position: the deepest sampled property
-    # costs clearly more than the shallowest.
+    # costs clearly more than the shallowest (measured in SAT queries,
+    # the deterministic work measure; wall-clock flakes under load).
     first, last = SAMPLE[0], SAMPLE[-1]
-    t_first = glob.prop_times[f"c0_C{first}"]
-    t_last = glob.prop_times[f"c0_C{last}"]
-    assert t_last > 2 * t_first
-    # Local time stays within a small band while global spreads.
-    t_local = list(local.prop_times.values())
-    assert max(t_local) <= 10 * min(t_local) + 0.01
-    # Parallel speedup is monotone in workers.
-    speedups = [float(row[2][:-1]) for row in sched_rows]
-    assert speedups == sorted(speedups)
-    assert speedups[-1] > 2.0
+    assert glob.prop_queries[f"c0_C{last}"] > 2 * glob.prop_queries[f"c0_C{first}"]
+    # Local work stays within a small band while global spreads.
+    q_local = list(local.prop_queries.values())
+    assert max(q_local) <= 10 * min(q_local)
+    # The real pool agrees with the standalone measurement on verdicts,
+    # at every worker count.
+    for report in reports.values():
+        assert all(
+            o.status is PropStatus.HOLDS for o in report.outcomes.values()
+        ), report.summary()
+    assert all(s == "holds" for s in full_local.statuses.values())
+    # The projection still promises near-linear scaling ...
+    assert full_local.speedup(max(WORKER_COUNTS)) > 2.0
+    # ... and on real multi-core hardware the measured wall-clock agrees
+    # (single-core hosts time-slice the workers, so nothing to assert).
+    if (os.cpu_count() or 1) >= 4:
+        speedup = reports[1].total_time / reports[4].total_time
+        assert speedup > 1.5, f"4-worker speedup only {speedup:.2f}x"

@@ -130,6 +130,10 @@ def cmd_check(args: argparse.Namespace) -> int:
         coi_reduction=args.coi,
         ctg=args.ctg,
         cluster_inner=args.cluster_inner,
+        workers=args.workers,
+        exchange=not args.no_exchange,
+        schedule_only=args.schedule_only,
+        stop_on_failure=args.stop_on_failure,
     )
     try:
         session = Session(args.design, config)
@@ -172,7 +176,7 @@ def _print_report(report: MultiPropReport) -> None:
             rows,
         )
     )
-    if report.method.startswith(("ja", "sweep")):
+    if report.method.startswith(("ja", "sweep", "parallel")):
         print()
         print(debugging_report(report).narrative())
 
@@ -269,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--cluster-inner", choices=("joint", "ja"), default="joint",
         help="method inside each cluster (clustered only)",
+    )
+    p_check.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for parallel-ja (default: one per CPU)",
+    )
+    p_check.add_argument(
+        "--no-exchange", action="store_true",
+        help="disable live clause exchange between parallel workers",
+    )
+    p_check.add_argument(
+        "--schedule-only", action="store_true",
+        help="parallel-ja: simulate scheduling instead of spawning processes",
+    )
+    p_check.add_argument(
+        "--stop-on-failure", action="store_true",
+        help="parallel-ja: cancel queued properties after the first failure",
     )
     p_check.add_argument(
         "--progress",

@@ -8,19 +8,23 @@ ingredient facts on benchmark 6s289; the projected conclusion is that
 "verification would be finished in a matter of seconds" on one processor
 per property.
 
-Re-running thousands of OS processes is neither portable nor
-deterministic, so the experiment is reproduced the way scheduling papers
-do: measure each property's standalone (no clause exchange) local-proof
-time, then compute the makespan of scheduling those independent jobs on
-``w`` workers.  Greedy list scheduling is within a factor 4/3 of optimal
-and matches the paper's in-order dispatch.
+This module is the *simulation* counterpart: measure each property's
+standalone (no clause exchange) local-proof time, then compute the
+makespan of scheduling those independent jobs on ``w`` workers.  Greedy
+list scheduling is within a factor 4/3 of optimal and matches the
+paper's in-order dispatch.
+
+Real process-parallel execution lives in :mod:`repro.parallel`; the
+simulator remains behind it as the ``parallel-ja`` strategy's
+``schedule_only`` mode — deterministic, portable, and the honest choice
+when the host has fewer cores than the run has properties.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..engines.ic3 import IC3Options, ic3_check
 from ..engines.result import ResourceBudget
@@ -30,10 +34,16 @@ from ..ts.system import TransitionSystem
 
 @dataclass
 class ParallelSimResult:
-    """Per-property standalone times plus simulated makespans."""
+    """Per-property standalone times plus simulated makespans.
+
+    ``prop_queries`` counts the engine's SAT queries per property — the
+    deterministic work measure (wall-clock comparisons flake on loaded
+    hosts, the same reason budgets can be expressed in conflicts).
+    """
 
     prop_times: Dict[str, float] = field(default_factory=dict)
     prop_frames: Dict[str, int] = field(default_factory=dict)
+    prop_queries: Dict[str, int] = field(default_factory=dict)
     statuses: Dict[str, str] = field(default_factory=dict)
 
     def makespan(self, workers: int) -> float:
@@ -60,24 +70,36 @@ def measure_local_proofs(
     names: Optional[Sequence[str]] = None,
     per_property_time: Optional[float] = None,
     max_frames: int = 500,
+    per_property_conflicts: Optional[int] = None,
+    engine_overrides: Optional[Mapping[str, object]] = None,
 ) -> ParallelSimResult:
     """Prove each named property locally, independently (no clauseDB).
 
     This is the Table X measurement: proofs "generated independently of
     each other, i.e. there was no exchange of strengthening clauses".
+    ``engine_overrides`` are extra :class:`IC3Options` fields (e.g.
+    ``ctg``), so the measurement can mirror a configured engine.
     """
     result = ParallelSimResult()
     for name in names or [p.name for p in ts.properties]:
         assumed = assumption_names(ts, name)
-        budget = ResourceBudget(time_limit=per_property_time)
+        budget = ResourceBudget(
+            time_limit=per_property_time, conflict_limit=per_property_conflicts
+        )
         start = time.monotonic()
         engine_result = ic3_check(
             ts,
             name,
-            IC3Options(assumed=assumed, budget=budget, max_frames=max_frames),
+            IC3Options(
+                assumed=assumed,
+                budget=budget,
+                max_frames=max_frames,
+                **dict(engine_overrides or {}),
+            ),
         )
         result.prop_times[name] = time.monotonic() - start
         result.prop_frames[name] = engine_result.frames
+        result.prop_queries[name] = int(engine_result.stats.get("sat_queries", 0))
         result.statuses[name] = engine_result.status.value
     return result
 
@@ -87,16 +109,27 @@ def measure_global_proofs(
     names: Optional[Sequence[str]] = None,
     per_property_time: Optional[float] = None,
     max_frames: int = 500,
+    per_property_conflicts: Optional[int] = None,
+    engine_overrides: Optional[Mapping[str, object]] = None,
 ) -> ParallelSimResult:
     """Global-proof counterpart for the Table X comparison."""
     result = ParallelSimResult()
     for name in names or [p.name for p in ts.properties]:
-        budget = ResourceBudget(time_limit=per_property_time)
+        budget = ResourceBudget(
+            time_limit=per_property_time, conflict_limit=per_property_conflicts
+        )
         start = time.monotonic()
         engine_result = ic3_check(
-            ts, name, IC3Options(budget=budget, max_frames=max_frames)
+            ts,
+            name,
+            IC3Options(
+                budget=budget,
+                max_frames=max_frames,
+                **dict(engine_overrides or {}),
+            ),
         )
         result.prop_times[name] = time.monotonic() - start
         result.prop_frames[name] = engine_result.frames
+        result.prop_queries[name] = int(engine_result.stats.get("sat_queries", 0))
         result.statuses[name] = engine_result.status.value
     return result

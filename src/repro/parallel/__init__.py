@@ -1,0 +1,42 @@
+"""Process-parallel JA-verification (paper Section 11, for real).
+
+The paper argues that JA-verification parallelizes naturally — one
+processor per property, no mandatory clause exchange, local proofs
+getting *easier* as the assumption pool grows.  This package executes
+that claim instead of simulating it:
+
+* :mod:`repro.parallel.engine` — a pool of worker **processes**, each
+  running per-property local IC3 proofs (the same
+  :class:`~repro.multiprop.ja.JAVerifier` machinery the sequential
+  driver uses), with verdict aggregation, a total-time watchdog, and
+  early cancellation of still-queued jobs once the run-level verdict is
+  decided;
+* :mod:`repro.parallel.sharing` — a manager-mediated shared clause
+  exchange: workers publish the strengthening clauses of each local
+  proof and import everything published so far before starting the next
+  property (the paper's *optional* exchange mode, Section 11);
+* :mod:`repro.parallel.worker` — the worker process entry point and the
+  picklable job/result messages; every worker forwards its typed
+  :class:`~repro.progress.ProgressEvent` stream to the parent, which
+  merges the streams into the session's event channel.
+
+The legacy list-scheduling simulator
+(:mod:`repro.multiprop.parallel`) survives as the engine's
+``schedule_only`` mode: it still measures standalone local proofs
+sequentially and reports projected makespans, which is useful on
+machines with fewer cores than properties.
+
+Entry points: ``Session(design, strategy="parallel-ja", workers=4)`` or
+:func:`parallel_ja_verify` directly.
+"""
+
+from .engine import ParallelOptions, parallel_ja_verify
+from .sharing import ClauseExchange, ExchangeManager, start_exchange
+
+__all__ = [
+    "ParallelOptions",
+    "parallel_ja_verify",
+    "ClauseExchange",
+    "ExchangeManager",
+    "start_exchange",
+]

@@ -1,0 +1,428 @@
+"""The process-pool executor behind the ``parallel-ja`` strategy.
+
+:func:`parallel_ja_verify` dispatches one local-proof job per property
+to a pool of worker processes (Section 11's "one processor per
+property", generalized to ``workers <= len(properties)``), merges the
+workers' progress-event streams into the caller's ``emit`` channel,
+aggregates the per-property verdicts into one
+:class:`~repro.multiprop.report.MultiPropReport`, and cancels the
+still-queued remainder early when
+
+* the run-level verdict is decided: ``stop_on_failure`` is set and a
+  property came back FAILS (the aggregate "all properties hold" is then
+  false, and per Section 3 the debugging set must be fixed before the
+  rest is worth finishing), or
+* the ``total_time`` budget expired (the watchdog also clamps each
+  job's per-property budget, so no single worker can overrun the total
+  by more than one property's worth of work).
+
+Cancelled properties are reported UNKNOWN, exactly like the sequential
+driver's budget-exhausted tail.
+
+Design notes
+------------
+
+* **One output queue** carries claims, events, results and errors, so
+  the parent needs no auxiliary threads and, with one worker, the whole
+  message stream — and therefore the session's event sequence — is
+  deterministic.
+* **Worker crashes** (a killed process, an OOM) are detected by polling
+  worker liveness while the queue is idle; the crashed worker's claimed
+  job is marked UNKNOWN and surviving workers keep draining the queue.
+* **Clause exchange** (``exchange=True`` with ``clause_reuse``) hosts a
+  :class:`~repro.parallel.sharing.ClauseExchange` in a manager process;
+  with ``exchange=False`` each worker still re-uses its *own* proofs'
+  clauses, Section 6 style, but nothing crosses process boundaries
+  (Table X's independent-proof mode).
+* ``schedule_only=True`` falls back to the legacy simulator
+  (:mod:`repro.multiprop.parallel`): standalone local proofs measured
+  sequentially plus a greedy list-scheduling makespan projection —
+  useful when the host has fewer cores than the run has properties.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..engines.result import PropStatus
+from ..multiprop.parallel import ParallelSimResult, measure_local_proofs
+from ..multiprop.report import MultiPropReport, PropOutcome
+from ..progress import (
+    BudgetCheckpoint,
+    Emit,
+    PropertyCancelled,
+    PropertySolved,
+    PropertyStarted,
+    WorkerStarted,
+    emit_or_null,
+)
+from ..ts.system import TransitionSystem
+from .sharing import start_exchange
+from .worker import PropertyJob, WorkerSettings, drain_jobs, worker_main
+
+
+@dataclass
+class ParallelOptions:
+    """Configuration of one process-parallel JA run.
+
+    The JA fields mirror :class:`~repro.multiprop.ja.JAOptions`; the
+    parallel knobs are new.
+    """
+
+    workers: Optional[int] = None  # None: one per CPU (capped by #props)
+    exchange: bool = True  # live clause exchange between workers
+    schedule_only: bool = False  # legacy simulator instead of processes
+    stop_on_failure: bool = False  # cancel the queue on the first FAILS
+    start_method: Optional[str] = None  # fork where available, else spawn
+    # -- JA-verification knobs (see JAOptions) -------------------------
+    clause_reuse: bool = True
+    respect_constraints_in_lifting: bool = False
+    per_property_time: Optional[float] = None
+    per_property_conflicts: Optional[int] = None
+    total_time: Optional[float] = None
+    order: Optional[Sequence[str]] = None
+    max_frames: int = 500
+    coi_reduction: bool = False
+    ctg: bool = False
+    engine_overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def resolve_workers(self, num_jobs: int) -> int:
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return max(1, min(workers, num_jobs))
+
+    def context(self):
+        method = self.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+
+class _PoolRun:
+    """State of one in-flight pool execution (parent side)."""
+
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        options: ParallelOptions,
+        design_name: str,
+        emit: Emit,
+    ) -> None:
+        self.ts = ts
+        self.options = options
+        self.design_name = design_name
+        self.emit = emit
+        self.outcomes: Dict[str, PropOutcome] = {}
+        self.claims: Dict[int, str] = {}  # worker id -> job it is holding
+        self.errors: List[str] = []
+        self.cancelled = 0
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    def run(self, order: List[str]) -> MultiPropReport:
+        opts = self.options
+        start = time.monotonic()
+        deadline = None if opts.total_time is None else start + opts.total_time
+        workers = opts.resolve_workers(len(order))
+        ctx = opts.context()
+
+        # Per-job budget, clamped by the total budget so a single worker
+        # cannot overrun the watchdog by an unbounded amount.
+        job_time = opts.per_property_time
+        if opts.total_time is not None:
+            job_time = (
+                opts.total_time
+                if job_time is None
+                else min(job_time, opts.total_time)
+            )
+        jobs = [
+            PropertyJob(
+                name=name,
+                per_property_time=job_time,
+                per_property_conflicts=opts.per_property_conflicts,
+            )
+            for name in order
+        ]
+
+        manager = exchange = None
+        use_exchange = opts.exchange and opts.clause_reuse
+        if use_exchange:
+            manager, exchange = start_exchange(ctx=ctx)
+
+        task_queue = ctx.Queue()
+        out_queue = ctx.Queue()
+        cancel_event = ctx.Event()
+        settings = WorkerSettings(
+            design_name=self.design_name,
+            clause_reuse=opts.clause_reuse,
+            respect_constraints_in_lifting=opts.respect_constraints_in_lifting,
+            coi_reduction=opts.coi_reduction,
+            ctg=opts.ctg,
+            max_frames=opts.max_frames,
+            stop_on_failure=opts.stop_on_failure,
+            engine_overrides=dict(opts.engine_overrides),
+        )
+        drain_jobs(task_queue, jobs, workers)
+        processes = []
+        for worker_id in range(workers):
+            process = ctx.Process(
+                target=worker_main,
+                args=(
+                    worker_id,
+                    self.ts,
+                    settings,
+                    task_queue,
+                    out_queue,
+                    cancel_event,
+                    exchange,
+                ),
+                name=f"repro-ja-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self.emit(WorkerStarted(worker=worker_id))
+            processes.append(process)
+
+        try:
+            self._collect(order, processes, out_queue, cancel_event, deadline, start)
+        finally:
+            cancel_event.set()
+            for process in processes:
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.terminate()
+                    process.join(timeout=5.0)
+            task_queue.close()
+            out_queue.close()
+            exchange_stats = {}
+            if manager is not None:
+                exchange_stats = exchange.stats()
+                manager.shutdown()
+
+        if self.errors:
+            raise RuntimeError(
+                "parallel JA worker failure(s): " + "; ".join(self.errors)
+            )
+
+        report = MultiPropReport(method="parallel-ja", design=self.design_name)
+        for name in order:  # dispatch order, not completion order
+            report.outcomes[name] = self.outcomes[name]
+        report.total_time = time.monotonic() - start
+        report.stats = {
+            "mode": "process",
+            "workers": workers,
+            "exchange": int(use_exchange),
+            "exchange_clauses": exchange_stats.get("clauses", 0),
+            "cancelled": self.cancelled,
+            "worker_crashes": self.crashes,
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self, order, processes, out_queue, cancel_event, deadline, start
+    ) -> None:
+        """Drain worker messages until every property is accounted for."""
+        pending = set(order)
+        while pending:
+            if (
+                deadline is not None
+                and time.monotonic() > deadline
+                and not cancel_event.is_set()
+            ):
+                cancel_event.set()
+            try:
+                message = out_queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                if self._reap_crashed(processes, pending, cancel_event):
+                    break
+                continue
+            kind = message[0]
+            if kind == "claim":
+                _, worker_id, name = message
+                self.claims[worker_id] = name
+            elif kind == "event":
+                self.emit(message[2])
+            elif kind == "result":
+                _, worker_id, outcome = message
+                self.claims.pop(worker_id, None)
+                self._record(outcome, pending, start)
+                if (
+                    self.options.stop_on_failure
+                    and outcome.status is PropStatus.FAILS
+                    and not cancel_event.is_set()
+                ):
+                    cancel_event.set()
+            elif kind == "cancelled":
+                _, worker_id, name = message
+                self._record_cancelled(name, worker_id, pending, start)
+            elif kind == "error":
+                _, worker_id, name, detail = message
+                self.claims.pop(worker_id, None)
+                self.errors.append(f"{name}: {detail}")
+                self._record(
+                    PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
+                    pending,
+                    start,
+                )
+
+    def _reap_crashed(self, processes, pending, cancel_event) -> bool:
+        """Account for dead workers; True if no worker is left alive.
+
+        A crash (OOM kill, hard fault) is a degraded-but-valid run: the
+        claimed job is reported UNKNOWN and counted in
+        ``stats["worker_crashes"]``, survivors keep draining the queue.
+        Only *verifier exceptions* (the ``error`` message kind) abort
+        the run, matching the sequential driver's propagation.
+        """
+        for worker_id, process in enumerate(processes):
+            if process.is_alive() or process.exitcode in (0, None):
+                continue
+            name = self.claims.pop(worker_id, None)
+            if name is not None and name in pending:
+                self.crashes += 1
+                self.emit(
+                    PropertySolved(
+                        name=name, status=PropStatus.UNKNOWN, local=True
+                    )
+                )
+                self._record(
+                    PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
+                    pending,
+                    None,
+                )
+        if any(process.is_alive() for process in processes):
+            return False
+        # Nobody left to drain the task queue: mark the remainder.
+        cancel_event.set()
+        for name in sorted(pending):
+            self._record_cancelled(name, None, pending, None)
+        return True
+
+    def _record(self, outcome: PropOutcome, pending, start) -> None:
+        if outcome.name not in pending:  # pragma: no cover - defensive
+            return
+        pending.discard(outcome.name)
+        self.outcomes[outcome.name] = outcome
+        if start is not None:
+            self.emit(
+                BudgetCheckpoint(scope="total", elapsed=time.monotonic() - start)
+            )
+
+    def _record_cancelled(self, name, worker_id, pending, start) -> None:
+        if name not in pending:  # pragma: no cover - defensive
+            return
+        self.cancelled += 1
+        self.emit(PropertyCancelled(name=name, worker=worker_id))
+        self.emit(PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True))
+        self._record(
+            PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
+            pending,
+            start,
+        )
+
+
+# ----------------------------------------------------------------------
+def _schedule_only(
+    ts: TransitionSystem,
+    options: ParallelOptions,
+    design_name: str,
+    emit: Emit,
+    order: List[str],
+) -> MultiPropReport:
+    """The legacy Section 11 simulation, kept as an explicit mode.
+
+    Standalone local proofs are measured sequentially and the makespan
+    of scheduling them on the requested worker count is *projected*
+    with greedy list scheduling; ``report.stats`` carries the
+    projection next to the real sequential wall-clock.  Budget and
+    engine knobs (conflicts, ctg, lifting mode, overrides) are honored;
+    ``clause_reuse``/``exchange``/``coi_reduction`` deliberately are
+    not — Table X measures proofs "generated independently of each
+    other", which is what the projection models.
+    """
+    start = time.monotonic()
+    sim = ParallelSimResult()
+    report = MultiPropReport(method="parallel-ja", design=design_name)
+    engine_overrides = dict(options.engine_overrides)
+    engine_overrides.setdefault("ctg", options.ctg)
+    engine_overrides.setdefault(
+        "respect_constraints_in_lifting",
+        options.respect_constraints_in_lifting,
+    )
+    for name in order:
+        emit(PropertyStarted(name=name))
+        one = measure_local_proofs(
+            ts,
+            [name],
+            per_property_time=options.per_property_time,
+            max_frames=options.max_frames,
+            per_property_conflicts=options.per_property_conflicts,
+            engine_overrides=engine_overrides,
+        )
+        sim.prop_times[name] = one.prop_times[name]
+        sim.prop_frames[name] = one.prop_frames[name]
+        sim.statuses[name] = one.statuses[name]
+        status = PropStatus(one.statuses[name])
+        report.outcomes[name] = PropOutcome(
+            name=name,
+            status=status,
+            local=True,
+            frames=one.prop_frames[name],
+            time_seconds=one.prop_times[name],
+            expected_to_fail=ts.prop_by_name[name].expected_to_fail,
+        )
+        emit(
+            PropertySolved(
+                name=name,
+                status=status,
+                local=True,
+                time_seconds=one.prop_times[name],
+            )
+        )
+        emit(BudgetCheckpoint(scope="total", elapsed=time.monotonic() - start))
+    workers = options.resolve_workers(len(order)) if order else 1
+    report.total_time = time.monotonic() - start
+    report.stats = {
+        "mode": "schedule_only",
+        "workers": workers,
+        "exchange": 0,
+        "sequential_time": sim.sequential_time(),
+        "simulated_makespan": sim.makespan(workers),
+        "simulated_speedup": sim.speedup(workers),
+    }
+    return report
+
+
+def parallel_ja_verify(
+    ts: TransitionSystem,
+    options: Optional[ParallelOptions] = None,
+    design_name: str = "design",
+    emit: Optional[Emit] = None,
+) -> MultiPropReport:
+    """Verify every property of ``ts`` with the process-parallel engine.
+
+    Verdicts are the same as sequential JA-verification produces (local
+    proofs are independent; clause exchange only changes how fast they
+    finish), which the integration suite checks property-by-property.
+    """
+    opts = options or ParallelOptions()
+    emit = emit_or_null(emit)
+    order = list(opts.order) if opts.order else [p.name for p in ts.properties]
+    unknown = set(order) - {p.name for p in ts.properties}
+    if unknown:
+        raise KeyError(f"unknown properties in order: {sorted(unknown)}")
+    if not order:
+        report = MultiPropReport(method="parallel-ja", design=design_name)
+        report.stats = {"mode": "process", "workers": 0, "exchange": 0}
+        return report
+    if opts.schedule_only:
+        return _schedule_only(ts, opts, design_name, emit, order)
+    return _PoolRun(ts, opts, design_name, emit).run(order)

@@ -1,0 +1,86 @@
+"""The live clause exchange shared by parallel JA workers.
+
+Section 11 of the paper notes that workers proving different properties
+*may* (but need not) exchange strengthening clauses.  The sequential
+driver realizes exchange implicitly — one clauseDB, properties checked
+one after another.  With real worker processes the clauseDB must live
+outside any single worker, so it is hosted in a
+:class:`multiprocessing.managers.BaseManager` server process and
+accessed through proxies.
+
+The server keeps an append-only, deduplicated clause log.  Workers
+``fetch`` with a cursor (the length of the log they have already seen)
+and ``publish`` the invariant clauses of each finished local proof;
+because the log is append-only, a fetch never misses a clause published
+before its cursor position and the cursor protocol needs no locking
+beyond what the manager already serializes.
+
+Semantic validation (does the clause hold at the initial states? is it
+in range?) stays *worker-side* in :class:`~repro.multiprop.clausedb.ClauseDB`:
+the server would need the transition system for that, and shipping it
+into the manager process buys nothing — every consumer re-validates on
+import anyway.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.managers import BaseManager
+from typing import Iterable, List, Tuple
+
+Clause = Tuple[int, ...]
+
+
+class ClauseExchange:
+    """Append-only deduplicated clause log (runs in the manager process).
+
+    All methods are invoked through manager proxies; the manager
+    serializes calls, so no explicit locking is needed.
+    """
+
+    def __init__(self) -> None:
+        self._log: List[Clause] = []
+        self._seen = set()
+        self._published = 0  # publish() calls, including all-duplicate ones
+
+    def publish(self, clauses: Iterable[Iterable[int]]) -> int:
+        """Append the new clauses (duplicates dropped); returns #new."""
+        added = 0
+        for clause in clauses:
+            normalized = tuple(sorted((int(l) for l in clause), key=abs))
+            if not normalized or normalized in self._seen:
+                continue
+            self._seen.add(normalized)
+            self._log.append(normalized)
+            added += 1
+        self._published += 1
+        return added
+
+    def fetch(self, cursor: int) -> Tuple[List[Clause], int]:
+        """Clauses appended at or after ``cursor``, plus the new cursor."""
+        if cursor < 0:
+            raise ValueError(f"cursor must be non-negative, got {cursor}")
+        return self._log[cursor:], len(self._log)
+
+    def size(self) -> int:
+        return len(self._log)
+
+    def stats(self) -> dict:
+        return {"clauses": len(self._log), "publishes": self._published}
+
+
+class ExchangeManager(BaseManager):
+    """Manager hosting one :class:`ClauseExchange` per parallel run."""
+
+
+ExchangeManager.register("ClauseExchange", ClauseExchange)
+
+
+def start_exchange(ctx=None):
+    """Start a manager process and return ``(manager, exchange_proxy)``.
+
+    The caller owns the manager and must ``shutdown()`` it; the proxy is
+    picklable and can be handed to worker processes.
+    """
+    manager = ExchangeManager(ctx=ctx)
+    manager.start()
+    return manager, manager.ClauseExchange()

@@ -1,0 +1,163 @@
+"""Worker-process side of the parallel JA engine.
+
+Each worker process receives the pickled :class:`TransitionSystem` once
+(through the :class:`multiprocessing.Process` arguments), then loops on
+a task queue of :class:`PropertyJob` messages.  One job = one property:
+the worker computes the paper's ``T^P`` projection for it (via
+:func:`repro.ts.projection.assumption_names`, inside
+:class:`~repro.multiprop.ja.JAVerifier`), runs the local IC3 proof with
+the full spurious-CEX re-run ladder, and reports a
+:class:`~repro.multiprop.report.PropOutcome` back on the output queue.
+
+Everything the worker says goes through **one** queue, tagged with the
+message kinds below, so the parent can merge per-worker progress-event
+streams and result traffic without extra threads and in a
+deterministic order when ``workers == 1``:
+
+``("claim", worker, name)``
+    bookkeeping before a job starts — lets the parent attribute a
+    worker crash to the job it was holding;
+``("event", worker, ProgressEvent)``
+    a forwarded progress event from the verifier/engine stack;
+``("result", worker, PropOutcome)``
+    the verdict for one property (terminal for that job);
+``("cancelled", worker, name)``
+    the job was drained after early cancellation (terminal);
+``("error", worker, name, message)``
+    the verifier raised; the parent re-raises after the run (terminal).
+
+Clause traffic: the worker keeps a private
+:class:`~repro.multiprop.clausedb.ClauseDB` accumulating its own proofs
+(the sequential driver's Section 6 re-use, now per worker).  When a
+:class:`ClauseExchange` proxy is supplied, the worker additionally
+imports everything published since its last fetch before each job and
+publishes each new invariant — the paper's optional live exchange.
+Imported clauses are re-validated by ``ClauseDB.add`` worker-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..multiprop.clausedb import ClauseDB
+from ..multiprop.ja import JAOptions, JAVerifier
+from ..progress import BudgetCheckpoint, ProgressEvent
+from ..ts.system import TransitionSystem
+
+#: Queue sentinel: no more jobs, exit the worker loop.
+SENTINEL = None
+
+
+@dataclass(frozen=True)
+class PropertyJob:
+    """One unit of work: verify one property locally."""
+
+    name: str
+    per_property_time: Optional[float] = None
+    per_property_conflicts: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WorkerSettings:
+    """The per-run knobs every job of this run shares (picklable)."""
+
+    design_name: str = "design"
+    clause_reuse: bool = True
+    respect_constraints_in_lifting: bool = False
+    coi_reduction: bool = False
+    ctg: bool = False
+    max_frames: int = 500
+    stop_on_failure: bool = False
+    engine_overrides: Mapping[str, object] = None  # type: ignore[assignment]
+
+    def job_options(self, job: PropertyJob) -> JAOptions:
+        return JAOptions(
+            clause_reuse=self.clause_reuse,
+            respect_constraints_in_lifting=self.respect_constraints_in_lifting,
+            per_property_time=job.per_property_time,
+            per_property_conflicts=job.per_property_conflicts,
+            order=[job.name],
+            max_frames=self.max_frames,
+            coi_reduction=self.coi_reduction,
+            ctg=self.ctg,
+            engine_overrides=dict(self.engine_overrides or {}),
+        )
+
+
+def worker_main(
+    worker_id: int,
+    ts: TransitionSystem,
+    settings: WorkerSettings,
+    task_queue,
+    out_queue,
+    cancel_event,
+    exchange=None,
+) -> None:
+    """Worker loop: consume jobs until the sentinel, then exit.
+
+    ``exchange`` is a :class:`ClauseExchange` proxy or ``None``; the
+    cursor into its log is worker-local.  The loop never raises: verifier
+    exceptions become ``error`` messages so the parent can account for
+    the job and keep the pool alive.
+    """
+
+    def forward(event: ProgressEvent) -> None:
+        # The verifier emits one BudgetCheckpoint(scope="total") per
+        # property against its own job-local clock; the parent emits the
+        # real run-level checkpoints, so drop the worker-local ones.
+        if isinstance(event, BudgetCheckpoint) and event.scope == "total":
+            return
+        out_queue.put(("event", worker_id, event))
+
+    db = ClauseDB(ts)
+    cursor = 0
+    while True:
+        job = task_queue.get()
+        if job is SENTINEL:
+            break
+        if cancel_event.is_set():
+            out_queue.put(("cancelled", worker_id, job.name))
+            continue
+        out_queue.put(("claim", worker_id, job.name))
+        try:
+            if exchange is not None and settings.clause_reuse:
+                fresh, cursor = exchange.fetch(cursor)
+                db.add_all(fresh)
+            verifier = JAVerifier(ts, settings.job_options(job), emit=forward)
+            if settings.clause_reuse:
+                verifier.clause_db = db  # accumulate across this worker's jobs
+            report = verifier.run(settings.design_name)
+            outcome = report.outcomes[job.name]
+            result = verifier.results.get(job.name)
+            if (
+                exchange is not None
+                and settings.clause_reuse
+                and result is not None
+                and result.holds
+                and result.invariant
+            ):
+                # Own clauses come back on the next fetch and dedup in
+                # the local ClauseDB; skipping the cursor ahead here
+                # could silently drop clauses other workers published
+                # in between, so don't.
+                exchange.publish(result.invariant)
+            if settings.stop_on_failure and outcome.status.value == "fails":
+                # Trip the flag worker-side: with one worker this makes
+                # cancellation deterministic (the flag is set before the
+                # next job is dequeued), and with many it saves a
+                # round-trip through the parent.
+                cancel_event.set()
+            out_queue.put(("result", worker_id, outcome))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            out_queue.put(
+                ("error", worker_id, job.name, f"{type(exc).__name__}: {exc}")
+            )
+
+
+def drain_jobs(task_queue, jobs: Sequence[PropertyJob], workers: int) -> None:
+    """Enqueue all jobs followed by one sentinel per worker."""
+    for job in jobs:
+        task_queue.put(job)
+    for _ in range(workers):
+        task_queue.put(SENTINEL)

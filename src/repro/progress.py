@@ -21,6 +21,11 @@ The event vocabulary mirrors what the paper's tables measure:
 * :class:`BudgetCheckpoint` — resource usage at a known-safe point,
   the hook for external schedulers to preempt or re-balance work;
 * :class:`ClusterStarted` — the structural baseline opened a group;
+* :class:`WorkerStarted` / :class:`PropertyCancelled` — the process-
+  parallel engine launched a worker / abandoned a queued property after
+  early cancellation (the property still gets its UNKNOWN
+  :class:`PropertySolved`, preserving the one-verdict-per-property
+  invariant);
 * :class:`RunStarted` / :class:`RunFinished` — session bracketing.
 
 This module deliberately has no imports from the rest of the package so
@@ -44,6 +49,8 @@ __all__ = [
     "ClauseExport",
     "BudgetCheckpoint",
     "ClusterStarted",
+    "WorkerStarted",
+    "PropertyCancelled",
     "Emit",
     "null_emit",
     "emit_or_null",
@@ -157,6 +164,28 @@ class ClusterStarted(ProgressEvent):
     members: Tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class WorkerStarted(ProgressEvent):
+    """The parallel engine launched one worker process."""
+
+    kind: ClassVar[str] = "worker-started"
+    worker: int
+
+
+@dataclass(frozen=True)
+class PropertyCancelled(ProgressEvent):
+    """A queued property was abandoned by early cancellation.
+
+    Emitted when the run-level verdict is already decided (a failure
+    was found under ``stop_on_failure``) or the total budget expired;
+    always followed by an UNKNOWN :class:`PropertySolved` for ``name``.
+    """
+
+    kind: ClassVar[str] = "property-cancelled"
+    name: str
+    worker: Optional[int] = None
+
+
 Emit = Callable[[ProgressEvent], None]
 
 
@@ -202,4 +231,9 @@ def format_event(event: ProgressEvent) -> str:
         return f"[{event.kind}] {event.scope}: {event.elapsed:.3f}s{conflicts}"
     if isinstance(event, ClusterStarted):
         return f"[{event.kind}] {{{', '.join(event.members)}}}"
+    if isinstance(event, WorkerStarted):
+        return f"[{event.kind}] worker {event.worker}"
+    if isinstance(event, PropertyCancelled):
+        by = f" (worker {event.worker})" if event.worker is not None else ""
+        return f"[{event.kind}] {event.name}{by}"
     return f"[{event.kind}] {event!r}"

@@ -64,6 +64,33 @@ old entry point / option                      session equivalent
 ``IC3Options`` tuning knobs                   ``VerificationConfig.engine`` dict
 ``design_name=...`` argument                  ``VerificationConfig.design_name``
 ===========================================  ==================================
+
+Process-parallel JA-verification
+--------------------------------
+
+``strategy="parallel-ja"`` runs one local-proof worker process per
+property slot (paper Section 11) through
+:mod:`repro.parallel`; its knobs live on the same config object:
+
+``VerificationConfig.workers``
+    worker processes (``None``: one per CPU, capped by #properties);
+``VerificationConfig.exchange``
+    live strengthening-clause exchange between workers through a
+    manager-hosted :class:`~repro.parallel.sharing.ClauseExchange`
+    (only meaningful with ``clause_reuse``; off = Table X's
+    independent-proof mode);
+``VerificationConfig.schedule_only``
+    don't spawn processes — measure standalone local proofs
+    sequentially and *project* the makespan with the legacy greedy
+    list-scheduling simulator (:mod:`repro.multiprop.parallel`);
+``VerificationConfig.stop_on_failure``
+    early-cancel queued properties once one comes back FAILS (the
+    run-level "all hold" verdict is then decided); cancelled
+    properties are reported UNKNOWN.
+
+Worker progress events are merged into the session's normal event
+channel; :class:`WorkerStarted` and :class:`PropertyCancelled` make the
+pool's lifecycle observable.
 """
 
 from ..progress import (
@@ -74,10 +101,12 @@ from ..progress import (
     Emit,
     FrameAdvanced,
     ProgressEvent,
+    PropertyCancelled,
     PropertySolved,
     PropertyStarted,
     RunFinished,
     RunStarted,
+    WorkerStarted,
     format_event,
 )
 from .config import ENGINE_OVERRIDE_KEYS, ConfigError, VerificationConfig, resolve_order
@@ -117,6 +146,8 @@ __all__ = [
     "ClauseExport",
     "BudgetCheckpoint",
     "ClusterStarted",
+    "WorkerStarted",
+    "PropertyCancelled",
     "Emit",
     "format_event",
 ]

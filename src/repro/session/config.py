@@ -63,6 +63,15 @@ class VerificationConfig:
     include_etf: bool = True
     cluster_inner: str = "joint"
     similarity_threshold: float = 0.5
+    # -- parallel-ja specifics (Section 11) ----------------------------
+    #: Worker processes; ``None`` means one per CPU (capped by #props).
+    workers: Optional[int] = None
+    #: Live clause exchange between workers (requires ``clause_reuse``).
+    exchange: bool = True
+    #: Fall back to the legacy list-scheduling simulator (no processes).
+    schedule_only: bool = False
+    #: Cancel still-queued properties once one comes back FAILS.
+    stop_on_failure: bool = False
     # -- escape hatch: validated IC3Options overrides ------------------
     engine: Dict[str, object] = field(default_factory=dict)
     # -- reporting -----------------------------------------------------
@@ -93,6 +102,8 @@ class VerificationConfig:
                 f"similarity_threshold must be within [0, 1], "
                 f"got {self.similarity_threshold!r}"
             )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers!r}")
         self._validate_order_spec()
         unknown = set(self.engine) - ENGINE_OVERRIDE_KEYS
         if unknown:

@@ -20,8 +20,9 @@ touching ``session`` or ``cli`` code:
             return report
 
 The built-in adapters in :mod:`repro.session.strategies` register the
-paper's four methods (``ja``, ``joint``, ``separate``, ``clustered``)
-plus the simulation-assisted ``sweep-ja`` pipeline the same way.
+paper's four methods (``ja``, ``joint``, ``separate``, ``clustered``),
+the simulation-assisted ``sweep-ja`` pipeline, and the process-parallel
+``parallel-ja`` engine (Section 11) the same way.
 """
 
 from __future__ import annotations

@@ -109,3 +109,31 @@ class SweptJAStrategy:
             design_name=config.design_name,
             emit=emit,
         )
+
+
+@register_strategy("parallel-ja")
+class ParallelJAStrategy:
+    """Process-parallel JA-verification with live clause exchange (Sec. 11)."""
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        from ..parallel import ParallelOptions, parallel_ja_verify
+
+        options = ParallelOptions(
+            workers=config.workers,
+            exchange=config.exchange,
+            schedule_only=config.schedule_only,
+            stop_on_failure=config.stop_on_failure,
+            clause_reuse=config.clause_reuse,
+            respect_constraints_in_lifting=config.respect_constraints_in_lifting,
+            per_property_time=config.per_property_time,
+            per_property_conflicts=config.per_property_conflicts,
+            total_time=config.total_time,
+            order=resolve_order(ts, config.order),
+            max_frames=config.max_frames,
+            coi_reduction=config.coi_reduction,
+            ctg=config.ctg,
+            engine_overrides=dict(config.engine),
+        )
+        return parallel_ja_verify(
+            ts, options, design_name=config.design_name, emit=emit
+        )

@@ -54,8 +54,11 @@ class TestMeasurement:
         assert all(s == "holds" for s in glob.statuses.values())
         # Local frame counts are flat and small.
         assert max(local.prop_frames.values()) <= 3
-        # Global work grows along the chain.
-        assert glob.prop_times["c0_C23"] > local.prop_times["c0_C23"]
+        # Global work grows along the chain — compared in SAT queries,
+        # the deterministic work measure (millisecond wall-clock pairs
+        # flake under scheduler noise on loaded hosts).
+        assert glob.prop_queries["c0_C23"] > 4 * local.prop_queries["c0_C23"]
+        assert glob.prop_queries["c0_C23"] > glob.prop_queries["c0_C2"]
 
     def test_speedup_increases_with_workers(self):
         ts = TransitionSystem(huge_design(chain_depth=16))

@@ -1,0 +1,197 @@
+"""Unit tests for the process-parallel JA engine and its clause exchange."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.result import PropStatus
+from repro.parallel import ParallelOptions, parallel_ja_verify, start_exchange
+from repro.parallel.sharing import ClauseExchange
+from repro.progress import (
+    PropertyCancelled,
+    PropertySolved,
+    WorkerStarted,
+)
+from repro.session import Session
+from repro.ts.system import TransitionSystem
+
+
+class TestClauseExchange:
+    """Server-side log semantics (tested in-process, no manager)."""
+
+    def test_publish_fetch_roundtrip(self):
+        exchange = ClauseExchange()
+        assert exchange.publish([(1, 2), (-3,)]) == 2
+        clauses, cursor = exchange.fetch(0)
+        assert clauses == [(1, 2), (-3,)]
+        assert cursor == 2
+
+    def test_cursor_only_sees_new_clauses(self):
+        exchange = ClauseExchange()
+        exchange.publish([(1,)])
+        _, cursor = exchange.fetch(0)
+        exchange.publish([(2,), (1,)])  # (1,) is a duplicate
+        fresh, cursor = exchange.fetch(cursor)
+        assert fresh == [(2,)]
+        assert exchange.size() == 2
+
+    def test_duplicates_are_dropped(self):
+        exchange = ClauseExchange()
+        assert exchange.publish([(1, -2), (1, -2)]) == 1
+        assert exchange.publish([(1, -2)]) == 0
+
+    def test_clauses_normalized_by_variable(self):
+        exchange = ClauseExchange()
+        exchange.publish([(-2, 1)])
+        assert exchange.fetch(0)[0] == [(1, -2)]
+
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(ValueError):
+            ClauseExchange().fetch(-1)
+
+    def test_stats(self):
+        exchange = ClauseExchange()
+        exchange.publish([(1,)])
+        exchange.publish([])
+        assert exchange.stats() == {"clauses": 1, "publishes": 2}
+
+    def test_manager_hosted_roundtrip(self):
+        manager, proxy = start_exchange()
+        try:
+            proxy.publish([(1, 2)])
+            clauses, cursor = proxy.fetch(0)
+            assert clauses == [(1, 2)] and cursor == 1
+        finally:
+            manager.shutdown()
+
+
+class TestEngine:
+    def test_verdicts_and_stats(self, toggler):
+        report = parallel_ja_verify(
+            toggler, ParallelOptions(workers=2), design_name="toggler"
+        )
+        assert report.method == "parallel-ja"
+        assert report.design == "toggler"
+        assert report.outcomes["never_r"].status is PropStatus.HOLDS
+        assert report.outcomes["never_q"].status is PropStatus.FAILS
+        assert report.stats["mode"] == "process"
+        assert report.stats["workers"] == 2
+        assert report.stats["worker_crashes"] == 0
+
+    def test_outcomes_follow_dispatch_order(self, counter4):
+        options = ParallelOptions(workers=2, order=["P1", "P0"])
+        report = parallel_ja_verify(counter4, options)
+        assert list(report.outcomes) == ["P1", "P0"]
+
+    def test_empty_property_list(self):
+        from repro.circuit.aig import AIG
+
+        aig = AIG()
+        aig.add_latch("l", init=0)
+        report = parallel_ja_verify(TransitionSystem(aig))
+        assert report.outcomes == {}
+
+    def test_unknown_order_name_rejected(self, toggler):
+        with pytest.raises(KeyError):
+            parallel_ja_verify(toggler, ParallelOptions(order=["nope"]))
+
+    def test_invalid_worker_count_rejected(self, toggler):
+        with pytest.raises(ValueError):
+            parallel_ja_verify(toggler, ParallelOptions(workers=0))
+
+    def test_worker_events_are_merged(self, toggler):
+        events = []
+        parallel_ja_verify(toggler, ParallelOptions(workers=2), emit=events.append)
+        assert sum(isinstance(e, WorkerStarted) for e in events) == 2
+        solved = [e for e in events if isinstance(e, PropertySolved)]
+        assert {e.name for e in solved} == {"never_r", "never_q"}
+
+    def test_exchange_off_shares_nothing(self, counter4):
+        report = parallel_ja_verify(
+            counter4, ParallelOptions(workers=2, exchange=False)
+        )
+        assert report.stats["exchange"] == 0
+        assert report.stats["exchange_clauses"] == 0
+
+    def test_clause_reuse_off_disables_exchange(self, counter4):
+        report = parallel_ja_verify(
+            counter4, ParallelOptions(workers=2, clause_reuse=False)
+        )
+        assert report.stats["exchange"] == 0
+
+
+class TestEarlyCancellation:
+    def test_stop_on_failure_cancels_the_queue(self, toggler):
+        # One worker, failing property first: everything behind it in
+        # the queue must be cancelled deterministically.
+        events = []
+        options = ParallelOptions(
+            workers=1, stop_on_failure=True, order=["never_q", "never_r"]
+        )
+        report = parallel_ja_verify(toggler, options, emit=events.append)
+        assert report.outcomes["never_q"].status is PropStatus.FAILS
+        assert report.outcomes["never_r"].status is PropStatus.UNKNOWN
+        assert report.stats["cancelled"] == 1
+        cancelled = [e for e in events if isinstance(e, PropertyCancelled)]
+        assert [e.name for e in cancelled] == ["never_r"]
+        # The one-verdict-per-property invariant survives cancellation.
+        solved = [e for e in events if isinstance(e, PropertySolved)]
+        assert sorted(e.name for e in solved) == ["never_q", "never_r"]
+
+    def test_zero_total_time_cancels_everything(self, toggler):
+        report = parallel_ja_verify(
+            toggler, ParallelOptions(workers=2, total_time=0.0)
+        )
+        assert all(
+            o.status is PropStatus.UNKNOWN for o in report.outcomes.values()
+        )
+        assert report.stats["cancelled"] == len(toggler.properties)
+
+
+class TestScheduleOnly:
+    def test_matches_process_verdicts(self, toggler):
+        simulated = parallel_ja_verify(
+            toggler, ParallelOptions(schedule_only=True, workers=4)
+        )
+        real = parallel_ja_verify(toggler, ParallelOptions(workers=2))
+        assert {n: o.status for n, o in simulated.outcomes.items()} == {
+            n: o.status for n, o in real.outcomes.items()
+        }
+
+    def test_projection_stats(self, counter4):
+        report = parallel_ja_verify(
+            counter4, ParallelOptions(schedule_only=True, workers=2)
+        )
+        assert report.stats["mode"] == "schedule_only"
+        assert report.stats["simulated_speedup"] >= 1.0
+        assert (
+            report.stats["simulated_makespan"]
+            <= report.stats["sequential_time"] + 1e-9
+        )
+
+    def test_emits_one_verdict_per_property(self, counter4):
+        events = []
+        parallel_ja_verify(
+            counter4,
+            ParallelOptions(schedule_only=True),
+            emit=events.append,
+        )
+        solved = [e for e in events if isinstance(e, PropertySolved)]
+        assert len(solved) == len(counter4.properties)
+
+
+class TestSessionIntegration:
+    def test_session_stream_merges_worker_events(self, toggler):
+        session = Session(toggler, strategy="parallel-ja", workers=2)
+        kinds = [event.kind for event in session.stream()]
+        assert kinds[0] == "run-started"
+        assert kinds[-1] == "run-finished"
+        assert kinds.count("worker-started") == 2
+        assert kinds.count("property-solved") == len(toggler.properties)
+        assert session.report is not None
+
+    def test_workers_validated_by_config(self, toggler):
+        from repro.session import ConfigError
+
+        with pytest.raises(ConfigError):
+            Session(toggler, strategy="parallel-ja", workers=0)

@@ -1,0 +1,179 @@
+"""Differential fuzz suite for the CDCL solver.
+
+Hypothesis generates small random CNFs; every verdict is checked against
+the brute-force enumerator from ``tests.conftest``.  Beyond plain
+SAT/UNSAT agreement (already covered in ``test_solver``), this suite
+checks the *artifacts*:
+
+* SAT answers come with a model that satisfies every clause (and every
+  assumption, when assuming);
+* UNSAT-under-assumptions answers come with a core that (a) only
+  mentions assumed literals, (b) is itself sufficient — the formula
+  stays UNSAT when only the core literals are assumed, verified both by
+  brute force and by a fresh solver instance;
+* both properties survive incremental use: clauses added between
+  ``solve()`` calls, assumptions varied call to call.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver, Status
+from tests.conftest import brute_force_sat, random_cnf
+
+MAX_VARS = 6
+
+
+def _signed(max_var: int):
+    return st.integers(min_value=1, max_value=max_var).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+
+
+def _cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=MAX_VARS))
+    clauses = draw(
+        st.lists(
+            st.lists(_signed(num_vars), min_size=1, max_size=4),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    return num_vars, clauses
+
+
+def _load(clauses) -> Solver:
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def _model_satisfies(solver: Solver, clauses) -> bool:
+    return all(any(solver.value(lit) for lit in clause) for clause in clauses)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_sat_model_is_a_real_model(data):
+    num_vars, clauses = _cnf(data.draw)
+    solver = _load(clauses)
+    status = solver.solve() if solver.ok else Status.UNSAT
+    assert (status == Status.SAT) == brute_force_sat(num_vars, clauses)
+    if status == Status.SAT:
+        assert _model_satisfies(solver, clauses)
+        # model() must agree with value() literal by literal.
+        for lit in solver.model():
+            assert solver.value(lit) is True
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_assumption_agreement_and_model(data):
+    num_vars, clauses = _cnf(data.draw)
+    assumptions = data.draw(
+        st.lists(_signed(num_vars), min_size=1, max_size=4, unique_by=abs)
+    )
+    solver = _load(clauses)
+    status = solver.solve(assumptions) if solver.ok else Status.UNSAT
+    expected = brute_force_sat(
+        num_vars, list(clauses) + [[a] for a in assumptions]
+    )
+    assert (status == Status.SAT) == expected
+    if status == Status.SAT:
+        assert _model_satisfies(solver, clauses)
+        for assumption in assumptions:
+            assert solver.value(assumption) is True
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_unsat_core_is_sound(data):
+    num_vars, clauses = _cnf(data.draw)
+    assumptions = data.draw(
+        st.lists(_signed(num_vars), min_size=1, max_size=5, unique_by=abs)
+    )
+    solver = _load(clauses)
+    if not solver.ok:
+        return  # UNSAT at level 0: no assumption core to speak of
+    if solver.solve(assumptions) != Status.UNSAT:
+        return
+    core = solver.core()
+    assert core <= set(assumptions)
+    # The core alone reproduces the conflict: by brute force ...
+    assert not brute_force_sat(num_vars, list(clauses) + [[a] for a in core])
+    # ... and through a fresh solver instance.
+    fresh = _load(clauses)
+    assert fresh.solve(sorted(core, key=abs)) == Status.UNSAT
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_incremental_solving_matches_brute_force(data):
+    """Verdicts stay exact as clauses arrive between solve() calls."""
+    num_vars, clauses = _cnf(data.draw)
+    cut = data.draw(st.integers(min_value=0, max_value=len(clauses)))
+    solver = Solver()
+    added = []
+    for batch in (clauses[:cut], clauses[cut:]):
+        ok = True
+        for clause in batch:
+            ok = solver.add_clause(clause) and ok
+            added.append(clause)
+        status = solver.solve() if solver.ok else Status.UNSAT
+        assert (status == Status.SAT) == brute_force_sat(num_vars, added)
+        if status == Status.SAT:
+            assert _model_satisfies(solver, added)
+
+
+def test_conflicting_assumptions_are_unsat_with_core():
+    solver = Solver()
+    solver.add_clause([1, 2])
+    assert solver.solve([3, -3]) == Status.UNSAT
+    assert solver.core() <= {3, -3}
+    # The same solver stays usable afterwards (incremental contract).
+    assert solver.solve() == Status.SAT
+
+
+def test_assumption_entailed_by_units():
+    solver = Solver()
+    solver.add_clause([1])
+    solver.add_clause([-1, 2])
+    assert solver.solve([-2]) == Status.UNSAT
+    assert solver.core() == {-2}
+    assert solver.solve([2]) == Status.SAT
+
+
+@pytest.mark.slow
+def test_seeded_sweep_against_brute_force():
+    """A deterministic, wider sweep than the Hypothesis budget allows."""
+    rng = random.Random(20260727)
+    for _ in range(400):
+        num_vars, clauses = random_cnf(rng)
+        solver = _load(clauses)
+        status = solver.solve() if solver.ok else Status.UNSAT
+        assert (status == Status.SAT) == brute_force_sat(num_vars, clauses)
+        if status == Status.SAT:
+            assert _model_satisfies(solver, clauses)
+        assumptions = [
+            rng.choice([-1, 1]) * v
+            for v in rng.sample(range(1, num_vars + 1), min(3, num_vars))
+        ]
+        solver = _load(clauses)
+        if not solver.ok:
+            continue
+        status = solver.solve(assumptions)
+        expected = brute_force_sat(
+            num_vars, list(clauses) + [[a] for a in assumptions]
+        )
+        assert (status == Status.SAT) == expected
+        if status == Status.UNSAT:
+            core = solver.core()
+            assert core <= set(assumptions)
+            assert not brute_force_sat(
+                num_vars, list(clauses) + [[a] for a in core]
+            )
