@@ -1,0 +1,299 @@
+"""Incremental SAT backend benchmark: persistent solvers vs rebuild-per-query.
+
+Quantifies the tentpole of the incremental backend API on the paper
+families: IC3 (through the JA driver, so assumptions and clause re-use
+are in play) and BMC are run twice per design —
+
+* **persistent** — the default: one consecution solver and one
+  bad-state solver per property, frame membership by activation
+  literal, O(1) solver setup per query;
+* **rebuild** — ``IC3Options.incremental=False`` (and, for BMC, an
+  explicit re-encode-to-depth-k loop): a fresh solver per query, the
+  O(CNF) baseline this repo shipped with.
+
+Per cell we record wall-clock, total clause-insertion operations,
+per-query setup cost, and the verdict/frame maps; every registered
+backend runs both modes and the JSON records whether verdicts and
+frames agree across modes, backends and strategies.  The result is
+written to ``BENCH_incremental.json`` at the repo root (and a rendered
+table to ``benchmarks/results/``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_incremental.py
+or:   PYTHONPATH=src python -m pytest benchmarks/bench_incremental.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+# Script mode (`python benchmarks/bench_incremental.py`): make the repo
+# root importable the same way pytest's rootdir insertion does.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.circuit.aig import aig_not
+from repro.encode.unroll import Unroller
+from repro.gen import ALL_TRUE_SPECS, FAILING_SPECS, buggy_counter
+from repro.multiprop.ja import JAOptions, JAVerifier
+from repro.sat import Status, available_backends, create_solver
+from repro.session import Session
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import publish_table
+
+#: Paper families benchmarked (kept small so the rebuild baseline stays
+#: affordable); counter8 is the paper's Example 1, the t-designs are
+#: all-true (real inductive proofs), f104 is a failing family.
+FAMILIES = {
+    "counter8": lambda: buggy_counter(bits=8),
+    "t124": ALL_TRUE_SPECS["t124"].build,
+    "t135": ALL_TRUE_SPECS["t135"].build,
+    "f104": FAILING_SPECS["f104"].build,
+}
+
+BMC_DEPTH = 12
+
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_incremental.json")
+
+
+# ----------------------------------------------------------------------
+def run_ic3(ts: TransitionSystem, backend: str, incremental: bool) -> Dict:
+    """One JA-verification pass; returns timing + work + verdict maps."""
+    verifier = JAVerifier(
+        ts,
+        JAOptions(
+            solver_backend=backend,
+            engine_overrides={"incremental": incremental},
+        ),
+    )
+    start = time.monotonic()
+    report = verifier.run()
+    wall = time.monotonic() - start
+    insertions = queries = allocs = 0
+    for result in verifier.results.values():
+        insertions += result.stats.get("clause_insertions", 0)
+        queries += result.stats.get("sat_queries", 0)
+        allocs += result.stats.get("solver_allocs", 0)
+    return {
+        "wall_s": round(wall, 4),
+        "clause_insertions": insertions,
+        "sat_queries": queries,
+        "solver_allocs": allocs,
+        "insertions_per_query": round(insertions / max(queries, 1), 2),
+        "setup_s_per_query": round(wall / max(queries, 1), 6),
+        "verdicts": {n: o.status.value for n, o in report.outcomes.items()},
+        "frames": {n: o.frames for n, o in report.outcomes.items()},
+    }
+
+
+def run_bmc_persistent(ts: TransitionSystem, backend: str) -> Dict:
+    """Default BMC: one incremental unrolling, bad cone by assumption."""
+    start = time.monotonic()
+    solver = create_solver(backend)
+    unroller = Unroller(ts.aig, solver)
+    verdicts = {}
+    queries = 0
+    for prop in ts.properties:
+        verdicts[prop.name] = "unknown"
+    for t in range(BMC_DEPTH):
+        frame = unroller.frame(t)
+        for c in ts.aig.constraints:
+            solver.add_clause([frame.lit(c)])
+        for prop in ts.properties:
+            if verdicts[prop.name] != "unknown":
+                continue
+            queries += 1
+            if solver.solve([frame.lit(aig_not(prop.lit))]) is Status.SAT:
+                verdicts[prop.name] = f"fails@{t + 1}"
+    return {
+        "wall_s": round(time.monotonic() - start, 4),
+        "clause_insertions": solver.stats()["clauses_added"],
+        "sat_queries": queries,
+        "verdicts": verdicts,
+    }
+
+
+def run_bmc_rebuild(ts: TransitionSystem, backend: str) -> Dict:
+    """Baseline BMC: re-encode the whole unrolling for every depth."""
+    start = time.monotonic()
+    verdicts = {prop.name: "unknown" for prop in ts.properties}
+    insertions = queries = 0
+    for t in range(BMC_DEPTH):
+        for prop in ts.properties:
+            if verdicts[prop.name] != "unknown":
+                continue
+            solver = create_solver(backend)
+            unroller = Unroller(ts.aig, solver)
+            for k in range(t + 1):
+                frame = unroller.frame(k)
+                for c in ts.aig.constraints:
+                    solver.add_clause([frame.lit(c)])
+            queries += 1
+            bad = unroller.frame(t).lit(aig_not(prop.lit))
+            if solver.solve([bad]) is Status.SAT:
+                verdicts[prop.name] = f"fails@{t + 1}"
+            insertions += solver.stats()["clauses_added"]
+    return {
+        "wall_s": round(time.monotonic() - start, 4),
+        "clause_insertions": insertions,
+        "sat_queries": queries,
+        "verdicts": verdicts,
+    }
+
+
+def run_strategies(ts: TransitionSystem, backends) -> Dict:
+    """Verdict/frame maps per strategy per backend (parity evidence)."""
+    out: Dict[str, Dict] = {}
+    for strategy in ("ja", "separate", "joint"):
+        per_backend = {}
+        for backend in backends:
+            report = Session(
+                ts, strategy=strategy, solver_backend=backend
+            ).run()
+            per_backend[backend] = {
+                "verdicts": {
+                    n: o.status.value for n, o in report.outcomes.items()
+                },
+                "frames": {n: o.frames for n, o in report.outcomes.items()},
+            }
+        reference = per_backend[backends[0]]
+        out[strategy] = {
+            "backends": per_backend,
+            "identical_across_backends": all(
+                per_backend[b] == reference for b in backends
+            ),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+def build_report() -> Dict:
+    backends = sorted(available_backends())
+    report: Dict = {
+        "benchmark": "incremental-sat-backends",
+        "backends": backends,
+        "bmc_depth": BMC_DEPTH,
+        "families": {},
+    }
+    worst_ic3_ratio = worst_bmc_ratio = float("inf")
+    all_parity = True
+    rows = []
+    for name, build in FAMILIES.items():
+        ts = TransitionSystem(build())
+        family: Dict = {"properties": len(ts.properties), "backends": {}}
+        for backend in backends:
+            persistent = run_ic3(ts, backend, incremental=True)
+            rebuild = run_ic3(ts, backend, incremental=False)
+            bmc_p = run_bmc_persistent(ts, backend)
+            bmc_r = run_bmc_rebuild(ts, backend)
+            ic3_ratio = rebuild["clause_insertions"] / max(
+                persistent["clause_insertions"], 1
+            )
+            bmc_ratio = bmc_r["clause_insertions"] / max(
+                bmc_p["clause_insertions"], 1
+            )
+            parity = (
+                persistent["verdicts"] == rebuild["verdicts"]
+                and persistent["frames"] == rebuild["frames"]
+                and bmc_p["verdicts"] == bmc_r["verdicts"]
+            )
+            all_parity = all_parity and parity
+            worst_ic3_ratio = min(worst_ic3_ratio, ic3_ratio)
+            worst_bmc_ratio = min(worst_bmc_ratio, bmc_ratio)
+            family["backends"][backend] = {
+                "ic3": {
+                    "persistent": persistent,
+                    "rebuild": rebuild,
+                    "insertion_ratio": round(ic3_ratio, 2),
+                    "speedup": round(
+                        rebuild["wall_s"] / max(persistent["wall_s"], 1e-9), 2
+                    ),
+                },
+                "bmc": {
+                    "persistent": bmc_p,
+                    "rebuild": bmc_r,
+                    "insertion_ratio": round(bmc_ratio, 2),
+                    "speedup": round(
+                        bmc_r["wall_s"] / max(bmc_p["wall_s"], 1e-9), 2
+                    ),
+                },
+                "verdicts_and_frames_identical": parity,
+            }
+            rows.append(
+                [
+                    name,
+                    backend,
+                    persistent["wall_s"],
+                    rebuild["wall_s"],
+                    persistent["clause_insertions"],
+                    rebuild["clause_insertions"],
+                    f"{ic3_ratio:.1f}x",
+                    f"{bmc_ratio:.1f}x",
+                    "yes" if parity else "NO",
+                ]
+            )
+        # Cross-backend verdict/frame parity on the persistent engine.
+        reference = family["backends"][backends[0]]["ic3"]["persistent"]
+        family["ic3_identical_across_backends"] = all(
+            family["backends"][b]["ic3"]["persistent"]["verdicts"]
+            == reference["verdicts"]
+            and family["backends"][b]["ic3"]["persistent"]["frames"]
+            == reference["frames"]
+            for b in backends
+        )
+        all_parity = all_parity and family["ic3_identical_across_backends"]
+        family["strategies"] = run_strategies(ts, backends)
+        all_parity = all_parity and all(
+            entry["identical_across_backends"]
+            for entry in family["strategies"].values()
+        )
+        report["families"][name] = family
+
+    report["summary"] = {
+        "min_ic3_insertion_ratio": round(worst_ic3_ratio, 2),
+        "min_bmc_insertion_ratio": round(worst_bmc_ratio, 2),
+        "meets_2x_insertion_target": worst_ic3_ratio >= 2.0,
+        "verdicts_and_frames_identical_everywhere": all_parity,
+    }
+    publish_table(
+        "bench_incremental",
+        "Incremental backends: persistent vs rebuild-per-query",
+        [
+            "design",
+            "backend",
+            "IC3 incr (s)",
+            "IC3 rebuild (s)",
+            "incr inserts",
+            "rebuild inserts",
+            "IC3 ratio",
+            "BMC ratio",
+            "parity",
+        ],
+        rows,
+    )
+    return report
+
+
+def write_report() -> Dict:
+    report = build_report()
+    path = os.path.abspath(OUTPUT)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+    print(f"wrote {path}")
+    return report
+
+
+def test_incremental_benchmark():
+    """Benchmark-as-test: the acceptance bars must hold."""
+    report = write_report()
+    summary = report["summary"]
+    assert summary["meets_2x_insertion_target"], summary
+    assert summary["verdicts_and_frames_identical_everywhere"], summary
+
+
+if __name__ == "__main__":
+    report = write_report()
+    print(json.dumps(report["summary"], indent=2))

@@ -13,7 +13,10 @@ debugging set {P0}: the only behaviour that needs fixing first.
 
 Every strategy runs through the same :class:`repro.Session` facade; the
 strategy name selects the method, and progress events stream to any
-subscribed callback while the run is in flight.
+subscribed callback while the run is in flight.  The SAT backend under
+the engines is pluggable the same way (``solver_backend="cdcl-compact"``,
+CLI ``--backend``, registry in :mod:`repro.sat`); see
+``examples/custom_backend.py`` and the README's backend section.
 
 Run:  python examples/quickstart.py
 """
@@ -64,6 +67,19 @@ def main() -> None:
         f"depth {result.frames} ({result.time_seconds:.2f}s with IC3; BMC "
         "takes far longer) -- JA-verification avoided computing it altogether."
     )
+    print()
+
+    # --- the same run on a different SAT backend ---------------------
+    # Engines obtain solvers from the repro.sat registry; any registered
+    # backend name plugs in here, on the CLI (--backend), or process-wide
+    # via the REPRO_SAT_BACKEND environment variable.
+    from repro import available_backends
+
+    compact = Session(
+        aig, strategy="ja", design_name="counter8", solver_backend="cdcl-compact"
+    ).run()
+    print(f"backends available: {', '.join(available_backends())}")
+    print(f"same verdicts on cdcl-compact: {compact.summary()}")
 
 
 if __name__ == "__main__":

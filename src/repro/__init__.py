@@ -6,7 +6,9 @@ Assumptions)", DATE 2018 (arXiv:1711.05698).
 
 Layers (bottom-up):
 
-* :mod:`repro.sat` — a CDCL SAT solver (incremental, assumption cores);
+* :mod:`repro.sat` — incremental CDCL SAT solvers behind a pluggable
+  backend registry (:class:`SatBackend` protocol, assumption cores,
+  activation-literal clause groups);
 * :mod:`repro.circuit` — AIG circuit model, word-level builder, AIGER
   I/O, concrete simulator;
 * :mod:`repro.encode` — Tseitin encoding and BMC unrolling;
@@ -67,7 +69,15 @@ from .multiprop import (
     separate_verify,
 )
 from .progress import ProgressEvent, format_event
-from .sat import Solver, Status
+from .sat import (
+    SatBackend,
+    Solver,
+    Status,
+    UnknownBackendError,
+    available_backends,
+    create_solver,
+    register_backend,
+)
 from .session import (
     ConfigError,
     Session,
@@ -90,7 +100,12 @@ __all__ = [
     "load_aag",
     "save_aag",
     "Solver",
+    "SatBackend",
     "Status",
+    "UnknownBackendError",
+    "register_backend",
+    "create_solver",
+    "available_backends",
     "TransitionSystem",
     "Trace",
     "ProjectedReachability",

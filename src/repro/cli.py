@@ -14,7 +14,10 @@ strategies registered by plugins are immediately usable — drives it via
 :class:`~repro.session.Session`, prints the verdict table and the
 debugging-set narrative, and optionally dumps machine-readable JSON.
 ``--progress`` streams the typed progress events as they happen;
-``--list-strategies`` enumerates the registry.
+``--list-strategies`` enumerates the strategy registry and
+``--list-backends`` the SAT backend registry (``check --backend NAME``
+selects one; the ``REPRO_SAT_BACKEND`` environment variable sets the
+process default).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from .multiprop import debugging_report
 from .multiprop.report import MultiPropReport, render_table
 from .multiprop.sweep import sweep as run_sweep
 from .progress import format_event
+from .sat import available_backends
 from .session import (
     ConfigError,
     Session,
@@ -134,6 +138,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         exchange=not args.no_exchange,
         schedule_only=args.schedule_only,
         stop_on_failure=args.stop_on_failure,
+        solver_backend=args.backend,
     )
     try:
         session = Session(args.design, config)
@@ -213,6 +218,15 @@ class _ListStrategiesAction(argparse.Action):
         parser.exit(0)
 
 
+class _ListBackendsAction(argparse.Action):
+    """``--list-backends``: print the SAT backend registry and exit."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        for name, description in available_backends().items():
+            print(f"{name:<14} {description}")
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -226,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         action=_ListStrategiesAction,
         nargs=0,
         help="list registered verification strategies and exit",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action=_ListBackendsAction,
+        nargs=0,
+        help="list registered SAT backends and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -254,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="ja",
         metavar="NAME",
         help="verification strategy (see --list-strategies; default: ja)",
+    )
+    p_check.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="SAT backend (see --list-backends; default: REPRO_SAT_BACKEND or cdcl)",
     )
     p_check.add_argument("--time-limit", type=float, default=None, help="total seconds")
     p_check.add_argument(

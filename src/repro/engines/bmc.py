@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from ..circuit.aig import aig_not
 from ..encode.unroll import Unroller
 from ..progress import BudgetCheckpoint, Emit, FrameAdvanced, emit_or_null
-from ..sat import Solver, Status
+from ..sat import Status, create_solver
 from ..ts.system import TransitionSystem
 from ..ts.trace import Trace
 from .result import EngineResult, PropStatus, ResourceBudget
@@ -32,14 +32,18 @@ def bmc_check(
     budget: Optional[ResourceBudget] = None,
     validate: bool = True,
     emit: Optional[Emit] = None,
+    solver_backend: Optional[str] = None,
 ) -> EngineResult:
     """Search for a counterexample of depth ``<= max_depth`` frames.
 
     ``assumed`` names properties asserted at all frames before the
     failure frame (local verification); with ``assumed=()`` this is
-    plain global BMC.  ``emit``, when given, receives a
-    :class:`~repro.progress.FrameAdvanced` event per unrolling depth
-    (plus budget checkpoints when a budget is set).
+    plain global BMC.  The whole search lives in **one** incremental
+    solver (from the ``solver_backend`` registry entry): each depth
+    extends the same unrolling and selects its bad cone purely by
+    assumption, so deepening never re-encodes earlier frames.  ``emit``,
+    when given, receives a :class:`~repro.progress.FrameAdvanced` event
+    per unrolling depth (plus budget checkpoints when a budget is set).
 
     Depth convention matches :class:`Trace`: a depth-1 CEX fails in the
     initial state.
@@ -51,24 +55,25 @@ def bmc_check(
     if any(p.name == prop_name for p in assumed_props):
         raise ValueError("a property cannot be assumed while checking itself")
 
-    solver = Solver()
+    solver = create_solver(solver_backend)
     unroller = Unroller(ts.aig, solver)
     stats = {"sat_queries": 0, "max_depth_reached": 0}
 
     for t in range(max_depth):
         if budget is not None and budget.exhausted():
+            stats["clause_insertions"] = solver.stats()["clauses_added"]
             return _unknown(prop_name, t, assumed, start, stats)
         frame = unroller.frame(t)
         for c in ts.aig.constraints:
             solver.add_clause([frame.lit(c)])
         bad_lit = frame.lit(aig_not(prop.lit))
-        before = solver.stats["conflicts"]
+        before = solver.stats()["conflicts"]
         status = solver.solve([bad_lit])
         stats["sat_queries"] += 1
         stats["max_depth_reached"] = t + 1
         send(FrameAdvanced(name=prop_name, frame=t + 1))
         if budget is not None:
-            budget.charge_conflicts(solver.stats["conflicts"] - before)
+            budget.charge_conflicts(solver.stats()["conflicts"] - before)
             send(
                 BudgetCheckpoint(
                     scope=prop_name,
@@ -87,6 +92,7 @@ def bmc_check(
                     f"BMC produced an invalid counterexample for {prop_name} "
                     f"at depth {t + 1}"
                 )
+            stats["clause_insertions"] = solver.stats()["clauses_added"]
             return EngineResult(
                 status=PropStatus.FAILS,
                 prop_name=prop_name,
@@ -100,6 +106,7 @@ def bmc_check(
         # moving deeper (frames before a failure must satisfy them).
         for p in assumed_props:
             solver.add_clause([frame.lit(p.lit)])
+    stats["clause_insertions"] = solver.stats()["clauses_added"]
     return _unknown(prop_name, max_depth, assumed, start, stats)
 
 
@@ -119,6 +126,7 @@ def bmc_sweep(
     max_depth: int = 32,
     names: Optional[Sequence[str]] = None,
     budget: Optional[ResourceBudget] = None,
+    solver_backend: Optional[str] = None,
 ) -> dict:
     """Multi-property BMC: find every property failing within ``max_depth``.
 
@@ -136,7 +144,7 @@ def bmc_sweep(
         ts.prop_by_name[n] for n in (names if names is not None else
                                      [p.name for p in ts.properties])
     ]
-    solver = Solver()
+    solver = create_solver(solver_backend)
     unroller = Unroller(ts.aig, solver)
     pending = {p.name: p for p in props}
     results: dict = {}
@@ -150,11 +158,11 @@ def bmc_sweep(
             solver.add_clause([frame.lit(c)])
         for name in list(pending):
             prop = pending[name]
-            before = solver.stats["conflicts"]
+            before = solver.stats()["conflicts"]
             status = solver.solve([frame.lit(aig_not(prop.lit))])
             stats["sat_queries"] += 1
             if budget is not None:
-                budget.charge_conflicts(solver.stats["conflicts"] - before)
+                budget.charge_conflicts(solver.stats()["conflicts"] - before)
             if status != Status.SAT:
                 continue
             cex = Trace(

@@ -16,9 +16,9 @@ tools' invariants, or audit a clauseDB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from ..sat import Solver, Status
+from ..sat import Status, create_solver
 from ..ts.system import Clause, TransitionSystem, negate_cube
 from ..ts.trace import Trace
 
@@ -39,6 +39,7 @@ def certify_invariant(
     prop_name: str,
     clauses: Sequence[Clause],
     assumed: Sequence[str] = (),
+    solver_backend: Optional[str] = None,
 ) -> CertificateReport:
     """Check that ``clauses`` certify ``prop_name`` (under ``assumed``).
 
@@ -65,7 +66,7 @@ def certify_invariant(
             )
         normalized.append(clause)
 
-    solver = Solver()
+    solver = create_solver(solver_backend)
     enc = ts.encode_step(solver)
     for name in assumed:
         if name not in ts.prop_by_name:
@@ -80,7 +81,7 @@ def certify_invariant(
                 False, f"clause {clause} is not inductive relative to the set"
             )
 
-    bad_solver = Solver()
+    bad_solver = create_solver(solver_backend)
     bad_enc = ts.encode_bad_frame(bad_solver)
     for clause in normalized:
         bad_solver.add_clause(bad_enc.clause_lits_curr(clause))

@@ -27,6 +27,19 @@ it implements the three features the paper's Ic3-db relies on:
   invariant is re-verified clause by clause (`validate_invariant`); on
   certificate failure the engine signals the caller to retry without
   seeds.  This keeps the paper's optimization while staying sound.
+
+Solver management is fully incremental: the engine holds **one**
+persistent consecution solver (the transition relation is encoded
+exactly once per property) plus one persistent bad-state solver, both
+obtained from the pluggable :mod:`repro.sat.backend` registry.  Frame
+membership is expressed with per-level activation literals — a clause
+blocked at level ``L`` is inserted once, guarded by ``act(L)``, and a
+query relative to ``F_k`` simply assumes ``act(k) .. act(top)`` — so
+advancing the frontier, pushing clauses forward and discharging
+obligations cost O(1) solver setup per query instead of O(CNF).
+``IC3Options.incremental=False`` restores the rebuild-per-query
+baseline (kept for benchmarking the win, see
+``benchmarks/bench_incremental.py``).
 """
 
 from __future__ import annotations
@@ -44,7 +57,7 @@ from ...progress import (
     FrameAdvanced,
     emit_or_null,
 )
-from ...sat import Solver, Status
+from ...sat import SatBackend, Status, create_solver
 from ...ts.system import (
     Clause,
     Cube,
@@ -84,6 +97,13 @@ class IC3Options:
     # match the paper's Ic3-db baseline; the ablation bench measures it.
     ctg: bool = False
     max_ctgs: int = 3
+    # SAT backend name resolved through repro.sat.backend; None uses the
+    # process default (REPRO_SAT_BACKEND environment, then "cdcl").
+    solver_backend: Optional[str] = None
+    # Persistent incremental solvers (the default).  False rebuilds a
+    # fresh solver for every single query — the O(CNF)-setup baseline
+    # kept only so benchmarks can quantify the incremental win.
+    incremental: bool = True
     # Progress events (frame advances, seed imports, budget checkpoints)
     # are sent here; None keeps the engine silent.
     emit: Optional[Emit] = None
@@ -111,10 +131,21 @@ class IC3:
         self.assumed_props = [ts.prop_by_name[n] for n in self.options.assumed]
         # frames[k] = cubes blocked at exactly level k (k >= 1).
         self.frames: List[List[Cube]] = [[], []]
-        self._frame_solvers: List[Optional[Solver]] = []
-        self._frame_encodings: List[Optional[StepEncoding]] = []
-        self._bad_solver: Optional[Solver] = None
-        self._bad_encoding = None
+        # Persistent incremental solvers (lazily created, never rebuilt):
+        # one step solver for every consecution query at every frame,
+        # one combinational solver for every bad-state query.  Frame
+        # membership is selected per query via activation literals.
+        self._step: Optional[SatBackend] = None
+        self._step_enc: Optional[StepEncoding] = None
+        self._init_act: Optional[int] = None
+        self._frame_acts: List[Optional[int]] = []
+        self._bad: Optional[SatBackend] = None
+        self._bad_enc = None
+        self._bad_acts: List[Optional[int]] = []
+        # Work accounting across every solver this run ever allocates
+        # (live and scrapped), for the incremental-vs-rebuild benchmark.
+        self._live_solvers: List[SatBackend] = []
+        self._retired_counters = {"clauses_added": 0, "solves": 0}
         self._seeds: List[Clause] = [normalize_cube(c) for c in self.options.seed_clauses]
         for seed in self._seeds:
             if not ts.clause_holds_at_init(seed):
@@ -127,6 +158,7 @@ class IC3:
             "lift_drops": 0,
             "generalize_drops": 0,
             "seeds_used": len(self._seeds),
+            "solver_allocs": 0,
         }
         self._start_time = time.monotonic()
         self._counter = itertools.count()
@@ -137,51 +169,146 @@ class IC3:
     # ------------------------------------------------------------------
     # Solver management
     # ------------------------------------------------------------------
-    def _solve(self, solver: Solver, assumptions: Sequence[int]) -> Status:
-        before = solver.stats["conflicts"]
+    def _solve(self, solver: SatBackend, assumptions: Sequence[int]) -> Status:
+        before = solver.stats()["conflicts"]
         status = solver.solve(assumptions)
         self.stats["sat_queries"] += 1
         budget = self.options.budget
         if budget is not None:
-            budget.charge_conflicts(solver.stats["conflicts"] - before)
+            budget.charge_conflicts(solver.stats()["conflicts"] - before)
         return status
 
-    def _frame_solver(self, k: int) -> Tuple[Solver, StepEncoding]:
-        """Solver for consecution *relative to F_k* (holds F_k's clauses)."""
-        while len(self._frame_solvers) <= k:
-            self._frame_solvers.append(None)
-            self._frame_encodings.append(None)
-        if self._frame_solvers[k] is None:
-            solver = Solver()
+    def _new_solver(self) -> SatBackend:
+        """A fresh solver from the configured backend (work-accounted)."""
+        solver = create_solver(self.options.solver_backend)
+        self.stats["solver_allocs"] += 1
+        self._live_solvers.append(solver)
+        return solver
+
+    def _scrap_solver(self, solver: SatBackend) -> None:
+        """Fold a discarded solver's work counters into the run totals."""
+        snapshot = solver.stats()
+        for key in self._retired_counters:
+            self._retired_counters[key] += snapshot.get(key, 0)
+        self._live_solvers.remove(solver)
+
+    def clause_insertions(self) -> int:
+        """Total ``add_clause`` operations issued across all solvers."""
+        total = self._retired_counters["clauses_added"]
+        for solver in self._live_solvers:
+            total += solver.stats().get("clauses_added", 0)
+        return total
+
+    def _step_solver(self) -> Tuple[SatBackend, StepEncoding]:
+        """The persistent consecution solver (one per IC3 run).
+
+        The transition relation, assumed-property constraints and seeds
+        are encoded exactly once; initial-state clauses are guarded by
+        ``_init_act`` (assumed only for ``F_0`` queries) and frame
+        clauses by their level's activation literal.
+        """
+        if self._step is None:
+            solver = self._new_solver()
             enc = self.ts.encode_step(solver)
             for p in self.assumed_props:
                 solver.add_clause([enc.prop_curr[p.name]])
-            if k == 0:
-                for i, latch in enumerate(self.ts.latches):
-                    if latch.init == 0:
-                        solver.add_clause([-enc.curr[i]])
-                    elif latch.init == 1:
-                        solver.add_clause([enc.curr[i]])
             for seed in self._seeds:
                 solver.add_clause(enc.clause_lits_curr(seed))
-            for level in range(max(k, 1), len(self.frames)):
+            init_act = solver.new_activation()
+            for i, latch in enumerate(self.ts.latches):
+                if latch.init == 0:
+                    solver.add_clause([-init_act, -enc.curr[i]])
+                elif latch.init == 1:
+                    solver.add_clause([-init_act, enc.curr[i]])
+            self._step, self._step_enc, self._init_act = solver, enc, init_act
+            for level in range(1, len(self.frames)):
                 for cube in self.frames[level]:
-                    solver.add_clause(enc.clause_lits_curr(negate_cube(cube)))
-            self._frame_solvers[k] = solver
-            self._frame_encodings[k] = enc
-        return self._frame_solvers[k], self._frame_encodings[k]
+                    self._insert_frame_clause(negate_cube(cube), level)
+        return self._step, self._step_enc
 
-    def _rebuild_bad_solver(self) -> None:
-        solver = Solver()
-        enc = self.ts.encode_bad_frame(solver)
-        top = self.top
+    def _bad_solver(self) -> Tuple[SatBackend, object]:
+        """The persistent bad-state solver (one per IC3 run).
+
+        Combinational frame; blocked clauses are guarded per level so a
+        query at the current top simply assumes ``act(top..)`` — the
+        solver survives every frame advance un-rebuilt.
+        """
+        if self._bad is None:
+            solver = self._new_solver()
+            enc = self.ts.encode_bad_frame(solver)
+            for seed in self._seeds:
+                solver.add_clause(enc.clause_lits_curr(seed))
+            self._bad, self._bad_enc = solver, enc
+            for level in range(1, len(self.frames)):
+                for cube in self.frames[level]:
+                    self._insert_bad_clause(negate_cube(cube), level)
+        return self._bad, self._bad_enc
+
+    @staticmethod
+    def _level_act(
+        solver: SatBackend, acts: List[Optional[int]], level: int
+    ) -> int:
+        """The activation literal guarding a level's clauses (lazily made)."""
+        while len(acts) <= level:
+            acts.append(None)
+        if acts[level] is None:
+            acts[level] = solver.new_activation()
+        return acts[level]
+
+    def _insert_frame_clause(self, clause: Clause, level: int) -> None:
+        act = self._level_act(self._step, self._frame_acts, level)
+        self._step.add_clause([-act] + self._step_enc.clause_lits_curr(clause))
+
+    def _insert_bad_clause(self, clause: Clause, level: int) -> None:
+        act = self._level_act(self._bad, self._bad_acts, level)
+        self._bad.add_clause([-act] + self._bad_enc.clause_lits_curr(clause))
+
+    def _frame_assumptions(self, k: int) -> List[int]:
+        """Activation literals selecting ``F_k`` inside the step solver.
+
+        ``F_k`` is the conjunction of every clause blocked at level
+        ``>= max(k, 1)``; ``F_0`` additionally asserts the initial
+        states.  Levels that never received a clause have no activation
+        literal and are skipped.
+        """
+        assumps: List[int] = []
+        if k == 0:
+            assumps.append(self._init_act)
+        for level in range(max(k, 1), len(self.frames)):
+            if level < len(self._frame_acts) and self._frame_acts[level] is not None:
+                assumps.append(self._frame_acts[level])
+        return assumps
+
+    # -- rebuild-per-query baseline (benchmarking only) ----------------
+    def _rebuild_step_solver(self, k: int) -> Tuple[SatBackend, StepEncoding]:
+        """Baseline: encode ``F_k ∧ T`` from scratch for one query."""
+        solver = self._new_solver()
+        enc = self.ts.encode_step(solver)
+        for p in self.assumed_props:
+            solver.add_clause([enc.prop_curr[p.name]])
+        if k == 0:
+            for i, latch in enumerate(self.ts.latches):
+                if latch.init == 0:
+                    solver.add_clause([-enc.curr[i]])
+                elif latch.init == 1:
+                    solver.add_clause([enc.curr[i]])
         for seed in self._seeds:
             solver.add_clause(enc.clause_lits_curr(seed))
-        for level in range(top, len(self.frames)):
+        for level in range(max(k, 1), len(self.frames)):
             for cube in self.frames[level]:
                 solver.add_clause(enc.clause_lits_curr(negate_cube(cube)))
-        self._bad_solver = solver
-        self._bad_encoding = enc
+        return solver, enc
+
+    def _rebuild_bad_solver(self) -> Tuple[SatBackend, object]:
+        """Baseline: encode ``F_top`` from scratch for one bad query."""
+        solver = self._new_solver()
+        enc = self.ts.encode_bad_frame(solver)
+        for seed in self._seeds:
+            solver.add_clause(enc.clause_lits_curr(seed))
+        for level in range(self.top, len(self.frames)):
+            for cube in self.frames[level]:
+                solver.add_clause(enc.clause_lits_curr(negate_cube(cube)))
+        return solver, enc
 
     @property
     def top(self) -> int:
@@ -189,20 +316,22 @@ class IC3:
 
     def _add_blocked_cube(self, cube: Cube, level: int) -> None:
         """Record that ``cube`` is unreachable within ``level`` steps."""
-        # Subsumption: drop weaker cubes this one covers.
+        # Subsumption: drop weaker cubes this one covers.  The subsumed
+        # clauses already inserted in the persistent solvers are implied
+        # by the new, stronger one, so leaving them behind is sound.
         for lvl in range(1, level + 1):
             self.frames[lvl] = [
                 c for c in self.frames[lvl] if not cube_subsumes(cube, c)
             ]
         self.frames[level].append(cube)
         self.stats["cubes_blocked"] += 1
+        if not self.options.incremental:
+            return  # the baseline re-reads the frames lists every query
         clause = negate_cube(cube)
-        for k in range(1, level + 1):
-            if k < len(self._frame_solvers) and self._frame_solvers[k] is not None:
-                enc = self._frame_encodings[k]
-                self._frame_solvers[k].add_clause(enc.clause_lits_curr(clause))
-        if level >= self.top and self._bad_solver is not None:
-            self._bad_solver.add_clause(self._bad_encoding.clause_lits_curr(clause))
+        if self._step is not None:
+            self._insert_frame_clause(clause, level)
+        if self._bad is not None:
+            self._insert_bad_clause(clause, level)
 
     # ------------------------------------------------------------------
     # Queries
@@ -214,15 +343,30 @@ class IC3:
         literals whose next-state versions appear in the final conflict),
         or ``(False, (pred_state, inputs))`` on SAT.
         """
-        solver, enc = self._frame_solver(k)
-        act = solver.new_var()
+        incremental = self.options.incremental
+        if incremental:
+            solver, enc = self._step_solver()
+            frame_sel = self._frame_assumptions(k)
+        else:
+            solver, enc = self._rebuild_step_solver(k)
+            frame_sel = []
+        # The ¬cube clause is query-local: guarded by a one-shot
+        # activation literal that is retired as soon as the query ends.
+        act = solver.new_activation()
         not_cube = [-lit for lit in enc.cube_lits_curr(cube)]
         solver.add_clause([-act] + not_cube)
         next_lits = enc.cube_lits_next(cube)
-        status = self._solve(solver, [act] + next_lits)
+        status = self._solve(solver, frame_sel + [act] + next_lits)
+
+        def release() -> None:
+            if incremental:
+                solver.retire(act)
+            else:
+                self._scrap_solver(solver)
+
         if status == Status.UNSAT:
             core = solver.core()
-            solver.add_clause([-act])
+            release()
             needed = [
                 state_lit
                 for state_lit, solver_lit in zip(cube, next_lits)
@@ -230,28 +374,40 @@ class IC3:
             ]
             return True, tuple(needed)
         if status == Status.UNKNOWN:
-            solver.add_clause([-act])
+            release()
             raise _BudgetExhausted()
         pred_state = tuple(bool(solver.value(v)) for v in enc.curr)
         inputs = {
             inp: bool(solver.value(var)) for inp, var in enc.inputs.items()
         }
-        solver.add_clause([-act])
+        release()
         return False, (pred_state, inputs)
 
     def _query_bad(self) -> Optional[Tuple[Tuple[bool, ...], Dict[int, bool]]]:
         """SAT(F_top ∧ ¬P): a state (+ input) falsifying the property."""
-        if self._bad_solver is None:
-            self._rebuild_bad_solver()
-        solver, enc = self._bad_solver, self._bad_encoding
-        status = self._solve(solver, [-enc.prop_curr[self.prop.name]])
+        if self.options.incremental:
+            solver, enc = self._bad_solver()
+            assumps = [
+                self._bad_acts[level]
+                for level in range(self.top, len(self._bad_acts))
+                if self._bad_acts[level] is not None
+            ]
+        else:
+            solver, enc = self._rebuild_bad_solver()
+            assumps = []
+        status = self._solve(solver, assumps + [-enc.prop_curr[self.prop.name]])
+        hit = None
+        if status == Status.SAT:
+            state = tuple(bool(solver.value(v)) for v in enc.curr)
+            inputs = {
+                inp: bool(solver.value(var)) for inp, var in enc.inputs.items()
+            }
+            hit = (state, inputs)
+        if not self.options.incremental:
+            self._scrap_solver(solver)
         if status == Status.UNKNOWN:
             raise _BudgetExhausted()
-        if status == Status.UNSAT:
-            return None
-        state = tuple(bool(solver.value(v)) for v in enc.curr)
-        inputs = {inp: bool(solver.value(var)) for inp, var in enc.inputs.items()}
-        return state, inputs
+        return hit
 
     # ------------------------------------------------------------------
     # Lifting
@@ -519,7 +675,7 @@ class IC3:
         for clause in clauses:
             if not self.ts.clause_holds_at_init(clause):
                 raise SeedCertificateError(f"clause {clause} fails at init")
-        solver = Solver()
+        solver = self._new_solver()
         enc = self.ts.encode_step(solver)
         for p in self.assumed_props:
             solver.add_clause([enc.prop_curr[p.name]])
@@ -537,7 +693,7 @@ class IC3:
         # F ⊆ P: the final bad query of the main loop already established
         # F_top ∧ ¬P UNSAT, and `clauses` includes all F_top clauses, but
         # seeds may strengthen further; re-check cheaply for safety.
-        bad_solver = Solver()
+        bad_solver = self._new_solver()
         bad_enc = self.ts.encode_bad_frame(bad_solver)
         for clause in clauses:
             bad_solver.add_clause(bad_enc.clause_lits_curr(clause))
@@ -558,7 +714,7 @@ class IC3:
 
     def _solve_main(self) -> EngineResult:
         # Depth-1 check: does the property fail at an initial state?
-        init_solver = Solver()
+        init_solver = self._new_solver()
         init_enc = self.ts.encode_init_frame(init_solver)
         status = self._solve(init_solver, [-init_enc.prop_curr[self.prop.name]])
         if status == Status.UNKNOWN:
@@ -580,7 +736,6 @@ class IC3:
             # both initial and invariant, and the init check just passed.
             return self._result(PropStatus.HOLDS, frames=1, invariant=[])
 
-        self._rebuild_bad_solver()
         while True:
             budget = self.options.budget
             if budget is not None and budget.exhausted():
@@ -610,7 +765,6 @@ class IC3:
                         conflicts=budget.conflicts_used,
                     )
                 )
-            self._rebuild_bad_solver()
             conv = self._propagate()
             if conv is not None:
                 clauses = self._invariant_clauses(conv)
@@ -634,6 +788,7 @@ class IC3:
         cex: Optional[Trace] = None,
         invariant: Optional[List[Clause]] = None,
     ) -> EngineResult:
+        self.stats["clause_insertions"] = self.clause_insertions()
         return EngineResult(
             status=status,
             prop_name=self.prop.name,

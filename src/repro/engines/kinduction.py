@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 from ..circuit.aig import aig_not
 from ..encode.unroll import Unroller
-from ..sat import Solver, Status
+from ..sat import SatBackend, Status, create_solver
 from ..ts.system import TransitionSystem
 from ..ts.trace import Trace
 from .result import EngineResult, PropStatus, ResourceBudget
@@ -33,22 +33,26 @@ def kinduction_check(
     assumed: Sequence[str] = (),
     budget: Optional[ResourceBudget] = None,
     unique_states: bool = True,
+    solver_backend: Optional[str] = None,
 ) -> EngineResult:
     """Prove or refute ``prop_name`` by k-induction up to bound ``max_k``.
 
     ``assumed`` properties are asserted on every non-final frame in both
-    the base and the step case, mirroring local verification.
+    the base and the step case, mirroring local verification.  Both the
+    base and the step case each live in one persistent incremental
+    solver (``solver_backend`` names the registry entry): every bound
+    extends the same two unrollings, bad cones selected by assumption.
     """
     start = time.monotonic()
     prop = ts.prop_by_name[prop_name]
     assumed_props = [ts.prop_by_name[n] for n in assumed]
 
     # --- base case: incremental BMC ---------------------------------
-    base_solver = Solver()
+    base_solver = create_solver(solver_backend)
     base = Unroller(ts.aig, base_solver)
 
     # --- step case: unrolling without initial-state constraints -----
-    step_solver = Solver()
+    step_solver = create_solver(solver_backend)
     step = Unroller(ts.aig, step_solver)
     # Frame 0 of `step` is unconstrained: suppress init clauses by
     # building a fresh system view... the Unroller always asserts init
@@ -58,9 +62,9 @@ def kinduction_check(
 
     stats = {"sat_queries": 0}
 
-    def charge(solver: Solver, before: int) -> None:
+    def charge(solver: SatBackend, before: int) -> None:
         if budget is not None:
-            budget.charge_conflicts(solver.stats["conflicts"] - before)
+            budget.charge_conflicts(solver.stats()["conflicts"] - before)
 
     for k in range(max_k + 1):
         if budget is not None and budget.exhausted():
@@ -69,7 +73,7 @@ def kinduction_check(
         frame = base.frame(k)
         for c in ts.aig.constraints:
             base_solver.add_clause([frame.lit(c)])
-        before = base_solver.stats["conflicts"]
+        before = base_solver.stats()["conflicts"]
         status = base_solver.solve([frame.lit(aig_not(prop.lit))])
         stats["sat_queries"] += 1
         charge(base_solver, before)
@@ -105,7 +109,7 @@ def kinduction_check(
         nframe = step.frame(k + 1)
         for c in ts.aig.constraints:
             step_solver.add_clause([nframe.lit(c)])
-        before = step_solver.stats["conflicts"]
+        before = step_solver.stats()["conflicts"]
         status = step_solver.solve([nframe.lit(aig_not(prop.lit))])
         stats["sat_queries"] += 1
         charge(step_solver, before)

@@ -38,6 +38,8 @@ class ClusterOptions:
     inner: str = "joint"  # "joint" or "ja" within each cluster
     total_time: Optional[float] = None
     per_property_time: Optional[float] = None
+    # SAT backend name (repro.sat registry); None = process default.
+    solver_backend: Optional[str] = None
     # Extra IC3Options fields forwarded to the inner driver's engine runs.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
@@ -115,6 +117,7 @@ def clustered_verify(
                 sub_ts,
                 JointOptions(
                     total_time=remaining,
+                    solver_backend=opts.solver_backend,
                     engine_overrides=opts.engine_overrides,
                 ),
                 design_name=design_name,
@@ -126,6 +129,7 @@ def clustered_verify(
                 JAOptions(
                     per_property_time=opts.per_property_time,
                     total_time=remaining,
+                    solver_backend=opts.solver_backend,
                     engine_overrides=opts.engine_overrides,
                 ),
                 design_name=design_name,

@@ -69,6 +69,8 @@ class JAOptions:
     # spurious.  See EXPERIMENTS.md's COI ablation.
     coi_reduction: bool = False
     ctg: bool = False  # forwarded to IC3 generalization
+    # SAT backend name (repro.sat registry); None = process default.
+    solver_backend: Optional[str] = None
     # Extra IC3Options fields (validated by the session layer) applied
     # to every engine invocation, e.g. {"generalize_passes": 1}.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
@@ -230,6 +232,7 @@ class JAVerifier:
             budget=budget,
             max_frames=opts.max_frames,
             ctg=opts.ctg,
+            solver_backend=opts.solver_backend,
             emit=self._emit,
             **dict(opts.engine_overrides),
         )

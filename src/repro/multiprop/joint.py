@@ -39,6 +39,8 @@ class JointOptions:
     total_conflicts: Optional[int] = None
     max_frames: int = 500
     include_etf: bool = True  # the HWMCC sets do not mark ETF properties
+    # SAT backend name (repro.sat registry); None = process default.
+    solver_backend: Optional[str] = None
     # Extra IC3Options fields applied to every engine invocation.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
@@ -101,6 +103,7 @@ def joint_verify(
             IC3Options(
                 budget=budget,
                 max_frames=opts.max_frames,
+                solver_backend=opts.solver_backend,
                 emit=send,
                 **dict(opts.engine_overrides),
             ),

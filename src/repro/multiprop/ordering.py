@@ -20,18 +20,28 @@ def design_order(ts: TransitionSystem) -> List[str]:
     return [p.name for p in ts.properties]
 
 
+def cone_latches(ts: TransitionSystem, name: str) -> int:
+    """Latch count of a property's cone of influence.
+
+    The shared proof-hardness proxy: the ``"cone"`` property order
+    verifies smallest-first, the parallel engine dispatches
+    largest-first (LPT), both off this one estimate.
+    """
+    prop = ts.prop_by_name[name]
+    _, latches = ts.aig.cone_of_influence([prop.lit])
+    return len(latches)
+
+
 def by_cone_size(ts: TransitionSystem) -> List[str]:
     """Smallest cone of influence first — a proxy for "easier first".
 
     A property whose cone touches few latches typically has a small
     inductive invariant; proving it first seeds the clauseDB cheaply.
     """
-    def cone_latches(name: str) -> int:
-        prop = ts.prop_by_name[name]
-        _, latches = ts.aig.cone_of_influence([prop.lit])
-        return len(latches)
-
-    return sorted((p.name for p in ts.properties), key=lambda n: (cone_latches(n), n))
+    return sorted(
+        (p.name for p in ts.properties),
+        key=lambda n: (cone_latches(ts, n), n),
+    )
 
 
 def shuffled(ts: TransitionSystem, seed: int) -> List[str]:

@@ -38,6 +38,8 @@ class SeparateOptions:
     total_time: Optional[float] = None
     order: Optional[Sequence[str]] = None
     max_frames: int = 500
+    # SAT backend name (repro.sat registry); None = process default.
+    solver_backend: Optional[str] = None
     # Extra IC3Options fields applied to every engine invocation.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
@@ -76,7 +78,12 @@ def separate_verify(
         )
         seeds = clause_db.clauses() if opts.clause_reuse else ()
         ic3_opts = dict(opts.engine_overrides)
-        ic3_opts.update(budget=budget, max_frames=opts.max_frames, emit=send)
+        ic3_opts.update(
+            budget=budget,
+            max_frames=opts.max_frames,
+            solver_backend=opts.solver_backend,
+            emit=send,
+        )
         try:
             result = ic3_check(
                 ts, name, IC3Options(seed_clauses=seeds, **ic3_opts)

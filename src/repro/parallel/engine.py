@@ -26,9 +26,18 @@ Design notes
   the parent needs no auxiliary threads and, with one worker, the whole
   message stream — and therefore the session's event sequence — is
   deterministic.
+* **Size-aware dispatch**: with no explicit property order, jobs are
+  queued in *descending* estimated cone-of-influence size, the classic
+  LPT list-scheduling heuristic — big proofs start first, so the last
+  running worker holds a small job and the straggler tail shrinks.
+  Verdicts are order-independent; the report always follows the
+  property order.
 * **Worker crashes** (a killed process, an OOM) are detected by polling
   worker liveness while the queue is idle; the crashed worker's claimed
-  job is marked UNKNOWN and surviving workers keep draining the queue.
+  job is **re-dispatched once** onto a surviving worker (emitting
+  :class:`~repro.progress.PropertyRequeued`), and only a second crash
+  on the same property — or a pool with no survivors — degrades it to
+  UNKNOWN.
 * **Clause exchange** (``exchange=True`` with ``clause_reuse``) hosts a
   :class:`~repro.parallel.sharing.ClauseExchange` in a manager process;
   with ``exchange=False`` each worker still re-uses its *own* proofs'
@@ -56,6 +65,7 @@ from ..progress import (
     BudgetCheckpoint,
     Emit,
     PropertyCancelled,
+    PropertyRequeued,
     PropertySolved,
     PropertyStarted,
     WorkerStarted,
@@ -79,6 +89,11 @@ class ParallelOptions:
     schedule_only: bool = False  # legacy simulator instead of processes
     stop_on_failure: bool = False  # cancel the queue on the first FAILS
     start_method: Optional[str] = None  # fork where available, else spawn
+    # Queue jobs in descending estimated COI size (LPT heuristic) when
+    # no explicit ``order`` is given; an explicit order always wins.
+    size_dispatch: bool = True
+    # SAT backend name (repro.sat registry); None = process default.
+    solver_backend: Optional[str] = None
     # -- JA-verification knobs (see JAOptions) -------------------------
     clause_reuse: bool = True
     respect_constraints_in_lifting: bool = False
@@ -124,6 +139,12 @@ class _PoolRun:
         self.errors: List[str] = []
         self.cancelled = 0
         self.crashes = 0
+        # Crash re-dispatch bookkeeping (one retry per job).
+        self.jobs_by_name: Dict[str, PropertyJob] = {}
+        self.retried: set = set()
+        self.redispatched = 0
+        # Claim-gap safety net: timestamp of the last worker message.
+        self._last_message = time.monotonic()
 
     # ------------------------------------------------------------------
     def run(self, order: List[str]) -> MultiPropReport:
@@ -142,14 +163,23 @@ class _PoolRun:
                 if job_time is None
                 else min(job_time, opts.total_time)
             )
+        # Dispatch order: LPT (descending cone size) unless the caller
+        # pinned an explicit order.  The report keeps ``order``.
+        if opts.order is None and opts.size_dispatch:
+            dispatch = _cone_descending(self.ts, order)
+            dispatch_mode = "cone-desc"
+        else:
+            dispatch = list(order)
+            dispatch_mode = "fifo"
         jobs = [
             PropertyJob(
                 name=name,
                 per_property_time=job_time,
                 per_property_conflicts=opts.per_property_conflicts,
             )
-            for name in order
+            for name in dispatch
         ]
+        self.jobs_by_name = {job.name: job for job in jobs}
 
         manager = exchange = None
         use_exchange = opts.exchange and opts.clause_reuse
@@ -167,9 +197,10 @@ class _PoolRun:
             ctg=opts.ctg,
             max_frames=opts.max_frames,
             stop_on_failure=opts.stop_on_failure,
+            solver_backend=opts.solver_backend,
             engine_overrides=dict(opts.engine_overrides),
         )
-        drain_jobs(task_queue, jobs, workers)
+        drain_jobs(task_queue, jobs)
         processes = []
         for worker_id in range(workers):
             process = ctx.Process(
@@ -191,7 +222,9 @@ class _PoolRun:
             processes.append(process)
 
         try:
-            self._collect(order, processes, out_queue, cancel_event, deadline, start)
+            self._collect(
+                order, processes, out_queue, task_queue, cancel_event, deadline, start
+            )
         finally:
             cancel_event.set()
             for process in processes:
@@ -222,12 +255,14 @@ class _PoolRun:
             "exchange_clauses": exchange_stats.get("clauses", 0),
             "cancelled": self.cancelled,
             "worker_crashes": self.crashes,
+            "dispatch": dispatch_mode,
+            "redispatched": self.redispatched,
         }
         return report
 
     # ------------------------------------------------------------------
     def _collect(
-        self, order, processes, out_queue, cancel_event, deadline, start
+        self, order, processes, out_queue, task_queue, cancel_event, deadline, start
     ) -> None:
         """Drain worker messages until every property is accounted for."""
         pending = set(order)
@@ -241,9 +276,13 @@ class _PoolRun:
             try:
                 message = out_queue.get(timeout=0.2)
             except queue_mod.Empty:
-                if self._reap_crashed(processes, pending, cancel_event):
+                if self._reap_crashed(processes, pending, task_queue, cancel_event):
                     break
+                self._recover_lost_jobs(
+                    processes, pending, task_queue, cancel_event
+                )
                 continue
+            self._last_message = time.monotonic()
             kind = message[0]
             if kind == "claim":
                 _, worker_id, name = message
@@ -273,14 +312,16 @@ class _PoolRun:
                     start,
                 )
 
-    def _reap_crashed(self, processes, pending, cancel_event) -> bool:
+    def _reap_crashed(self, processes, pending, task_queue, cancel_event) -> bool:
         """Account for dead workers; True if no worker is left alive.
 
         A crash (OOM kill, hard fault) is a degraded-but-valid run: the
-        claimed job is reported UNKNOWN and counted in
-        ``stats["worker_crashes"]``, survivors keep draining the queue.
-        Only *verifier exceptions* (the ``error`` message kind) abort
-        the run, matching the sequential driver's propagation.
+        claimed job is re-dispatched once onto the surviving workers
+        (``stats["redispatched"]``); a second crash on the same job —
+        or a retry with the run already cancelling — reports it UNKNOWN
+        and counts in ``stats["worker_crashes"]`` either way.  Only
+        *verifier exceptions* (the ``error`` message kind) abort the
+        run, matching the sequential driver's propagation.
         """
         for worker_id, process in enumerate(processes):
             if process.is_alive() or process.exitcode in (0, None):
@@ -288,15 +329,8 @@ class _PoolRun:
             name = self.claims.pop(worker_id, None)
             if name is not None and name in pending:
                 self.crashes += 1
-                self.emit(
-                    PropertySolved(
-                        name=name, status=PropStatus.UNKNOWN, local=True
-                    )
-                )
-                self._record(
-                    PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
-                    pending,
-                    None,
+                self._retry_or_give_up(
+                    name, worker_id, pending, task_queue, cancel_event, processes
                 )
         if any(process.is_alive() for process in processes):
             return False
@@ -305,6 +339,62 @@ class _PoolRun:
         for name in sorted(pending):
             self._record_cancelled(name, None, pending, None)
         return True
+
+    def _retry_or_give_up(
+        self, name, worker_id, pending, task_queue, cancel_event, processes
+    ) -> None:
+        """One bounded retry for a job lost to a worker crash.
+
+        Retrying needs a survivor to run the job; with none alive (or
+        the run already cancelling) the job degrades to UNKNOWN here —
+        never claiming a re-dispatch that could not execute.
+        """
+        survivors = any(process.is_alive() for process in processes)
+        if name not in self.retried and survivors and not cancel_event.is_set():
+            self.retried.add(name)
+            self.redispatched += 1
+            task_queue.put(self.jobs_by_name[name])
+            self.emit(PropertyRequeued(name=name, worker=worker_id))
+            return
+        self.emit(PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True))
+        self._record(
+            PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
+            pending,
+            None,
+        )
+
+    #: Seconds of worker silence before presuming a claim-gap loss.
+    _STALL_WINDOW = 1.0
+
+    def _recover_lost_jobs(
+        self, processes, pending, task_queue, cancel_event
+    ) -> None:
+        """Safety net for jobs swallowed by a crash *before* the claim.
+
+        A worker that dies between dequeuing a job and emitting its
+        ``claim`` leaves no trace.  When (a) some worker has died,
+        (b) no claim is in flight — every live worker is idle — and
+        (c) the message stream has been silent for a full stall window
+        (idle workers pick queued jobs up within one 0.1s poll, so
+        silence means the queue really is empty), the still-pending
+        jobs can only be such losses: re-dispatch (or degrade) them so
+        the run terminates instead of idling forever.
+        """
+        if not pending or self.claims:
+            return
+        if time.monotonic() - self._last_message < self._STALL_WINDOW:
+            return
+        if all(
+            process.is_alive() or process.exitcode in (0, None)
+            for process in processes
+        ):
+            return
+        for name in sorted(pending):
+            self.crashes += 1
+            self._retry_or_give_up(
+                name, None, pending, task_queue, cancel_event, processes
+            )
+        self._last_message = time.monotonic()
 
     def _record(self, outcome: PropOutcome, pending, start) -> None:
         if outcome.name not in pending:  # pragma: no cover - defensive
@@ -330,6 +420,20 @@ class _PoolRun:
 
 
 # ----------------------------------------------------------------------
+def _cone_descending(ts: TransitionSystem, order: List[str]) -> List[str]:
+    """Jobs sorted by descending estimated COI size (ties keep order).
+
+    Uses the same proof-hardness proxy as the ``"cone"`` property order
+    (:func:`~repro.multiprop.ordering.cone_latches`) — here inverted:
+    longest-processing-time-first list scheduling bounds the makespan
+    much tighter than FIFO when property sizes are skewed.
+    """
+    from ..multiprop.ordering import cone_latches
+
+    position = {name: i for i, name in enumerate(order)}
+    return sorted(order, key=lambda n: (-cone_latches(ts, n), position[n]))
+
+
 def _schedule_only(
     ts: TransitionSystem,
     options: ParallelOptions,
@@ -357,6 +461,7 @@ def _schedule_only(
         "respect_constraints_in_lifting",
         options.respect_constraints_in_lifting,
     )
+    engine_overrides.setdefault("solver_backend", options.solver_backend)
     for name in order:
         emit(PropertyStarted(name=name))
         one = measure_local_proofs(

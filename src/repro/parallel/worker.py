@@ -37,6 +37,7 @@ Imported clauses are re-validated by ``ClauseDB.add`` worker-side.
 
 from __future__ import annotations
 
+import queue as queue_mod
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
@@ -45,8 +46,14 @@ from ..multiprop.ja import JAOptions, JAVerifier
 from ..progress import BudgetCheckpoint, ProgressEvent
 from ..ts.system import TransitionSystem
 
-#: Queue sentinel: no more jobs, exit the worker loop.
+#: Optional queue sentinel: immediately exits the worker loop.  The
+#: engine no longer enqueues sentinels (workers exit when the queue is
+#: empty and the cancel event is set, which keeps them available for
+#: crash re-dispatch); the sentinel remains honored for direct callers.
 SENTINEL = None
+
+#: Poll interval while waiting for work (seconds).
+_POLL_TIMEOUT = 0.1
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,7 @@ class WorkerSettings:
     ctg: bool = False
     max_frames: int = 500
     stop_on_failure: bool = False
+    solver_backend: Optional[str] = None
     engine_overrides: Mapping[str, object] = None  # type: ignore[assignment]
 
     def job_options(self, job: PropertyJob) -> JAOptions:
@@ -81,6 +89,7 @@ class WorkerSettings:
             max_frames=self.max_frames,
             coi_reduction=self.coi_reduction,
             ctg=self.ctg,
+            solver_backend=self.solver_backend,
             engine_overrides=dict(self.engine_overrides or {}),
         )
 
@@ -94,7 +103,13 @@ def worker_main(
     cancel_event,
     exchange=None,
 ) -> None:
-    """Worker loop: consume jobs until the sentinel, then exit.
+    """Worker loop: consume jobs until cancellation (or a sentinel).
+
+    The loop polls the task queue so it stays alive while idle — that
+    is what lets the parent re-dispatch a crashed sibling's job onto
+    this worker arbitrarily late in the run.  Exit happens when the
+    queue is empty *and* the cancel event is set (the parent always
+    sets it during teardown), or immediately on a :data:`SENTINEL`.
 
     ``exchange`` is a :class:`ClauseExchange` proxy or ``None``; the
     cursor into its log is worker-local.  The loop never raises: verifier
@@ -113,7 +128,12 @@ def worker_main(
     db = ClauseDB(ts)
     cursor = 0
     while True:
-        job = task_queue.get()
+        try:
+            job = task_queue.get(timeout=_POLL_TIMEOUT)
+        except queue_mod.Empty:
+            if cancel_event.is_set():
+                break
+            continue
         if job is SENTINEL:
             break
         if cancel_event.is_set():
@@ -155,9 +175,13 @@ def worker_main(
             )
 
 
-def drain_jobs(task_queue, jobs: Sequence[PropertyJob], workers: int) -> None:
-    """Enqueue all jobs followed by one sentinel per worker."""
+def drain_jobs(task_queue, jobs: Sequence[PropertyJob]) -> None:
+    """Enqueue the initial job batch.
+
+    No sentinels: workers poll and exit once the queue is empty and the
+    cancel event is set (always the case during parent teardown), which
+    keeps idle workers available to absorb re-dispatched jobs after a
+    sibling crashes.
+    """
     for job in jobs:
         task_queue.put(job)
-    for _ in range(workers):
-        task_queue.put(SENTINEL)

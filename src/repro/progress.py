@@ -51,6 +51,7 @@ __all__ = [
     "ClusterStarted",
     "WorkerStarted",
     "PropertyCancelled",
+    "PropertyRequeued",
     "Emit",
     "null_emit",
     "emit_or_null",
@@ -186,6 +187,21 @@ class PropertyCancelled(ProgressEvent):
     worker: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class PropertyRequeued(ProgressEvent):
+    """A crashed worker's claimed job was re-dispatched to the pool.
+
+    Each job is retried at most once; a second crash on the same
+    property reports it UNKNOWN like any other degraded outcome.
+    ``worker`` is the worker that crashed while holding the job
+    (``None`` when the holder could not be attributed).
+    """
+
+    kind: ClassVar[str] = "property-requeued"
+    name: str
+    worker: Optional[int] = None
+
+
 Emit = Callable[[ProgressEvent], None]
 
 
@@ -235,5 +251,8 @@ def format_event(event: ProgressEvent) -> str:
         return f"[{event.kind}] worker {event.worker}"
     if isinstance(event, PropertyCancelled):
         by = f" (worker {event.worker})" if event.worker is not None else ""
+        return f"[{event.kind}] {event.name}{by}"
+    if isinstance(event, PropertyRequeued):
+        by = f" (worker {event.worker} crashed)" if event.worker is not None else ""
         return f"[{event.kind}] {event.name}{by}"
     return f"[{event.kind}] {event!r}"

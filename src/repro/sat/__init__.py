@@ -1,19 +1,46 @@
-"""Pure-Python CDCL SAT solver (substrate for all model-checking engines).
+"""Pure-Python CDCL SAT solvers (substrate for all model-checking engines).
 
 Public API:
 
-* :class:`Solver` — incremental CDCL solver over signed DIMACS literals.
+* :class:`SatBackend` — the incremental-solver protocol every engine
+  speaks (clauses, assumption solves, activation-literal retirement);
+* :func:`register_backend` / :func:`create_solver` /
+  :func:`available_backends` — the pluggable backend registry;
+* :class:`Solver` — the reference ``cdcl`` backend over signed DIMACS
+  literals; :class:`CompactSolver` — the ``cdcl-compact`` variant.
 * :class:`Status` — SAT / UNSAT / UNKNOWN.
 * :func:`parse_dimacs` / :func:`write_dimacs` — DIMACS CNF I/O.
 """
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    CompactSolver,
+    SatBackend,
+    UnknownBackendError,
+    available_backends,
+    create_solver,
+    default_backend,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from .dimacs import dimacs_str, parse_dimacs, write_dimacs
 from .solver import Solver, luby
 from .types import Status, from_dimacs, to_dimacs
 
 __all__ = [
     "Solver",
+    "CompactSolver",
+    "SatBackend",
     "Status",
+    "BACKEND_ENV_VAR",
+    "UnknownBackendError",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "create_solver",
+    "default_backend",
+    "available_backends",
     "luby",
     "parse_dimacs",
     "write_dimacs",

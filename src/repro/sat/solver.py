@@ -56,7 +56,22 @@ class Solver:
     <Status.SAT: 1>
     >>> s.value(2)
     True
+
+    The class attributes below are the tuning knobs that backend
+    variants (e.g. ``cdcl-compact``) override; they never change
+    soundness, only search behaviour and memory footprint.
     """
+
+    #: Conflicts per restart unit (scaled by the Luby sequence).
+    RESTART_UNIT = 100
+    #: Luby sequence base for restart scheduling.
+    LUBY_BASE = 2.0
+    #: Learned-clause DB reduction threshold: base + slope * restarts/10.
+    LEARNT_CAP_BASE = 4000
+    LEARNT_CAP_SLOPE = 500
+    #: Activity decay factors (variable / clause).
+    VAR_DECAY = 0.95
+    CLA_DECAY = 0.999
 
     def __init__(self) -> None:
         self.num_vars = 0
@@ -85,8 +100,10 @@ class Solver:
         self._model: List[int] = []
         self._conflict_core: frozenset = frozenset()
         self._assumptions: List[int] = []
-        # Statistics & budgets.
-        self.stats = {
+        # Counters & budgets.  ``counters`` is the live dict; the
+        # :class:`~repro.sat.backend.SatBackend` protocol reads a
+        # snapshot through :meth:`stats`.
+        self.counters = {
             "conflicts": 0,
             "decisions": 0,
             "propagations": 0,
@@ -94,6 +111,9 @@ class Solver:
             "learned": 0,
             "removed": 0,
             "minimized_lits": 0,
+            "clauses_added": 0,
+            "solves": 0,
+            "activations_retired": 0,
         }
         self._conflict_budget: Optional[int] = None
         self._propagation_budget: Optional[int] = None
@@ -132,6 +152,7 @@ class Solver:
             return False
         if self._trail_lim:
             raise RuntimeError("add_clause is only allowed at decision level 0")
+        self.counters["clauses_added"] += 1
         internal = []
         for lit in lits:
             self._ensure_var(abs(lit))
@@ -204,7 +225,7 @@ class Solver:
         while self._qhead < len(self._trail):
             lit = self._trail[self._qhead]
             self._qhead += 1
-            self.stats["propagations"] += 1
+            self.counters["propagations"] += 1
             falsified = lit ^ 1
             watch_list = watches[lit]
             new_list = []
@@ -303,7 +324,7 @@ class Solver:
             if self._reason[q >> 1] is None or not self._lit_redundant(q, abstract_levels):
                 minimized.append(q)
             else:
-                self.stats["minimized_lits"] += 1
+                self.counters["minimized_lits"] += 1
         for var in to_clear:
             seen[var] = False
         for var in self._minimize_touched:
@@ -377,8 +398,8 @@ class Solver:
                 self._cla_inc *= _RESCALE_FACTOR
 
     def _decay_activities(self) -> None:
-        self._var_inc /= 0.95
-        self._cla_inc /= 0.999
+        self._var_inc /= self.VAR_DECAY
+        self._cla_inc /= self.CLA_DECAY
 
     # ------------------------------------------------------------------
     # Decision heuristic (lazy binary heap over activities)
@@ -459,7 +480,7 @@ class Solver:
             else:
                 self._detach(clause)
                 acts.pop(id(clause), None)
-                self.stats["removed"] += 1
+                self.counters["removed"] += 1
         self._learnts = kept
 
     def _detach(self, clause: list) -> None:
@@ -484,12 +505,12 @@ class Solver:
     def _within_budget(self) -> bool:
         if (
             self._conflict_budget is not None
-            and self.stats["conflicts"] >= self._budget_conflict_mark + self._conflict_budget
+            and self.counters["conflicts"] >= self._budget_conflict_mark + self._conflict_budget
         ):
             return False
         if (
             self._propagation_budget is not None
-            and self.stats["propagations"]
+            and self.counters["propagations"]
             >= self._budget_prop_mark + self._propagation_budget
         ):
             return False
@@ -502,13 +523,14 @@ class Solver:
         """Solve under the given signed assumption literals."""
         self._model = []
         self._conflict_core = frozenset()
+        self.counters["solves"] += 1
         if not self._ok:
             return Status.UNSAT
         for lit in assumptions:
             self._ensure_var(abs(lit))
         self._assumptions = [from_dimacs(lit) for lit in assumptions]
-        self._budget_conflict_mark = self.stats["conflicts"]
-        self._budget_prop_mark = self.stats["propagations"]
+        self._budget_conflict_mark = self.counters["conflicts"]
+        self._budget_prop_mark = self.counters["propagations"]
         # (Re)seed the decision heap.
         for var in range(self.num_vars):
             if not self._in_heap[var] and self._assign[var] == UNASSIGNED:
@@ -516,13 +538,13 @@ class Solver:
 
         restarts = 0
         while True:
-            budget = int(luby(2.0, restarts) * 100)
+            budget = int(luby(self.LUBY_BASE, restarts) * self.RESTART_UNIT)
             status = self._search(budget)
             restarts += 1
             if status is not None:
                 self._cancel_until(0)
                 return status
-            self.stats["restarts"] += 1
+            self.counters["restarts"] += 1
             if not self._within_budget():
                 self._cancel_until(0)
                 return Status.UNKNOWN
@@ -532,7 +554,7 @@ class Solver:
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats["conflicts"] += 1
+                self.counters["conflicts"] += 1
                 conflicts_here += 1
                 if self._decision_level() == 0:
                     self._ok = False
@@ -550,14 +572,18 @@ class Solver:
                     self._cla_activity[id(learnt)] = self._cla_inc
                     self._attach(learnt)
                     self._enqueue(learnt[0], learnt)
-                self.stats["learned"] += 1
+                self.counters["learned"] += 1
                 self._decay_activities()
                 if not self._within_budget():
                     return None
                 if conflicts_here >= conflict_budget:
                     self._cancel_until(len(self._assumptions))
                     return None
-                if len(self._learnts) > 4000 + 500 * self.stats["restarts"] // 10:
+                if (
+                    len(self._learnts)
+                    > self.LEARNT_CAP_BASE
+                    + self.LEARNT_CAP_SLOPE * self.counters["restarts"] // 10
+                ):
                     self._reduce_db()
             else:
                 # Place assumptions as pseudo-decisions.
@@ -570,7 +596,7 @@ class Solver:
                     if val == FALSE:
                         self._conflict_core = self._analyze_final_lit(lit)
                         return Status.UNSAT
-                    self.stats["decisions"] += 1
+                    self.counters["decisions"] += 1
                     self._trail_lim.append(len(self._trail))
                     self._enqueue(lit, None)
                     continue
@@ -579,7 +605,7 @@ class Solver:
                     # All variables assigned: SAT.
                     self._model = list(self._assign)
                     return Status.SAT
-                self.stats["decisions"] += 1
+                self.counters["decisions"] += 1
                 self._trail_lim.append(len(self._trail))
                 lit = var * 2 + (1 if self._polarity[var] else 0)
                 self._enqueue(lit, None)
@@ -647,8 +673,32 @@ class Solver:
         )
 
     # ------------------------------------------------------------------
+    # Activation literals (incremental clause groups)
+    # ------------------------------------------------------------------
+    def new_activation(self) -> int:
+        """A fresh activation literal for a retractable clause group.
+
+        Add clauses as ``[-act] + clause`` and pass ``act`` as an
+        assumption to enable the group; call :meth:`retire` to disable
+        the group permanently (the guarded clauses become vacuous and
+        are never visited again by propagation once satisfied at root).
+        """
+        return self.new_var()
+
+    def retire(self, act: int) -> None:
+        """Permanently disable the clause group guarded by ``act``."""
+        if act < 1 or act > self.num_vars:
+            raise ValueError(f"unknown activation literal {act}")
+        self.add_clause([-act])
+        self.counters["activations_retired"] += 1
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """A snapshot of the solver's work counters (SatBackend API)."""
+        return dict(self.counters)
+
     def value(self, lit: int) -> Optional[bool]:
         """Model value of a signed literal after a SAT answer."""
         if not self._model:

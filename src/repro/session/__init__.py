@@ -33,6 +33,17 @@ New strategies plug in without touching this package or the CLI::
         def run(self, ts, config, emit):
             ...
 
+The SAT solver underneath every engine is pluggable the same way:
+``VerificationConfig.solver_backend`` names an entry of the
+:mod:`repro.sat` backend registry (builtin: ``"cdcl"`` and
+``"cdcl-compact"``; ``None`` defers to the ``REPRO_SAT_BACKEND``
+environment variable, then ``"cdcl"``).  The name is validated at
+session construction and threaded through every strategy adapter,
+including into ``parallel-ja`` worker processes, so one config field
+switches the solver for an entire run::
+
+    Session("design.aag", strategy="ja", solver_backend="cdcl-compact").run()
+
 Migration from the pre-session entry points
 -------------------------------------------
 
@@ -89,8 +100,11 @@ property slot (paper Section 11) through
     properties are reported UNKNOWN.
 
 Worker progress events are merged into the session's normal event
-channel; :class:`WorkerStarted` and :class:`PropertyCancelled` make the
-pool's lifecycle observable.
+channel; :class:`WorkerStarted`, :class:`PropertyCancelled` and
+:class:`PropertyRequeued` (a crashed worker's job re-dispatched onto a
+survivor) make the pool's lifecycle observable.  Jobs are dispatched
+largest-estimated-cone-first unless the config pins an explicit
+``order``.
 """
 
 from ..progress import (
@@ -102,6 +116,7 @@ from ..progress import (
     FrameAdvanced,
     ProgressEvent,
     PropertyCancelled,
+    PropertyRequeued,
     PropertySolved,
     PropertyStarted,
     RunFinished,
@@ -148,6 +163,7 @@ __all__ = [
     "ClusterStarted",
     "WorkerStarted",
     "PropertyCancelled",
+    "PropertyRequeued",
     "Emit",
     "format_event",
 ]

@@ -19,8 +19,15 @@ from ..ts.system import TransitionSystem
 #: ``IC3Options`` knobs that may be overridden through ``engine``.
 #: Budgets, assumptions and seeds are owned by the drivers; exposing
 #: them here would let a config silently break driver invariants.
+#: ``incremental`` is the rebuild-per-query benchmarking baseline.
 ENGINE_OVERRIDE_KEYS = frozenset(
-    {"generalize_passes", "max_ctgs", "validate_cex", "validate_invariant"}
+    {
+        "generalize_passes",
+        "max_ctgs",
+        "validate_cex",
+        "validate_invariant",
+        "incremental",
+    }
 )
 
 #: Named property orders understood by :func:`resolve_order`.
@@ -59,6 +66,10 @@ class VerificationConfig:
     ctg: bool = False
     # -- engine ceiling ------------------------------------------------
     max_frames: int = 500
+    # -- SAT backend (repro.sat registry) ------------------------------
+    #: ``None`` uses the process default (``REPRO_SAT_BACKEND`` env var,
+    #: then ``"cdcl"``); any registered backend name selects explicitly.
+    solver_backend: Optional[str] = None
     # -- joint/clustered specifics -------------------------------------
     include_etf: bool = True
     cluster_inner: str = "joint"
@@ -104,6 +115,15 @@ class VerificationConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers!r}")
+        from ..sat import UnknownBackendError, default_backend, get_backend
+
+        try:
+            if self.solver_backend is not None:
+                get_backend(self.solver_backend)
+            else:
+                default_backend()  # catch a bogus REPRO_SAT_BACKEND early
+        except UnknownBackendError as exc:
+            raise ConfigError(str(exc)) from None
         self._validate_order_spec()
         unknown = set(self.engine) - ENGINE_OVERRIDE_KEYS
         if unknown:

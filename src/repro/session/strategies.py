@@ -38,6 +38,7 @@ def _ja_options(ts: "TransitionSystem", config: VerificationConfig) -> JAOptions
         clause_db_path=config.clause_db_path,
         coi_reduction=config.coi_reduction,
         ctg=config.ctg,
+        solver_backend=config.solver_backend,
         engine_overrides=dict(config.engine),
     )
 
@@ -61,6 +62,7 @@ class JointStrategy:
             total_conflicts=config.total_conflicts,
             max_frames=config.max_frames,
             include_etf=config.include_etf,
+            solver_backend=config.solver_backend,
             engine_overrides=dict(config.engine),
         )
         return joint_verify(ts, options, design_name=config.design_name, emit=emit)
@@ -78,6 +80,7 @@ class SeparateStrategy:
             total_time=config.total_time,
             order=resolve_order(ts, config.order),
             max_frames=config.max_frames,
+            solver_backend=config.solver_backend,
             engine_overrides=dict(config.engine),
         )
         return separate_verify(ts, options, design_name=config.design_name, emit=emit)
@@ -93,6 +96,7 @@ class ClusteredStrategy:
             inner=config.cluster_inner,
             total_time=config.total_time,
             per_property_time=config.per_property_time,
+            solver_backend=config.solver_backend,
             engine_overrides=dict(config.engine),
         )
         return clustered_verify(ts, options, design_name=config.design_name, emit=emit)
@@ -132,6 +136,7 @@ class ParallelJAStrategy:
             max_frames=config.max_frames,
             coi_reduction=config.coi_reduction,
             ctg=config.ctg,
+            solver_backend=config.solver_backend,
             engine_overrides=dict(config.engine),
         )
         return parallel_ja_verify(

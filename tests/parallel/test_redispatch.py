@@ -1,0 +1,154 @@
+"""Crash re-dispatch and size-aware dispatch of the parallel engine.
+
+The crash tests replace the worker entry point with wrappers that
+``os._exit`` at controlled points (fork start method only: the patched
+function must be inherited by the child).  A file marker gates the
+surviving worker so the crash always wins the race for the first job,
+making the scenarios deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.engines.result import PropStatus
+from repro.gen.counter import buggy_counter
+from repro.parallel import ParallelOptions, parallel_ja_verify
+from repro.parallel import engine as engine_mod
+from repro.parallel.worker import worker_main
+from repro.progress import PropertyRequeued
+from repro.ts.system import TransitionSystem
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="crash injection requires the fork start method",
+)
+
+
+def _crash_after_claim(marker: str):
+    """Worker 0 claims its first job, then dies; others wait for that."""
+
+    def entry(worker_id, ts, settings, task_queue, out_queue, cancel_event,
+              exchange=None):
+        import time
+
+        if worker_id == 0:
+            job = task_queue.get(timeout=10)
+            out_queue.put(("claim", worker_id, job.name))
+            # Flush the feeder thread so the claim actually reaches the
+            # parent before this process dies.
+            out_queue.close()
+            out_queue.join_thread()
+            with open(marker, "w"):
+                pass
+            os._exit(1)
+        while not os.path.exists(marker):
+            time.sleep(0.01)
+        worker_main(worker_id, ts, settings, task_queue, out_queue,
+                    cancel_event, exchange)
+
+    return entry
+
+
+def _crash_before_claim(marker: str):
+    """Worker 0 swallows its first job without claiming it, then dies."""
+
+    def entry(worker_id, ts, settings, task_queue, out_queue, cancel_event,
+              exchange=None):
+        import time
+
+        if worker_id == 0:
+            task_queue.get(timeout=10)
+            with open(marker, "w"):
+                pass
+            os._exit(1)
+        while not os.path.exists(marker):
+            time.sleep(0.01)
+        worker_main(worker_id, ts, settings, task_queue, out_queue,
+                    cancel_event, exchange)
+
+    return entry
+
+
+@pytest.mark.slow
+@needs_fork
+class TestCrashRedispatch:
+    def test_claimed_job_is_retried_on_a_survivor(
+        self, toggler, tmp_path, monkeypatch
+    ):
+        marker = str(tmp_path / "crashed")
+        monkeypatch.setattr(
+            engine_mod, "worker_main", _crash_after_claim(marker)
+        )
+        events = []
+        report = parallel_ja_verify(
+            toggler,
+            ParallelOptions(workers=2, start_method="fork"),
+            emit=events.append,
+        )
+        # The crashed worker's job was recovered: no UNKNOWN verdicts.
+        assert report.outcomes["never_r"].status is PropStatus.HOLDS
+        assert report.outcomes["never_q"].status is PropStatus.FAILS
+        assert report.stats["worker_crashes"] == 1
+        assert report.stats["redispatched"] == 1
+        requeued = [e for e in events if isinstance(e, PropertyRequeued)]
+        assert len(requeued) == 1
+        # Attributed to worker 0 via its claim; None only in the rare
+        # case the OS reaped the claim message with the process.
+        assert requeued[0].worker in (0, None)
+
+    def test_job_swallowed_before_claim_is_recovered(
+        self, toggler, tmp_path, monkeypatch
+    ):
+        marker = str(tmp_path / "crashed")
+        monkeypatch.setattr(
+            engine_mod, "worker_main", _crash_before_claim(marker)
+        )
+        report = parallel_ja_verify(
+            toggler, ParallelOptions(workers=2, start_method="fork")
+        )
+        # The stall detector re-enqueues the swallowed job; the run
+        # terminates with full verdicts instead of hanging.
+        assert report.outcomes["never_r"].status is PropStatus.HOLDS
+        assert report.outcomes["never_q"].status is PropStatus.FAILS
+        assert report.stats["redispatched"] >= 1
+
+
+class TestSizeAwareDispatch:
+    def test_orders_by_descending_cone_size(self):
+        ts = TransitionSystem(buggy_counter(bits=4))
+        order = [p.name for p in ts.properties]
+        dispatch = engine_mod._cone_descending(ts, order)
+        def cone(name):
+            _, latches = ts.aig.cone_of_influence([ts.prop_by_name[name].lit])
+            return len(latches)
+        sizes = [cone(n) for n in dispatch]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sorted(dispatch) == sorted(order)
+
+    def test_ties_keep_the_requested_order(self, toggler):
+        order = [p.name for p in toggler.properties]
+        assert engine_mod._cone_descending(toggler, order) == order
+
+    def test_report_keeps_property_order(self):
+        ts = TransitionSystem(buggy_counter(bits=4))
+        report = parallel_ja_verify(ts, ParallelOptions(workers=1))
+        assert list(report.outcomes) == [p.name for p in ts.properties]
+        assert report.stats["dispatch"] == "cone-desc"
+
+    def test_explicit_order_wins_over_size_dispatch(self, toggler):
+        report = parallel_ja_verify(
+            toggler,
+            ParallelOptions(workers=1, order=["never_q", "never_r"]),
+        )
+        assert list(report.outcomes) == ["never_q", "never_r"]
+        assert report.stats["dispatch"] == "fifo"
+
+    def test_size_dispatch_can_be_disabled(self, toggler):
+        report = parallel_ja_verify(
+            toggler, ParallelOptions(workers=1, size_dispatch=False)
+        )
+        assert report.stats["dispatch"] == "fifo"
