@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Server-style verification with a persistent worker pool.
+
+A verification *server* answers a stream of requests against the same
+design: re-check after a constraint tweak, sweep property subsets,
+re-run with different budgets.  With the default per-run pool every
+request pays worker spawn + design pickling; with a persistent
+:class:`repro.parallel.WorkerPool` those costs are paid once and every
+later run starts on warm workers that already hold the design.
+
+The demo:
+
+1. runs the same design three times on one pool — the pool's stats
+   show the design was pickled exactly once;
+2. switches to a *different* design on the same pool (runs are fully
+   isolated; nothing leaks between them);
+3. kills a worker between runs and shows the pool replacing the seat
+   before the next run;
+4. compares warm-pool wall-clock against fresh-pool-per-run, and shows
+   the sharded clause exchange (``exchange_shards="auto"``) routing
+   clause traffic per property cluster.
+
+Run:  python examples/server_pool.py
+"""
+
+import time
+
+from repro import TransitionSystem
+from repro.gen import ALL_TRUE_SPECS, buggy_counter
+from repro.multiprop.report import render_table
+from repro.parallel import WorkerPool
+from repro.session import Session
+
+WORKERS = 2
+RUNS = 3
+
+
+def timed_run(design, pool, **overrides):
+    start = time.monotonic()
+    report = Session(
+        design, strategy="parallel-ja", pool=pool, **overrides
+    ).run()
+    return report, time.monotonic() - start
+
+
+def main() -> None:
+    primary = TransitionSystem(ALL_TRUE_SPECS["t135"].build())
+    secondary = TransitionSystem(buggy_counter(bits=4))
+    print(f"primary design: {primary!r}")
+
+    with WorkerPool(workers=WORKERS) as pool:
+        # -- 1. repeated runs amortize the setup ------------------------
+        rows = []
+        for i in range(RUNS):
+            report, wall = timed_run(primary, pool)
+            rows.append(
+                [
+                    f"run {i}",
+                    f"{wall * 1000:.0f} ms",
+                    pool.stats["design_pickles"],
+                    pool.stats["workers_spawned"],
+                    report.stats["exchange_clauses"],
+                ]
+            )
+        print(
+            render_table(
+                "one pool, three runs (design pickled once)",
+                ["run", "wall", "pickles", "spawned", "shared clauses"],
+                rows,
+            )
+        )
+
+        # -- 2. a different design on the same pool ---------------------
+        report, wall = timed_run(secondary, pool)
+        print(
+            f"\nsecondary design on the same pool: "
+            f"{len(report.outcomes)} verdicts in {wall * 1000:.0f} ms "
+            f"(pool has {pool.stats['designs_cached']} designs cached)"
+        )
+
+        # -- 3. crash a worker between runs -----------------------------
+        pool._slots[0].process.terminate()
+        pool._slots[0].process.join()
+        report, wall = timed_run(primary, pool)
+        print(
+            f"after killing worker 0: replaced "
+            f"{pool.stats['workers_replaced']} seat(s), next run clean "
+            f"({sum(1 for o in report.outcomes.values())} verdicts, "
+            f"{report.stats['worker_crashes']} crashes)"
+        )
+
+        # -- 4. sharded exchange ----------------------------------------
+        report, _ = timed_run(primary, pool, exchange_shards="auto")
+        per_shard = report.stats["exchange_per_shard"]
+        print(
+            render_table(
+                f"clause exchange at {report.stats['exchange_shards']} shards (auto)",
+                ["shard", "properties", "clauses", "publishes", "fetches"],
+                [
+                    [
+                        s["shard"],
+                        len(s["members"]),
+                        s["clauses"],
+                        s["publishes"],
+                        s["fetches"],
+                    ]
+                    for s in per_shard
+                ],
+            )
+        )
+
+    # -- warm pool vs fresh pool per run -------------------------------
+    with WorkerPool(workers=WORKERS) as pool:
+        timed_run(primary, pool)  # pay the spawn once
+        _, warm = timed_run(primary, pool)
+    _, cold = timed_run(primary, None)  # private pool, spawned and torn down
+    print(
+        f"\nwarm persistent-pool run: {warm * 1000:.0f} ms, "
+        f"fresh pool per run: {cold * 1000:.0f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

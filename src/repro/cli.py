@@ -14,6 +14,8 @@ strategies registered by plugins are immediately usable — drives it via
 :class:`~repro.session.Session`, prints the verdict table and the
 debugging-set narrative, and optionally dumps machine-readable JSON.
 ``--progress`` streams the typed progress events as they happen;
+``--workers``/``--exchange-shards`` size the parallel-ja pool and its
+cluster-sharded clause exchange (``auto``: one shard per cluster);
 ``--list-strategies`` enumerates the strategy registry and
 ``--list-backends`` the SAT backend registry (``check --backend NAME``
 selects one; the ``REPRO_SAT_BACKEND`` environment variable sets the
@@ -136,6 +138,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         cluster_inner=args.cluster_inner,
         workers=args.workers,
         exchange=not args.no_exchange,
+        exchange_shards=args.exchange_shards,
         schedule_only=args.schedule_only,
         stop_on_failure=args.stop_on_failure,
         solver_backend=args.backend,
@@ -209,6 +212,21 @@ def _report_to_json(report: MultiPropReport) -> dict:
 
 
 # ----------------------------------------------------------------------
+def _shard_count(value: str):
+    """``--exchange-shards`` values: a positive integer or ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        count = int(value)
+    except ValueError:
+        count = 0
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+    return count
+
+
 class _ListStrategiesAction(argparse.Action):
     """``--list-strategies``: print the registry and exit."""
 
@@ -307,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--no-exchange", action="store_true",
         help="disable live clause exchange between parallel workers",
+    )
+    p_check.add_argument(
+        "--exchange-shards", type=_shard_count, default=1, metavar="N|auto",
+        help="clause-exchange shards for parallel-ja: a count, or 'auto' "
+        "for one shard per property cluster (default: 1)",
     )
     p_check.add_argument(
         "--schedule-only", action="store_true",

@@ -11,11 +11,19 @@ that claim instead of simulating it:
   driver uses), with verdict aggregation, a total-time watchdog, and
   early cancellation of still-queued jobs once the run-level verdict is
   decided;
-* :mod:`repro.parallel.sharing` — a manager-mediated shared clause
-  exchange: workers publish the strengthening clauses of each local
-  proof and import everything published so far before starting the next
-  property (the paper's *optional* exchange mode, Section 11);
-* :mod:`repro.parallel.worker` — the worker process entry point and the
+* :mod:`repro.parallel.pool` — a persistent :class:`WorkerPool` that
+  outlives a single run: workers cache pickled designs by content hash,
+  accept successive job batches, and are shared across
+  ``Session.run()`` calls (``VerificationConfig.pool`` or the
+  module-level :func:`default_pool`), amortizing the per-run O(design)
+  setup cost of server-style workloads;
+* :mod:`repro.parallel.exchange` — the cluster-sharded clause exchange:
+  one append-only clause log per property cluster, each hosted in its
+  own manager process, with clause traffic routed only between
+  same-shard subscribers (``exchange_shards=N`` or ``"auto"``);
+* :mod:`repro.parallel.sharing` — the legacy single-manager exchange,
+  kept for direct callers;
+* :mod:`repro.parallel.worker` — the pool worker entry point and the
   picklable job/result messages; every worker forwards its typed
   :class:`~repro.progress.ProgressEvent` stream to the parent, which
   merges the streams into the session's event channel.
@@ -31,11 +39,29 @@ Entry points: ``Session(design, strategy="parallel-ja", workers=4)`` or
 """
 
 from .engine import ParallelOptions, parallel_ja_verify
+from .exchange import (
+    ExchangeShard,
+    ShardedExchange,
+    ShardMap,
+    build_shard_map,
+    shard_clusters,
+    start_sharded_exchange,
+)
+from .pool import WorkerPool, default_pool, shutdown_default_pool
 from .sharing import ClauseExchange, ExchangeManager, start_exchange
 
 __all__ = [
     "ParallelOptions",
     "parallel_ja_verify",
+    "WorkerPool",
+    "default_pool",
+    "shutdown_default_pool",
+    "ExchangeShard",
+    "ShardedExchange",
+    "ShardMap",
+    "build_shard_map",
+    "shard_clusters",
+    "start_sharded_exchange",
     "ClauseExchange",
     "ExchangeManager",
     "start_exchange",

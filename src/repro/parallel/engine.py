@@ -22,27 +22,46 @@ driver's budget-exhausted tail.
 Design notes
 ------------
 
-* **One output queue** carries claims, events, results and errors, so
-  the parent needs no auxiliary threads and, with one worker, the whole
-  message stream — and therefore the session's event sequence — is
-  deterministic.
-* **Size-aware dispatch**: with no explicit property order, jobs are
-  queued in *descending* estimated cone-of-influence size, the classic
-  LPT list-scheduling heuristic — big proofs start first, so the last
-  running worker holds a small job and the straggler tail shrinks.
-  Verdicts are order-independent; the report always follows the
-  property order.
+* **Persistent pool.**  Dispatch runs over a
+  :class:`~repro.parallel.pool.WorkerPool`: pass one via
+  ``ParallelOptions.pool`` (or ``VerificationConfig.pool``) and
+  successive runs reuse the same worker processes and their cached
+  designs — the server-style regime where per-run setup cost must be
+  amortized.  With no pool supplied the engine creates a private
+  single-run pool sized by ``resolve_workers`` and shuts it down
+  afterwards, preserving the original per-run semantics.
+* **Parent-side scheduling.**  The engine keeps the job backlog and
+  assigns the next job to whichever worker reports idle, through that
+  worker's private queue (see :mod:`repro.parallel.pool` for why a
+  shared task queue cannot survive worker crashes).  One output queue
+  carries events, results and errors, so the parent needs no auxiliary
+  threads and, with one worker, the whole message stream — and
+  therefore the session's event sequence — is deterministic.  Every
+  message is tagged with the run id; stragglers from a previous run on
+  a shared pool are discarded by the pool.
+* **Size-aware dispatch**: with no explicit property order, the backlog
+  is ordered by *descending* estimated cone-of-influence size, the
+  classic LPT list-scheduling heuristic — big proofs start first, so
+  the last running worker holds a small job and the straggler tail
+  shrinks.  Verdicts are order-independent; the report always follows
+  the property order.
 * **Worker crashes** (a killed process, an OOM) are detected by polling
-  worker liveness while the queue is idle; the crashed worker's claimed
-  job is **re-dispatched once** onto a surviving worker (emitting
-  :class:`~repro.progress.PropertyRequeued`), and only a second crash
-  on the same property — or a pool with no survivors — degrades it to
-  UNKNOWN.
-* **Clause exchange** (``exchange=True`` with ``clause_reuse``) hosts a
-  :class:`~repro.parallel.sharing.ClauseExchange` in a manager process;
-  with ``exchange=False`` each worker still re-uses its *own* proofs'
-  clauses, Section 6 style, but nothing crosses process boundaries
-  (Table X's independent-proof mode).
+  worker liveness while the queue is idle; because assignment is
+  parent-side, the engine knows exactly which job a dead worker held
+  and **re-dispatches it once** onto a surviving worker (emitting
+  :class:`~repro.progress.PropertyRequeued`); only a second crash on
+  the same property — or a pool with no survivors — degrades it to
+  UNKNOWN.  A dead seat on a persistent pool is respawned at the start
+  of the *next* run by :meth:`WorkerPool.ensure_workers`.
+* **Sharded clause exchange** (``exchange=True`` with ``clause_reuse``)
+  routes clause traffic through one
+  :class:`~repro.parallel.exchange.ExchangeShard` per property cluster
+  (``exchange_shards``: a count, or ``"auto"`` for one shard per
+  structural cluster), each hosted in its own manager process —
+  publish/fetch throughput scales with the shard count and clauses
+  never cross cluster boundaries.  With ``exchange=False`` each worker
+  still re-uses its *own* proofs' clauses, Section 6 style, but nothing
+  crosses process boundaries (Table X's independent-proof mode).
 * ``schedule_only=True`` falls back to the legacy simulator
   (:mod:`repro.multiprop.parallel`): standalone local proofs measured
   sequentially plus a greedy list-scheduling makespan projection —
@@ -51,12 +70,10 @@ Design notes
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import queue as queue_mod
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..engines.result import PropStatus
 from ..multiprop.parallel import ParallelSimResult, measure_local_proofs
@@ -64,16 +81,19 @@ from ..multiprop.report import MultiPropReport, PropOutcome
 from ..progress import (
     BudgetCheckpoint,
     Emit,
+    PoolAttached,
     PropertyCancelled,
     PropertyRequeued,
     PropertySolved,
     PropertyStarted,
+    ShardOpened,
     WorkerStarted,
     emit_or_null,
 )
 from ..ts.system import TransitionSystem
-from .sharing import start_exchange
-from .worker import PropertyJob, WorkerSettings, drain_jobs, worker_main
+from .exchange import build_shard_map, start_sharded_exchange
+from .pool import WorkerPool
+from .worker import PropertyJob, WorkerSettings
 
 
 @dataclass
@@ -94,6 +114,12 @@ class ParallelOptions:
     size_dispatch: bool = True
     # SAT backend name (repro.sat registry); None = process default.
     solver_backend: Optional[str] = None
+    # A persistent WorkerPool to run on (shared across runs); None
+    # creates a private single-run pool sized by ``resolve_workers``.
+    pool: Optional[WorkerPool] = None
+    # Clause-exchange shards: a positive count, or "auto" for one shard
+    # per structural property cluster (capped, see repro.parallel.exchange).
+    exchange_shards: Union[int, str] = 1
     # -- JA-verification knobs (see JAOptions) -------------------------
     clause_reuse: bool = True
     respect_constraints_in_lifting: bool = False
@@ -107,17 +133,12 @@ class ParallelOptions:
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
     def resolve_workers(self, num_jobs: int) -> int:
+        import os
+
         workers = self.workers if self.workers is not None else os.cpu_count() or 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         return max(1, min(workers, num_jobs))
-
-    def context(self):
-        method = self.start_method
-        if method is None:
-            available = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in available else "spawn"
-        return multiprocessing.get_context(method)
 
 
 class _PoolRun:
@@ -135,109 +156,119 @@ class _PoolRun:
         self.design_name = design_name
         self.emit = emit
         self.outcomes: Dict[str, PropOutcome] = {}
-        self.claims: Dict[int, str] = {}  # worker id -> job it is holding
+        # Parent-side scheduling state: jobs not yet handed out, workers
+        # that are set up and idle, and who is holding what.
+        self.backlog: List[PropertyJob] = []
+        self.available: set = set()
+        self.assignments: Dict[int, str] = {}  # worker id -> job it holds
         self.errors: List[str] = []
         self.cancelled = 0
         self.crashes = 0
         # Crash re-dispatch bookkeeping (one retry per job).
-        self.jobs_by_name: Dict[str, PropertyJob] = {}
         self.retried: set = set()
         self.redispatched = 0
-        # Claim-gap safety net: timestamp of the last worker message.
-        self._last_message = time.monotonic()
+        self._job_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     def run(self, order: List[str]) -> MultiPropReport:
         opts = self.options
         start = time.monotonic()
         deadline = None if opts.total_time is None else start + opts.total_time
-        workers = opts.resolve_workers(len(order))
-        ctx = opts.context()
 
-        # Per-job budget, clamped by the total budget so a single worker
-        # cannot overrun the watchdog by an unbounded amount.
-        job_time = opts.per_property_time
-        if opts.total_time is not None:
-            job_time = (
-                opts.total_time
-                if job_time is None
-                else min(job_time, opts.total_time)
+        pool = opts.pool
+        ephemeral = pool is None
+        if ephemeral:
+            pool = WorkerPool(
+                workers=opts.resolve_workers(len(order)),
+                start_method=opts.start_method,
             )
-        # Dispatch order: LPT (descending cone size) unless the caller
-        # pinned an explicit order.  The report keeps ``order``.
-        if opts.order is None and opts.size_dispatch:
-            dispatch = _cone_descending(self.ts, order)
-            dispatch_mode = "cone-desc"
-        else:
-            dispatch = list(order)
-            dispatch_mode = "fifo"
-        jobs = [
-            PropertyJob(
-                name=name,
-                per_property_time=job_time,
-                per_property_conflicts=opts.per_property_conflicts,
-            )
-            for name in dispatch
-        ]
-        self.jobs_by_name = {job.name: job for job in jobs}
-
-        manager = exchange = None
+        self.pool = pool
+        # Everything after pool creation runs under the teardown guard:
+        # a bad shard spec or a failed manager start must not leak the
+        # worker processes just spawned.
+        managers: List[object] = []
+        exchange = None
+        num_shards = 0
+        dispatch_mode = "fifo"
         use_exchange = opts.exchange and opts.clause_reuse
-        if use_exchange:
-            manager, exchange = start_exchange(ctx=ctx)
-
-        task_queue = ctx.Queue()
-        out_queue = ctx.Queue()
-        cancel_event = ctx.Event()
-        settings = WorkerSettings(
-            design_name=self.design_name,
-            clause_reuse=opts.clause_reuse,
-            respect_constraints_in_lifting=opts.respect_constraints_in_lifting,
-            coi_reduction=opts.coi_reduction,
-            ctg=opts.ctg,
-            max_frames=opts.max_frames,
-            stop_on_failure=opts.stop_on_failure,
-            solver_backend=opts.solver_backend,
-            engine_overrides=dict(opts.engine_overrides),
-        )
-        drain_jobs(task_queue, jobs)
-        processes = []
-        for worker_id in range(workers):
-            process = ctx.Process(
-                target=worker_main,
-                args=(
-                    worker_id,
-                    self.ts,
-                    settings,
-                    task_queue,
-                    out_queue,
-                    cancel_event,
-                    exchange,
-                ),
-                name=f"repro-ja-worker-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            self.emit(WorkerStarted(worker=worker_id))
-            processes.append(process)
-
+        exchange_stats: dict = {}
         try:
-            self._collect(
-                order, processes, out_queue, task_queue, cancel_event, deadline, start
+            started, replaced = pool.ensure_workers()
+            for worker_id in sorted(started + replaced):
+                self.emit(WorkerStarted(worker=worker_id))
+            self.emit(
+                PoolAttached(
+                    workers=pool.workers,
+                    persistent=not ephemeral,
+                    runs=pool.stats["runs"],
+                )
             )
+
+            # Per-job budget, clamped by the total budget so a single
+            # worker cannot overrun the watchdog by an unbounded amount.
+            job_time = opts.per_property_time
+            if opts.total_time is not None:
+                job_time = (
+                    opts.total_time
+                    if job_time is None
+                    else min(job_time, opts.total_time)
+                )
+            self._job_time = job_time
+            # Dispatch order: LPT (descending cone size) unless the caller
+            # pinned an explicit order.  The report keeps ``order``.
+            if opts.order is None and opts.size_dispatch:
+                dispatch = _cone_descending(self.ts, order)
+                dispatch_mode = "cone-desc"
+            else:
+                dispatch = list(order)
+            self.backlog = [
+                PropertyJob(
+                    name=name,
+                    per_property_time=job_time,
+                    per_property_conflicts=opts.per_property_conflicts,
+                )
+                for name in dispatch
+            ]
+
+            if use_exchange:
+                shard_map = build_shard_map(
+                    self.ts, order, opts.exchange_shards
+                )
+                num_shards = shard_map.num_shards
+                managers, exchange = start_sharded_exchange(
+                    shard_map, ctx=pool.context
+                )
+                for shard in range(num_shards):
+                    self.emit(
+                        ShardOpened(
+                            shard=shard, members=len(shard_map.members(shard))
+                        )
+                    )
+
+            settings = WorkerSettings(
+                design_name=self.design_name,
+                clause_reuse=opts.clause_reuse,
+                respect_constraints_in_lifting=opts.respect_constraints_in_lifting,
+                coi_reduction=opts.coi_reduction,
+                ctg=opts.ctg,
+                max_frames=opts.max_frames,
+                stop_on_failure=opts.stop_on_failure,
+                solver_backend=opts.solver_backend,
+                engine_overrides=dict(opts.engine_overrides),
+            )
+            pool.begin_run(self.ts, settings, exchange)
+            self._collect(order, pool, deadline, start)
         finally:
-            cancel_event.set()
-            for process in processes:
-                process.join(timeout=10.0)
-                if process.is_alive():  # pragma: no cover - last resort
-                    process.terminate()
-                    process.join(timeout=5.0)
-            task_queue.close()
-            out_queue.close()
-            exchange_stats = {}
-            if manager is not None:
-                exchange_stats = exchange.stats()
-                manager.shutdown()
+            pool.end_run()
+            if managers:
+                try:
+                    exchange_stats = exchange.stats()
+                except Exception:  # pragma: no cover - managers died
+                    exchange_stats = {}
+                for manager in managers:
+                    manager.shutdown()
+            if ephemeral:
+                pool.shutdown()
 
         if self.errors:
             raise RuntimeError(
@@ -250,111 +281,148 @@ class _PoolRun:
         report.total_time = time.monotonic() - start
         report.stats = {
             "mode": "process",
-            "workers": workers,
+            "workers": pool.workers,
             "exchange": int(use_exchange),
             "exchange_clauses": exchange_stats.get("clauses", 0),
+            "exchange_shards": num_shards,
+            "exchange_per_shard": exchange_stats.get("shards", []),
             "cancelled": self.cancelled,
             "worker_crashes": self.crashes,
             "dispatch": dispatch_mode,
             "redispatched": self.redispatched,
+            "pool": "ephemeral" if ephemeral else "persistent",
+            "pool_runs": pool.stats["runs"],
+            "design_pickles": pool.stats["design_pickles"],
         }
         return report
 
     # ------------------------------------------------------------------
-    def _collect(
-        self, order, processes, out_queue, task_queue, cancel_event, deadline, start
-    ) -> None:
-        """Drain worker messages until every property is accounted for."""
+    def _collect(self, order, pool: WorkerPool, deadline, start) -> None:
+        """Drain worker messages until every property is accounted for.
+
+        Scheduling happens here: a worker that acks its setup or
+        finishes a job becomes available and immediately receives the
+        next backlog job; cancellation drains the backlog parent-side
+        without a round-trip, while already-assigned jobs still report
+        (their per-job budget is clamped by the watchdog's total).
+        """
         pending = set(order)
         while pending:
             if (
                 deadline is not None
                 and time.monotonic() > deadline
-                and not cancel_event.is_set()
+                and not pool.cancelled
             ):
-                cancel_event.set()
+                pool.cancel_active()
+            if pool.cancelled:
+                self._cancel_backlog(pending, start)
             try:
-                message = out_queue.get(timeout=0.2)
+                message = pool.get(timeout=0.2)
             except queue_mod.Empty:
-                if self._reap_crashed(processes, pending, task_queue, cancel_event):
+                if self._reap_crashed(pool, pending):
                     break
-                self._recover_lost_jobs(
-                    processes, pending, task_queue, cancel_event
-                )
                 continue
-            self._last_message = time.monotonic()
             kind = message[0]
-            if kind == "claim":
-                _, worker_id, name = message
-                self.claims[worker_id] = name
+            if kind == "ready":
+                self._feed(message[1], pool)
             elif kind == "event":
                 self.emit(message[2])
             elif kind == "result":
                 _, worker_id, outcome = message
-                self.claims.pop(worker_id, None)
+                self.assignments.pop(worker_id, None)
                 self._record(outcome, pending, start)
                 if (
                     self.options.stop_on_failure
                     and outcome.status is PropStatus.FAILS
-                    and not cancel_event.is_set()
+                    and not pool.cancelled
                 ):
-                    cancel_event.set()
+                    pool.cancel_active()
+                    self._cancel_backlog(pending, start)
+                self._feed(worker_id, pool)
             elif kind == "cancelled":
                 _, worker_id, name = message
+                if self.assignments.get(worker_id) == name:
+                    del self.assignments[worker_id]
                 self._record_cancelled(name, worker_id, pending, start)
+                self._feed(worker_id, pool)
             elif kind == "error":
                 _, worker_id, name, detail = message
-                self.claims.pop(worker_id, None)
+                self.assignments.pop(worker_id, None)
                 self.errors.append(f"{name}: {detail}")
                 self._record(
                     PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
                     pending,
                     start,
                 )
+                self._feed(worker_id, pool)
 
-    def _reap_crashed(self, processes, pending, task_queue, cancel_event) -> bool:
+    def _feed(self, worker_id: int, pool: WorkerPool) -> None:
+        """Hand the next backlog job to a now-idle worker (or park it)."""
+        if self.backlog and not pool.cancelled:
+            job = self.backlog.pop(0)
+            self.assignments[worker_id] = job.name
+            self.available.discard(worker_id)
+            pool.assign(worker_id, job)
+        else:
+            self.available.add(worker_id)
+
+    def _cancel_backlog(self, pending, start) -> None:
+        """Record every not-yet-assigned job as cancelled (parent-side)."""
+        while self.backlog:
+            job = self.backlog.pop(0)
+            self._record_cancelled(job.name, None, pending, start)
+
+    def _reap_crashed(self, pool: WorkerPool, pending) -> bool:
         """Account for dead workers; True if no worker is left alive.
 
         A crash (OOM kill, hard fault) is a degraded-but-valid run: the
-        claimed job is re-dispatched once onto the surviving workers
-        (``stats["redispatched"]``); a second crash on the same job —
-        or a retry with the run already cancelling — reports it UNKNOWN
-        and counts in ``stats["worker_crashes"]`` either way.  Only
-        *verifier exceptions* (the ``error`` message kind) abort the
-        run, matching the sequential driver's propagation.
+        job the dead worker held is re-dispatched once onto a surviving
+        worker (``stats["redispatched"]``); a second crash on the same
+        job — or a retry with the run already cancelling — reports it
+        UNKNOWN and counts in ``stats["worker_crashes"]`` either way.
+        Only *verifier exceptions* (the ``error`` message kind) abort
+        the run, matching the sequential driver's propagation.
         """
-        for worker_id, process in enumerate(processes):
-            if process.is_alive() or process.exitcode in (0, None):
-                continue
-            name = self.claims.pop(worker_id, None)
+        for worker_id in pool.failed_workers():
+            self.available.discard(worker_id)
+            name = self.assignments.pop(worker_id, None)
             if name is not None and name in pending:
                 self.crashes += 1
-                self._retry_or_give_up(
-                    name, worker_id, pending, task_queue, cancel_event, processes
-                )
-        if any(process.is_alive() for process in processes):
+                self._retry_or_give_up(name, worker_id, pending, pool)
+        if pool.any_alive():
             return False
-        # Nobody left to drain the task queue: mark the remainder.
-        cancel_event.set()
+        # Nobody left to run the backlog: mark the remainder.
+        pool.cancel_active()
         for name in sorted(pending):
             self._record_cancelled(name, None, pending, None)
         return True
 
-    def _retry_or_give_up(
-        self, name, worker_id, pending, task_queue, cancel_event, processes
-    ) -> None:
+    def _retry_or_give_up(self, name, worker_id, pending, pool: WorkerPool) -> None:
         """One bounded retry for a job lost to a worker crash.
 
         Retrying needs a survivor to run the job; with none alive (or
         the run already cancelling) the job degrades to UNKNOWN here —
-        never claiming a re-dispatch that could not execute.
+        never claiming a re-dispatch that could not execute.  The job
+        goes to the backlog *front* (it already waited its turn once)
+        and straight to an idle live worker when one is parked.
         """
-        survivors = any(process.is_alive() for process in processes)
-        if name not in self.retried and survivors and not cancel_event.is_set():
+        if name not in self.retried and pool.any_alive() and not pool.cancelled:
             self.retried.add(name)
             self.redispatched += 1
-            task_queue.put(self.jobs_by_name[name])
+            self.backlog.insert(
+                0,
+                PropertyJob(
+                    name=name,
+                    per_property_time=self._job_time,
+                    per_property_conflicts=self.options.per_property_conflicts,
+                ),
+            )
             self.emit(PropertyRequeued(name=name, worker=worker_id))
+            for idle in sorted(self.available):
+                if pool.worker_alive(idle):
+                    self.available.discard(idle)
+                    self._feed(idle, pool)
+                    break
             return
         self.emit(PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True))
         self._record(
@@ -362,39 +430,6 @@ class _PoolRun:
             pending,
             None,
         )
-
-    #: Seconds of worker silence before presuming a claim-gap loss.
-    _STALL_WINDOW = 1.0
-
-    def _recover_lost_jobs(
-        self, processes, pending, task_queue, cancel_event
-    ) -> None:
-        """Safety net for jobs swallowed by a crash *before* the claim.
-
-        A worker that dies between dequeuing a job and emitting its
-        ``claim`` leaves no trace.  When (a) some worker has died,
-        (b) no claim is in flight — every live worker is idle — and
-        (c) the message stream has been silent for a full stall window
-        (idle workers pick queued jobs up within one 0.1s poll, so
-        silence means the queue really is empty), the still-pending
-        jobs can only be such losses: re-dispatch (or degrade) them so
-        the run terminates instead of idling forever.
-        """
-        if not pending or self.claims:
-            return
-        if time.monotonic() - self._last_message < self._STALL_WINDOW:
-            return
-        if all(
-            process.is_alive() or process.exitcode in (0, None)
-            for process in processes
-        ):
-            return
-        for name in sorted(pending):
-            self.crashes += 1
-            self._retry_or_give_up(
-                name, None, pending, task_queue, cancel_event, processes
-            )
-        self._last_message = time.monotonic()
 
     def _record(self, outcome: PropOutcome, pending, start) -> None:
         if outcome.name not in pending:  # pragma: no cover - defensive

@@ -1,0 +1,297 @@
+"""Cluster-sharded live clause exchange (the 10k-property scaling fix).
+
+The single manager-hosted :class:`~repro.parallel.sharing.ClauseExchange`
+serializes every ``publish``/``fetch`` of every worker through one
+server object — fine at tens of properties, a bottleneck at the paper's
+10k scale.  Clause traffic is also *wasted* across unrelated
+properties: a strengthening clause learned while proving one property
+only helps properties whose cones overlap, which is exactly what
+:func:`repro.multiprop.clustering.cluster_properties` computes.
+
+This module shards the exchange by property cluster:
+
+* :func:`build_shard_map` groups the run's properties with the
+  structural clustering (Jaccard similarity of latch cones) and assigns
+  whole clusters to shards, biggest-cluster-first onto the least
+  loaded shard, so same-cluster properties always share a shard;
+* :class:`ExchangeShard` is one append-only deduplicated clause log —
+  the same cursor protocol as the legacy exchange, plus per-shard
+  traffic stats that record *which properties* published and fetched
+  (the routing-isolation tests rely on this);
+* each shard is hosted in its **own** manager process
+  (:func:`start_sharded_exchange`), so shards serialize independently
+  and publish/fetch throughput scales with the shard count;
+* :class:`ShardedExchange` is the picklable client-side router workers
+  hold: ``publish``/``fetch`` take the property name and route to its
+  shard, so a clause is only ever delivered to subscribers of the
+  originating property's cluster — cross-shard deliveries are
+  impossible by construction, and :meth:`ShardedExchange.routing_violations`
+  proves it from the recorded per-shard traffic.
+
+``shards=1`` degenerates to the old single-exchange behaviour (one log,
+one manager); ``shards="auto"`` takes one shard per cluster, capped at
+:data:`AUTO_SHARD_CAP` so a thousand singleton clusters do not spawn a
+thousand manager processes.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.managers import BaseManager
+from typing import Dict, Iterable, List, Mapping, MutableMapping, Sequence, Tuple, Union
+
+from ..ts.system import TransitionSystem
+
+Clause = Tuple[int, ...]
+
+#: Upper bound on ``shards="auto"`` (one manager process per shard).
+AUTO_SHARD_CAP = 8
+
+
+class ShardMap:
+    """Property name -> shard index, plus the member sets per shard."""
+
+    def __init__(self, assignment: Mapping[str, int], num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        bad = {n: s for n, s in assignment.items() if not 0 <= s < num_shards}
+        if bad:
+            raise ValueError(f"shard index out of range: {bad}")
+        self._assignment = dict(assignment)
+        self.num_shards = num_shards
+
+    def shard_of(self, name: str) -> int:
+        return self._assignment[name]
+
+    def members(self, shard: int) -> Tuple[str, ...]:
+        return tuple(
+            sorted(n for n, s in self._assignment.items() if s == shard)
+        )
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [len(self.members(s)) for s in range(self.num_shards)]
+        return f"ShardMap(shards={self.num_shards}, sizes={sizes})"
+
+
+def build_shard_map(
+    ts: TransitionSystem,
+    names: Sequence[str],
+    shards: Union[int, str] = 1,
+    similarity_threshold: float = 0.5,
+) -> ShardMap:
+    """Assign the run's properties to exchange shards, cluster-whole.
+
+    ``shards`` is a positive int (capped by the property count) or
+    ``"auto"`` — one shard per structural cluster, capped at
+    :data:`AUTO_SHARD_CAP`.  Clusters are never split across shards:
+    the clusters are placed biggest-first onto the least-loaded shard
+    (LPT balancing, the same heuristic the job dispatch uses), so
+    same-cluster properties always exchange clauses while shard loads
+    stay even.
+    """
+    from ..multiprop.clustering import cluster_properties
+
+    wanted = set(names)
+    clusters = [
+        [n for n in cluster if n in wanted]
+        for cluster in cluster_properties(ts, similarity_threshold)
+    ]
+    clusters = [c for c in clusters if c]
+    if not clusters:
+        return ShardMap({}, 1)
+    if shards == "auto":
+        num = min(len(clusters), AUTO_SHARD_CAP)
+    elif isinstance(shards, int) and not isinstance(shards, bool):
+        if shards < 1:
+            raise ValueError(f"exchange shards must be >= 1, got {shards}")
+        num = min(shards, len(wanted))
+    else:
+        raise ValueError(
+            f"exchange shards must be a positive int or 'auto', got {shards!r}"
+        )
+    return shard_clusters(clusters, num)
+
+
+def shard_clusters(clusters: Sequence[Sequence[str]], num_shards: int) -> ShardMap:
+    """Place whole clusters onto ``num_shards`` shards, LPT-balanced.
+
+    Biggest cluster first onto the least-loaded shard (ties: lowest
+    shard index) — deterministic, balanced, and cluster-whole, so
+    same-cluster properties always share a shard.  Exposed separately
+    from :func:`build_shard_map` so tests can drive arbitrary cluster
+    partitions without a transition system.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    order = sorted(
+        range(len(clusters)), key=lambda i: (-len(clusters[i]), i)
+    )
+    loads = [0] * num_shards
+    assignment: Dict[str, int] = {}
+    for i in order:
+        shard = loads.index(min(loads))
+        loads[shard] += len(clusters[i])
+        for name in clusters[i]:
+            assignment[name] = shard
+    return ShardMap(assignment, num_shards)
+
+
+class ExchangeShard:
+    """One append-only deduplicated clause log (runs in its manager).
+
+    The cursor protocol matches the legacy single exchange: workers
+    ``fetch`` with the log length they have already seen, the log only
+    grows, so a fetch never misses a clause published before its
+    cursor.  On top of the legacy log this shard records which
+    *properties* published and fetched — the stress/fuzz suite uses
+    those sets to prove that no clause ever crossed a shard boundary.
+    """
+
+    def __init__(self, index: int = 0, members: Sequence[str] = ()) -> None:
+        self.index = index
+        self.members = tuple(members)
+        self._log: List[Clause] = []
+        self._seen = set()
+        self._publishes = 0
+        self._fetches = 0
+        self._publishers: set = set()
+        self._fetchers: set = set()
+
+    def publish(self, name: str, clauses: Iterable[Iterable[int]]) -> int:
+        """Append ``name``'s new clauses (duplicates dropped); returns #new."""
+        added = 0
+        for clause in clauses:
+            normalized = tuple(sorted((int(l) for l in clause), key=abs))
+            if not normalized or normalized in self._seen:
+                continue
+            self._seen.add(normalized)
+            self._log.append(normalized)
+            added += 1
+        self._publishes += 1
+        self._publishers.add(name)
+        return added
+
+    def fetch(self, name: str, cursor: int) -> Tuple[List[Clause], int]:
+        """Clauses appended at or after ``cursor``, plus the new cursor."""
+        if cursor < 0:
+            raise ValueError(f"cursor must be non-negative, got {cursor}")
+        self._fetches += 1
+        self._fetchers.add(name)
+        return self._log[cursor:], len(self._log)
+
+    def size(self) -> int:
+        return len(self._log)
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.index,
+            "members": list(self.members),
+            "clauses": len(self._log),
+            "publishes": self._publishes,
+            "fetches": self._fetches,
+            "publishers": sorted(self._publishers),
+            "fetchers": sorted(self._fetchers),
+        }
+
+
+class ShardedExchange:
+    """Client-side router over the shard servers (picklable).
+
+    Holds the :class:`ShardMap` plus one handle per shard — manager
+    proxies in the real engine, in-process :class:`ExchangeShard`
+    objects in unit tests.  Workers receive one instance per run and
+    route every ``publish``/``fetch`` by the property name, so clause
+    visibility is confined to the originating property's cluster.
+    """
+
+    def __init__(self, shard_map: ShardMap, shards: Sequence[object]) -> None:
+        if len(shards) != shard_map.num_shards:
+            raise ValueError(
+                f"expected {shard_map.num_shards} shard handles, got {len(shards)}"
+            )
+        self.shard_map = shard_map
+        self._shards = list(shards)
+
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.num_shards
+
+    def shard_of(self, name: str) -> int:
+        return self.shard_map.shard_of(name)
+
+    def publish(self, name: str, clauses: Iterable[Iterable[int]]) -> int:
+        return self._shards[self.shard_of(name)].publish(name, clauses)
+
+    def fetch(self, name: str, cursor: int) -> Tuple[List[Clause], int]:
+        return self._shards[self.shard_of(name)].fetch(name, cursor)
+
+    def fetch_fresh(
+        self, name: str, cursors: MutableMapping[int, int]
+    ) -> List[Clause]:
+        """Everything ``name``'s shard published since the last call.
+
+        ``cursors`` is the caller's per-shard cursor table (one per
+        worker in the engine), updated in place — cursors on *other*
+        shards are untouched, which is what keeps routing strict.
+        """
+        shard = self.shard_of(name)
+        fresh, cursors[shard] = self.fetch(name, cursors.get(shard, 0))
+        return fresh
+
+    def stats(self) -> dict:
+        """Aggregated per-shard stats plus run totals."""
+        per_shard = [self._shards[s].stats() for s in range(self.num_shards)]
+        return {
+            "shards": per_shard,
+            "clauses": sum(s["clauses"] for s in per_shard),
+            "publishes": sum(s["publishes"] for s in per_shard),
+            "fetches": sum(s["fetches"] for s in per_shard),
+        }
+
+    def routing_violations(self) -> int:
+        """Traffic observed by a shard from a non-member property.
+
+        Zero by construction when every client routes through this
+        class; the stress suite asserts exactly that.
+        """
+        violations = 0
+        for stats in self.stats()["shards"]:
+            members = set(stats["members"])
+            violations += len(set(stats["publishers"]) - members)
+            violations += len(set(stats["fetchers"]) - members)
+        return violations
+
+
+class ShardManager(BaseManager):
+    """Manager hosting one :class:`ExchangeShard` per shard process."""
+
+
+ShardManager.register("ExchangeShard", ExchangeShard)
+
+
+def start_sharded_exchange(
+    shard_map: ShardMap, ctx=None
+) -> Tuple[List[ShardManager], ShardedExchange]:
+    """One manager process per shard; returns ``(managers, exchange)``.
+
+    The caller owns the managers and must ``shutdown()`` each after
+    collecting :meth:`ShardedExchange.stats`; the returned exchange is
+    picklable and is handed to worker processes per run.
+    """
+    managers: List[ShardManager] = []
+    proxies: List[object] = []
+    try:
+        for shard in range(shard_map.num_shards):
+            manager = ShardManager(ctx=ctx)
+            manager.start()
+            managers.append(manager)
+            proxies.append(
+                manager.ExchangeShard(shard, shard_map.members(shard))
+            )
+    except BaseException:
+        for manager in managers:  # don't leak the shards already up
+            manager.shutdown()
+        raise
+    return managers, ShardedExchange(shard_map, proxies)

@@ -1,0 +1,394 @@
+"""A persistent, reusable pool of JA-verification worker processes.
+
+The PR-2 engine spawned worker processes per run and shipped the
+pickled design to each as a :class:`multiprocessing.Process` argument —
+an O(design) setup cost on *every* ``Session.run()``, which dominates
+server-style workloads that verify many small batches against the same
+design.  :class:`WorkerPool` removes that cost:
+
+* **Workers outlive runs.**  The pool spawns its processes once
+  (lazily, on the first run) and keeps them polling their private
+  control queues; successive runs reuse them via :meth:`begin_run`.
+* **Designs ship once.**  The parent pickles a design exactly once per
+  content hash (``stats["design_pickles"]``, memoized by object
+  identity so repeat runs do not even re-hash) and each worker caches
+  the unpickled :class:`~repro.ts.system.TransitionSystem` by the same
+  hash — the second run on a design sends only the hash.
+* **Runs are isolated.**  Every run gets a fresh run id; job, result
+  and event messages are all tagged with it, workers rebuild their
+  per-run clause databases on every ``begin_run``, and the parent
+  discards any straggler message from an earlier run — no clause or
+  verdict leakage between runs.
+* **Crashed workers are replaced between runs.**  Mid-run, a crash is
+  handled by the engine's bounded re-dispatch exactly as before;
+  :meth:`ensure_workers` (called by the engine at the start of every
+  run) respawns dead slots so the next run starts at full strength
+  (``stats["workers_replaced"]``).
+
+Queueing discipline: jobs flow through **per-worker queues** with the
+scheduling done parent-side (the engine assigns the next backlog job
+to whichever worker reports idle), not through one shared task queue.
+A shared queue load-balances for free but is fragile against exactly
+the failure this pool must survive: a worker killed while blocked in
+``Queue.get`` dies *holding the queue's reader lock*, deadlocking every
+sibling.  With private queues a dead worker poisons only its own
+channel, which is discarded when :meth:`ensure_workers` replaces the
+seat — and the parent always knows exactly which job a dead worker
+held, so crash attribution needs no claim protocol.
+
+Cancellation is a shared *epoch* (a :class:`multiprocessing.Value`
+holding the highest cancelled run id) rather than a per-run event,
+because synchronization primitives cannot be shipped through queues to
+already-running processes: cancelling run ``r`` raises the epoch to
+``r``, and a worker declines (reports ``cancelled``) any assigned job
+whose run id is at or below the epoch.  Run ids increase monotonically,
+so old cancellations never affect new runs.
+
+Use :func:`default_pool` for the module-level shared pool
+(``VerificationConfig(pool=default_pool())``), or construct pools
+explicitly and pass them around; a pool is a context manager and
+:meth:`shutdown` is idempotent.  The engine still creates a private
+single-run pool when no pool is supplied, preserving the original
+per-run semantics.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+import weakref
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..ts.system import TransitionSystem
+
+#: Designs kept per cache (parent payloads and each worker's unpickled
+#: copies), LRU-evicted beyond this.  Both sides apply the same policy
+#: to the same per-worker message stream, so the parent always knows
+#: exactly which hashes a worker still holds.
+DESIGN_CACHE_SIZE = 8
+
+
+def _lru_touch(cache: "OrderedDict", key, value) -> None:
+    """Insert/refresh ``key`` and evict the stalest beyond the cap."""
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > DESIGN_CACHE_SIZE:
+        cache.popitem(last=False)
+
+
+class _Slot:
+    """One worker seat: its process, control queue and design cache map."""
+
+    __slots__ = ("process", "ctrl", "designs")
+
+    def __init__(self, process, ctrl) -> None:
+        self.process = process
+        self.ctrl = ctrl
+        # Content hashes this worker holds, mirroring the worker's own
+        # LRU (same keys, same order, same cap).
+        self.designs: "OrderedDict" = OrderedDict()
+
+
+class WorkerPool:
+    """A persistent process pool shared across verification runs."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        resolved = workers if workers is not None else os.cpu_count() or 1
+        if resolved < 1:
+            raise ValueError(f"workers must be >= 1, got {resolved}")
+        self.workers = resolved
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self.context = multiprocessing.get_context(start_method)
+        self._out_queue = self.context.Queue()
+        # Highest cancelled run id; workers decline jobs at or below it.
+        self._cancel_epoch = self.context.Value("q", -1)
+        self._stop = self.context.Event()
+        self._slots: List[_Slot] = []
+        # content hash -> pickled payload (LRU, DESIGN_CACHE_SIZE deep)
+        self._pickled: "OrderedDict[str, bytes]" = OrderedDict()
+        self._hash_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._run_ids = itertools.count()
+        self._active: Optional[int] = None
+        self._closed = False
+        self.stats = {
+            "runs": 0,
+            "design_pickles": 0,
+            "designs_cached": 0,
+            "workers_spawned": 0,
+            "workers_replaced": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def _spawn(self, worker_id: int) -> _Slot:
+        # Late import so crash-injection tests can monkeypatch the
+        # module attribute before the pool forks its workers.
+        from . import worker as worker_mod
+
+        ctrl = self.context.Queue()
+        process = self.context.Process(
+            target=worker_mod.pool_worker_main,
+            args=(
+                worker_id,
+                ctrl,
+                self._out_queue,
+                self._cancel_epoch,
+                self._stop,
+            ),
+            name=f"repro-pool-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self.stats["workers_spawned"] += 1
+        return _Slot(process, ctrl)
+
+    def ensure_workers(self) -> Tuple[List[int], List[int]]:
+        """Bring the pool to full strength; ``(new_ids, replaced_ids)``.
+
+        Called by the engine at the start of every run: missing seats
+        are filled, and a seat whose process died (crash in a previous
+        run) gets a fresh process — with a fresh control queue and an
+        empty design cache, since whatever the dead worker held is gone.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is shut down")
+        started: List[int] = []
+        replaced: List[int] = []
+        for worker_id in range(self.workers):
+            if worker_id < len(self._slots):
+                if self._slots[worker_id].process.is_alive():
+                    continue
+                self._slots[worker_id] = self._spawn(worker_id)
+                self.stats["workers_replaced"] += 1
+                replaced.append(worker_id)
+            else:
+                self._slots.append(self._spawn(worker_id))
+                started.append(worker_id)
+        return started, replaced
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every worker and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._active = None
+        self._stop.set()
+        for slot in self._slots:
+            try:
+                slot.ctrl.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for slot in self._slots:
+            slot.process.join(timeout=timeout)
+            if slot.process.is_alive():  # pragma: no cover - last resort
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+        for q in [self._out_queue] + [slot.ctrl for slot in self._slots]:
+            q.cancel_join_thread()
+            q.close()
+
+    # ------------------------------------------------------------------
+    # Design shipping
+    # ------------------------------------------------------------------
+    def _design_digest(self, ts: TransitionSystem) -> str:
+        """Content hash of ``ts``; guarantees the payload is cached.
+
+        The identity memo means a design object reused across runs is
+        never re-pickled, which is what ``stats["design_pickles"]``
+        counts; a *different* object with identical content re-pickles
+        to hash it but still hits the workers' caches.  A design whose
+        payload was LRU-evicted (more than :data:`DESIGN_CACHE_SIZE`
+        designs in rotation) is re-pickled on its next use — a bounded
+        cache, not a leak, for servers cycling through many designs.
+        """
+        try:
+            digest = self._hash_memo.get(ts)
+        except TypeError:  # unhashable/unweakrefable design
+            digest = None
+        if digest is not None and digest in self._pickled:
+            self._pickled.move_to_end(digest)
+            return digest
+        payload = pickle.dumps(ts, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats["design_pickles"] += 1
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest not in self._pickled:
+            self.stats["designs_cached"] += 1
+        _lru_touch(self._pickled, digest, payload)
+        try:
+            self._hash_memo[ts] = digest
+        except TypeError:  # pragma: no cover - exotic design classes
+            pass
+        return digest
+
+    # ------------------------------------------------------------------
+    # Run protocol
+    # ------------------------------------------------------------------
+    def begin_run(self, ts, settings, exchange=None) -> int:
+        """Open a run: ship the design + settings to every live worker.
+
+        Returns the run id.  Each worker acknowledges its setup with a
+        ``ready`` message (surfaced through :meth:`get`); because setup
+        and job messages share the worker's FIFO control queue, a
+        worker can never see a job before the run's design and
+        settings.  Only one run may be active at a time.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is shut down")
+        if self._active is not None:
+            raise RuntimeError(
+                f"run {self._active} is still active on this pool"
+            )
+        if not self._slots:
+            self.ensure_workers()
+        run_id = next(self._run_ids)
+        digest = self._design_digest(ts)
+        payload = self._pickled[digest]
+        for slot in self._slots:
+            if not slot.process.is_alive():
+                continue
+            body = None if digest in slot.designs else payload
+            slot.ctrl.put(("run", run_id, digest, body, settings, exchange))
+            _lru_touch(slot.designs, digest, True)
+        self._active = run_id
+        self.stats["runs"] += 1
+        return run_id
+
+    def assign(self, worker_id: int, job) -> None:
+        """Hand one job of the active run to a specific worker."""
+        if self._active is None:
+            raise RuntimeError("no active run; call begin_run first")
+        self._slots[worker_id].ctrl.put(("job", self._active, job))
+
+    def get(self, timeout: float = 0.2):
+        """Next message of the active run, run-id tag stripped.
+
+        Yields ``("ready", worker)``, ``("event", worker, event)``,
+        ``("result", worker, outcome)``, ``("cancelled", worker, name)``
+        and ``("error", worker, name, detail)``.  Messages from earlier
+        runs (stragglers of a cancelled batch) are silently discarded.
+        Raises :class:`queue.Empty` on timeout, like a queue would.
+        """
+        if self._active is None:
+            raise RuntimeError("no active run; call begin_run first")
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise queue_mod.Empty
+            message = self._out_queue.get(timeout=remaining)
+            if message[1] != self._active:
+                continue
+            return (message[0],) + tuple(message[2:])
+
+    def cancel_active(self) -> None:
+        """Cancel the active run (assigned-but-unstarted jobs decline)."""
+        if self._active is None:
+            return
+        with self._cancel_epoch.get_lock():
+            if self._cancel_epoch.value < self._active:
+                self._cancel_epoch.value = self._active
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the active run has been cancelled."""
+        return (
+            self._active is not None
+            and self._cancel_epoch.value >= self._active
+        )
+
+    def end_run(self) -> None:
+        """Close the active run; anything still in flight goes stale.
+
+        Raising the cancel epoch makes workers decline any job of this
+        run still sitting in their queues, and :meth:`get`'s run filter
+        drops their late replies, so a finished run cannot haunt the
+        next one.
+        """
+        if self._active is None:
+            return
+        self.cancel_active()
+        self._active = None
+
+    # ------------------------------------------------------------------
+    # Liveness (consumed by the engine's crash handling)
+    # ------------------------------------------------------------------
+    def worker_alive(self, worker_id: int) -> bool:
+        return self._slots[worker_id].process.is_alive()
+
+    def worker_failed(self, worker_id: int) -> bool:
+        """True if the seat's process died with a nonzero exit code."""
+        process = self._slots[worker_id].process
+        return not process.is_alive() and process.exitcode not in (0, None)
+
+    def failed_workers(self) -> List[int]:
+        return [
+            worker_id
+            for worker_id in range(len(self._slots))
+            if self.worker_failed(worker_id)
+        ]
+
+    def alive_workers(self) -> List[int]:
+        return [
+            worker_id
+            for worker_id, slot in enumerate(self._slots)
+            if slot.process.is_alive()
+        ]
+
+    def any_alive(self) -> bool:
+        return bool(self.alive_workers())
+
+
+# ----------------------------------------------------------------------
+# Module-level default pool (server-style workloads)
+# ----------------------------------------------------------------------
+_default: Optional[WorkerPool] = None
+
+
+def default_pool(
+    workers: Optional[int] = None, start_method: Optional[str] = None
+) -> WorkerPool:
+    """The process-wide shared pool, created on first use.
+
+    ``workers``/``start_method`` only apply when the pool is (re)built —
+    after a :func:`shutdown_default_pool` or on first call; a live
+    default pool is returned as-is.
+    """
+    global _default
+    if _default is None or _default.closed:
+        _default = WorkerPool(workers=workers, start_method=start_method)
+    return _default
+
+
+def shutdown_default_pool() -> None:
+    """Tear down the shared pool (no-op when none is live)."""
+    global _default
+    if _default is not None:
+        _default.shutdown()
+        _default = None
+
+
+atexit.register(shutdown_default_pool)

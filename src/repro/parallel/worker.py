@@ -1,56 +1,71 @@
-"""Worker-process side of the parallel JA engine.
+"""Worker-process side of the parallel JA engine (pool protocol).
 
-Each worker process receives the pickled :class:`TransitionSystem` once
-(through the :class:`multiprocessing.Process` arguments), then loops on
-a task queue of :class:`PropertyJob` messages.  One job = one property:
-the worker computes the paper's ``T^P`` projection for it (via
+Each worker process is a *persistent* pool member: it is spawned once
+by :class:`~repro.parallel.pool.WorkerPool`, caches unpickled designs
+by content hash across runs, and loops on its private FIFO control
+queue.  One job = one property: the worker computes the paper's
+``T^P`` projection for it (via
 :func:`repro.ts.projection.assumption_names`, inside
 :class:`~repro.multiprop.ja.JAVerifier`), runs the local IC3 proof with
 the full spurious-CEX re-run ladder, and reports a
 :class:`~repro.multiprop.report.PropOutcome` back on the output queue.
 
-Everything the worker says goes through **one** queue, tagged with the
-message kinds below, so the parent can merge per-worker progress-event
-streams and result traffic without extra threads and in a
-deterministic order when ``workers == 1``:
+Control messages (private queue, parent -> worker):
 
-``("claim", worker, name)``
-    bookkeeping before a job starts — lets the parent attribute a
-    worker crash to the job it was holding;
-``("event", worker, ProgressEvent)``
+``("run", run_id, design_hash, payload-or-None, settings, exchange)``
+    a new run: the pickled design ships only when this worker has not
+    cached the hash yet; the worker rebuilds its per-run clause
+    database and acknowledges with ``ready``;
+``("job", run_id, PropertyJob)``
+    one property to verify.  Scheduling is parent-side: the engine
+    assigns the next backlog job to whichever worker reported idle, so
+    the queue is FIFO and a setup always precedes the run's jobs;
+``("stop",)``
+    shutdown sentinel.
+
+Output messages (shared queue, worker -> parent), all run-tagged so
+the parent can discard stragglers of finished runs — and, with one
+worker, the whole stream is deterministic:
+
+``("ready", run, worker)``
+    the run setup was absorbed; jobs may follow;
+``("event", run, worker, ProgressEvent)``
     a forwarded progress event from the verifier/engine stack;
-``("result", worker, PropOutcome)``
+``("result", run, worker, PropOutcome)``
     the verdict for one property (terminal for that job);
-``("cancelled", worker, name)``
-    the job was drained after early cancellation (terminal);
-``("error", worker, name, message)``
+``("cancelled", run, worker, name)``
+    the job was declined because the run's cancel epoch was raised
+    before it started (terminal);
+``("error", run, worker, name, message)``
     the verifier raised; the parent re-raises after the run (terminal).
 
-Clause traffic: the worker keeps a private
-:class:`~repro.multiprop.clausedb.ClauseDB` accumulating its own proofs
-(the sequential driver's Section 6 re-use, now per worker).  When a
-:class:`ClauseExchange` proxy is supplied, the worker additionally
-imports everything published since its last fetch before each job and
-publishes each new invariant — the paper's optional live exchange.
-Imported clauses are re-validated by ``ClauseDB.add`` worker-side.
+Clause traffic: the worker keeps one private
+:class:`~repro.multiprop.clausedb.ClauseDB` **per shard per run**
+(fresh on every setup, so runs never leak clauses into each other, and
+a worker serving jobs from several shards never lets one shard's
+clauses seed another shard's proofs), accumulating its own proofs —
+the sequential driver's Section 6 re-use, per worker.  When the run
+carries a :class:`~repro.parallel.exchange.ShardedExchange` the worker
+additionally imports everything the job's *shard* published since its
+last fetch before each job and publishes each new invariant to that
+same shard — clauses never cross shard boundaries, worker-side
+included.  Imported clauses are re-validated by ``ClauseDB.add``
+worker-side.
 """
 
 from __future__ import annotations
 
+import pickle
 import queue as queue_mod
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
 
 from ..multiprop.clausedb import ClauseDB
 from ..multiprop.ja import JAOptions, JAVerifier
 from ..progress import BudgetCheckpoint, ProgressEvent
 from ..ts.system import TransitionSystem
-
-#: Optional queue sentinel: immediately exits the worker loop.  The
-#: engine no longer enqueues sentinels (workers exit when the queue is
-#: empty and the cancel event is set, which keeps them available for
-#: crash re-dispatch); the sentinel remains honored for direct callers.
-SENTINEL = None
+from .pool import _lru_touch
 
 #: Poll interval while waiting for work (seconds).
 _POLL_TIMEOUT = 0.1
@@ -94,28 +109,93 @@ class WorkerSettings:
         )
 
 
-def worker_main(
+@dataclass
+class _ActiveRun:
+    """Worker-local state of the run currently being served."""
+
+    run_id: int
+    ts: TransitionSystem
+    settings: WorkerSettings
+    exchange: Optional[object]  # ShardedExchange or None
+    # One clause database per exchange shard (key -1 without exchange):
+    # a worker that serves jobs from several shards must not let one
+    # shard's imports seed another shard's proofs, or the cross-shard
+    # isolation the exchange enforces would leak back in worker-side.
+    dbs: Dict[int, ClauseDB] = field(default_factory=dict)
+    cursors: Dict[int, int] = field(default_factory=dict)
+
+    def db_for(self, name: str) -> ClauseDB:
+        shard = -1 if self.exchange is None else self.exchange.shard_of(name)
+        db = self.dbs.get(shard)
+        if db is None:
+            db = self.dbs[shard] = ClauseDB(self.ts)
+        return db
+
+
+def pool_worker_main(
     worker_id: int,
-    ts: TransitionSystem,
-    settings: WorkerSettings,
-    task_queue,
+    ctrl_queue,
     out_queue,
-    cancel_event,
-    exchange=None,
+    cancel_epoch,
+    stop_event,
 ) -> None:
-    """Worker loop: consume jobs until cancellation (or a sentinel).
+    """Worker loop: absorb run setups, execute assigned jobs, repeat.
 
-    The loop polls the task queue so it stays alive while idle — that
-    is what lets the parent re-dispatch a crashed sibling's job onto
-    this worker arbitrarily late in the run.  Exit happens when the
-    queue is empty *and* the cancel event is set (the parent always
-    sets it during teardown), or immediately on a :data:`SENTINEL`.
-
-    ``exchange`` is a :class:`ClauseExchange` proxy or ``None``; the
-    cursor into its log is worker-local.  The loop never raises: verifier
-    exceptions become ``error`` messages so the parent can account for
-    the job and keep the pool alive.
+    The loop polls its private control queue so it stays alive while
+    idle — that is what lets the parent hand a crashed sibling's job to
+    this worker arbitrarily late in a run, and what lets the *next* run
+    reuse this process without respawning it.  Exit happens on the
+    ``("stop",)`` sentinel or the pool-wide stop event.  The loop never
+    raises: verifier exceptions become ``error`` messages so the parent
+    can account for the job and keep the pool alive.
     """
+    # content hash -> design; same LRU policy and cap as the parent's
+    # per-slot mirror, applied to the same ordered message stream, so
+    # the two sides always agree on which hashes this worker holds.
+    designs: "OrderedDict[str, TransitionSystem]" = OrderedDict()
+    run: Optional[_ActiveRun] = None
+    while True:
+        try:
+            message = ctrl_queue.get(timeout=_POLL_TIMEOUT)
+        except queue_mod.Empty:
+            if stop_event.is_set():
+                break
+            continue
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "run":
+            _, run_id, digest, payload, settings, exchange = message
+            if payload is not None and digest not in designs:
+                designs[digest] = pickle.loads(payload)
+            ts = designs.get(digest)
+            if ts is None:  # pragma: no cover - defensive: cache out of sync
+                out_queue.put(
+                    ("error", run_id, worker_id, "<setup>", "design payload missing")
+                )
+                continue
+            _lru_touch(designs, digest, ts)
+            run = _ActiveRun(
+                run_id=run_id, ts=ts, settings=settings, exchange=exchange
+            )
+            out_queue.put(("ready", run_id, worker_id))
+            continue
+        # kind == "job"
+        _, run_id, job = message
+        if run is None or run_id != run.run_id:
+            # A job of a run this worker never set up: impossible on the
+            # FIFO queue unless the run is long gone — drop it.
+            continue
+        if run_id <= cancel_epoch.value:
+            out_queue.put(("cancelled", run_id, worker_id, job.name))
+            continue
+        _execute(worker_id, run, job, out_queue)
+
+
+def _execute(worker_id, run: _ActiveRun, job: PropertyJob, out_queue) -> None:
+    """Run one property job and report its terminal message."""
+    settings = run.settings
+    run_id = run.run_id
 
     def forward(event: ProgressEvent) -> None:
         # The verifier emits one BudgetCheckpoint(scope="total") per
@@ -123,65 +203,32 @@ def worker_main(
         # real run-level checkpoints, so drop the worker-local ones.
         if isinstance(event, BudgetCheckpoint) and event.scope == "total":
             return
-        out_queue.put(("event", worker_id, event))
+        out_queue.put(("event", run_id, worker_id, event))
 
-    db = ClauseDB(ts)
-    cursor = 0
-    while True:
-        try:
-            job = task_queue.get(timeout=_POLL_TIMEOUT)
-        except queue_mod.Empty:
-            if cancel_event.is_set():
-                break
-            continue
-        if job is SENTINEL:
-            break
-        if cancel_event.is_set():
-            out_queue.put(("cancelled", worker_id, job.name))
-            continue
-        out_queue.put(("claim", worker_id, job.name))
-        try:
-            if exchange is not None and settings.clause_reuse:
-                fresh, cursor = exchange.fetch(cursor)
-                db.add_all(fresh)
-            verifier = JAVerifier(ts, settings.job_options(job), emit=forward)
-            if settings.clause_reuse:
-                verifier.clause_db = db  # accumulate across this worker's jobs
-            report = verifier.run(settings.design_name)
-            outcome = report.outcomes[job.name]
-            result = verifier.results.get(job.name)
-            if (
-                exchange is not None
-                and settings.clause_reuse
-                and result is not None
-                and result.holds
-                and result.invariant
-            ):
-                # Own clauses come back on the next fetch and dedup in
-                # the local ClauseDB; skipping the cursor ahead here
-                # could silently drop clauses other workers published
-                # in between, so don't.
-                exchange.publish(result.invariant)
-            if settings.stop_on_failure and outcome.status.value == "fails":
-                # Trip the flag worker-side: with one worker this makes
-                # cancellation deterministic (the flag is set before the
-                # next job is dequeued), and with many it saves a
-                # round-trip through the parent.
-                cancel_event.set()
-            out_queue.put(("result", worker_id, outcome))
-        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
-            out_queue.put(
-                ("error", worker_id, job.name, f"{type(exc).__name__}: {exc}")
-            )
-
-
-def drain_jobs(task_queue, jobs: Sequence[PropertyJob]) -> None:
-    """Enqueue the initial job batch.
-
-    No sentinels: workers poll and exit once the queue is empty and the
-    cancel event is set (always the case during parent teardown), which
-    keeps idle workers available to absorb re-dispatched jobs after a
-    sibling crashes.
-    """
-    for job in jobs:
-        task_queue.put(job)
+    try:
+        db = run.db_for(job.name)
+        if run.exchange is not None and settings.clause_reuse:
+            db.add_all(run.exchange.fetch_fresh(job.name, run.cursors))
+        verifier = JAVerifier(run.ts, settings.job_options(job), emit=forward)
+        if settings.clause_reuse:
+            verifier.clause_db = db  # accumulate across this worker's jobs
+        report = verifier.run(settings.design_name)
+        outcome = report.outcomes[job.name]
+        result = verifier.results.get(job.name)
+        if (
+            run.exchange is not None
+            and settings.clause_reuse
+            and result is not None
+            and result.holds
+            and result.invariant
+        ):
+            # Own clauses come back on the next fetch and dedup in the
+            # local ClauseDB; skipping the cursor ahead here could
+            # silently drop clauses other workers published to this
+            # shard in between, so don't.
+            run.exchange.publish(job.name, result.invariant)
+        out_queue.put(("result", run_id, worker_id, outcome))
+    except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+        out_queue.put(
+            ("error", run_id, worker_id, job.name, f"{type(exc).__name__}: {exc}")
+        )

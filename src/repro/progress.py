@@ -21,9 +21,11 @@ The event vocabulary mirrors what the paper's tables measure:
 * :class:`BudgetCheckpoint` — resource usage at a known-safe point,
   the hook for external schedulers to preempt or re-balance work;
 * :class:`ClusterStarted` — the structural baseline opened a group;
-* :class:`WorkerStarted` / :class:`PropertyCancelled` — the process-
-  parallel engine launched a worker / abandoned a queued property after
-  early cancellation (the property still gets its UNKNOWN
+* :class:`WorkerStarted` / :class:`PoolAttached` / :class:`ShardOpened`
+  / :class:`PropertyCancelled` — the process-parallel engine spawned a
+  worker, attached a run to its (possibly persistent) pool, opened a
+  clause-exchange shard, or abandoned a queued property after early
+  cancellation (the property still gets its UNKNOWN
   :class:`PropertySolved`, preserving the one-verdict-per-property
   invariant);
 * :class:`RunStarted` / :class:`RunFinished` — session bracketing.
@@ -50,6 +52,8 @@ __all__ = [
     "BudgetCheckpoint",
     "ClusterStarted",
     "WorkerStarted",
+    "PoolAttached",
+    "ShardOpened",
     "PropertyCancelled",
     "PropertyRequeued",
     "Emit",
@@ -174,6 +178,36 @@ class WorkerStarted(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class PoolAttached(ProgressEvent):
+    """A parallel run attached to its worker pool.
+
+    Emitted once per run, after any :class:`WorkerStarted` events for
+    newly spawned (or crash-replaced) workers.  ``persistent`` is True
+    when the pool is shared across runs (``VerificationConfig.pool``);
+    ``runs`` counts the batches the pool completed before this one, so
+    a warm server-style pool shows ``runs > 0``.
+    """
+
+    kind: ClassVar[str] = "pool-attached"
+    workers: int
+    persistent: bool
+    runs: int = 0
+
+
+@dataclass(frozen=True)
+class ShardOpened(ProgressEvent):
+    """The parallel engine opened one clause-exchange shard.
+
+    One event per shard per run; ``members`` is how many of the run's
+    properties route their clause traffic through this shard.
+    """
+
+    kind: ClassVar[str] = "shard-opened"
+    shard: int
+    members: int
+
+
+@dataclass(frozen=True)
 class PropertyCancelled(ProgressEvent):
     """A queued property was abandoned by early cancellation.
 
@@ -249,6 +283,14 @@ def format_event(event: ProgressEvent) -> str:
         return f"[{event.kind}] {{{', '.join(event.members)}}}"
     if isinstance(event, WorkerStarted):
         return f"[{event.kind}] worker {event.worker}"
+    if isinstance(event, PoolAttached):
+        mode = "persistent" if event.persistent else "per-run"
+        return (
+            f"[{event.kind}] {event.workers} workers ({mode}, "
+            f"{event.runs} prior runs)"
+        )
+    if isinstance(event, ShardOpened):
+        return f"[{event.kind}] shard {event.shard}: {event.members} properties"
     if isinstance(event, PropertyCancelled):
         by = f" (worker {event.worker})" if event.worker is not None else ""
         return f"[{event.kind}] {event.name}{by}"

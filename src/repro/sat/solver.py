@@ -88,6 +88,21 @@ class Solver:
         # clauses carry their activity in a parallel dict keyed by id().
         self._clauses: List[list] = []
         self._learnts: List[list] = []
+        # Live-clause id sets: deletion (activation retirement) detaches
+        # a clause and discards its id; the stale reference stays in the
+        # store list until the next lazy compaction, which also keeps
+        # the object alive so its id cannot be recycled while any
+        # bookkeeping still points at it.
+        self._clause_ids: set = set()
+        self._learnt_ids: set = set()
+        # Activation-literal bookkeeping: per live activation variable,
+        # the clauses guarded by it and the learnt clauses mentioning
+        # it; retired activation variables go to the free list and are
+        # recycled by new_activation(), bounding variable growth on
+        # long incremental runs.
+        self._act_groups: dict = {}
+        self._act_learnts: dict = {}
+        self._act_free: List[int] = []
         self._cla_activity: dict = {}
         self._cla_inc = 1.0
         self._var_inc = 1.0
@@ -114,6 +129,7 @@ class Solver:
             "clauses_added": 0,
             "solves": 0,
             "activations_retired": 0,
+            "activations_recycled": 0,
         }
         self._conflict_budget: Optional[int] = None
         self._propagation_budget: Optional[int] = None
@@ -186,6 +202,12 @@ class Solver:
             return True
         self._attach(out)
         self._clauses.append(out)
+        self._clause_ids.add(id(out))
+        if self._act_groups:
+            for lit in out:
+                group = self._act_groups.get((lit >> 1) + 1)
+                if group is not None:
+                    group.append(out)
         return True
 
     def _attach(self, clause: list) -> None:
@@ -475,10 +497,13 @@ class Solver:
         keep_from = len(self._learnts) // 2
         kept = []
         for i, clause in enumerate(self._learnts):
+            if id(clause) not in self._learnt_ids:
+                continue  # deleted by activation retirement: drop the ref
             if i >= keep_from or id(clause) in locked or len(clause) == 2:
                 kept.append(clause)
             else:
                 self._detach(clause)
+                self._learnt_ids.discard(id(clause))
                 acts.pop(id(clause), None)
                 self.counters["removed"] += 1
         self._learnts = kept
@@ -569,9 +594,20 @@ class Solver:
                     self._enqueue(learnt[0], None)
                 else:
                     self._learnts.append(learnt)
+                    self._learnt_ids.add(id(learnt))
                     self._cla_activity[id(learnt)] = self._cla_inc
                     self._attach(learnt)
                     self._enqueue(learnt[0], learnt)
+                    if self._act_groups:
+                        # Learnts mentioning an activation variable are
+                        # consequences of its clause group; retiring the
+                        # group must delete them too.
+                        for lit in learnt:
+                            var1 = (lit >> 1) + 1
+                            if var1 in self._act_groups:
+                                self._act_learnts.setdefault(var1, []).append(
+                                    learnt
+                                )
                 self.counters["learned"] += 1
                 self._decay_activities()
                 if not self._within_budget():
@@ -676,21 +712,112 @@ class Solver:
     # Activation literals (incremental clause groups)
     # ------------------------------------------------------------------
     def new_activation(self) -> int:
-        """A fresh activation literal for a retractable clause group.
+        """An activation literal for a retractable clause group.
 
         Add clauses as ``[-act] + clause`` and pass ``act`` as an
         assumption to enable the group; call :meth:`retire` to disable
-        the group permanently (the guarded clauses become vacuous and
-        are never visited again by propagation once satisfied at root).
+        the group permanently.  Retired activation variables are
+        *recycled*: the next ``new_activation`` reuses the variable
+        (``stats()["activations_recycled"]``) instead of growing the
+        variable count, which is what keeps long incremental runs —
+        IC3 retires one query-local activation per consecution query —
+        from growing the solver without bound.  A guarded clause must
+        belong to exactly one group (one activation literal per
+        clause), which is how every engine uses the API.
         """
-        return self.new_var()
+        if self._act_free:
+            act = self._act_free.pop()
+            self.counters["activations_recycled"] += 1
+        else:
+            act = self.new_var()
+        self._act_groups[act] = []
+        return act
 
     def retire(self, act: int) -> None:
-        """Permanently disable the clause group guarded by ``act``."""
+        """Permanently disable the clause group guarded by ``act``.
+
+        For a tracked activation variable (from :meth:`new_activation`)
+        this is a *hard* retirement: the group's clauses — and every
+        learnt clause mentioning the variable, since those are
+        consequences of the group — are deleted from the clause store
+        and watch lists, and the variable returns to the free list for
+        recycling.  The one exception is a variable pinned at root
+        (a group clause collapsed to the unit ``[-act]``): its
+        assignment already disables the group forever, but the variable
+        cannot be reused, so it is simply abandoned.
+
+        A plain variable never registered as an activation literal gets
+        the legacy soft retirement (a root unit ``[-act]``), kept for
+        direct callers.
+        """
         if act < 1 or act > self.num_vars:
             raise ValueError(f"unknown activation literal {act}")
-        self.add_clause([-act])
+        group = self._act_groups.get(act)
+        if group is None:
+            self.add_clause([-act])
+            self.counters["activations_retired"] += 1
+            return
+        if self._trail_lim:
+            # Raise before mutating any bookkeeping so a caller that
+            # backtracks to level 0 can retry the retirement cleanly.
+            raise RuntimeError("retire is only allowed at decision level 0")
+        del self._act_groups[act]
         self.counters["activations_retired"] += 1
+        dependents = self._act_learnts.pop(act, [])
+        if self._assign[act - 1] != UNASSIGNED:
+            # Pinned at root: the group is already permanently decided;
+            # deleting its clauses could dangle root reasons, and the
+            # variable must never be reused.  Abandon it.
+            return
+        for clause in group:
+            cid = id(clause)
+            if cid in self._clause_ids:
+                self._clause_ids.discard(cid)
+                self._unlink(clause)
+        for clause in dependents:
+            cid = id(clause)
+            if cid in self._learnt_ids:
+                self._learnt_ids.discard(cid)
+                self._unlink(clause)
+                self._cla_activity.pop(cid, None)
+        self._act_free.append(act)
+        self._compact_stores()
+
+    def _unlink(self, clause: list) -> None:
+        """Detach a deleted clause and clear any reason pointing at it."""
+        if len(clause) >= 2:
+            self._detach(clause)
+        for lit in clause[:2]:
+            var = lit >> 1
+            if self._reason[var] is clause:
+                self._reason[var] = None
+
+    def _compact_stores(self) -> None:
+        """Drop stale references to deleted clauses (amortized O(1)).
+
+        Deleted clauses stay in the store lists (keeping their ids
+        alive for the membership checks above) until they outnumber the
+        live ones; then one linear sweep reclaims the memory.
+        """
+        if len(self._clauses) > 64 and len(self._clauses) > 2 * len(self._clause_ids):
+            self._clauses = [
+                c for c in self._clauses if id(c) in self._clause_ids
+            ]
+        if len(self._learnts) > 64 and len(self._learnts) > 2 * len(self._learnt_ids):
+            self._learnts = [
+                c for c in self._learnts if id(c) in self._learnt_ids
+            ]
+        # Long-lived activation variables (IC3's per-frame literals are
+        # never retired) would otherwise pin every learnt that ever
+        # mentioned them, even after _reduce_db dropped it.
+        tracked = sum(len(refs) for refs in self._act_learnts.values())
+        if tracked > 64 and tracked > 2 * len(self._learnt_ids):
+            for var, refs in list(self._act_learnts.items()):
+                live = [c for c in refs if id(c) in self._learnt_ids]
+                if live:
+                    self._act_learnts[var] = live
+                else:
+                    del self._act_learnts[var]
 
     # ------------------------------------------------------------------
     # Results
@@ -731,7 +858,7 @@ class Solver:
         return self._ok
 
     def num_clauses(self) -> int:
-        return len(self._clauses)
+        return len(self._clause_ids)
 
     def num_learnts(self) -> int:
-        return len(self._learnts)
+        return len(self._learnt_ids)

@@ -86,10 +86,18 @@ property slot (paper Section 11) through
 ``VerificationConfig.workers``
     worker processes (``None``: one per CPU, capped by #properties);
 ``VerificationConfig.exchange``
-    live strengthening-clause exchange between workers through a
-    manager-hosted :class:`~repro.parallel.sharing.ClauseExchange`
+    live strengthening-clause exchange between workers through the
+    cluster-sharded :class:`~repro.parallel.exchange.ShardedExchange`
     (only meaningful with ``clause_reuse``; off = Table X's
     independent-proof mode);
+``VerificationConfig.exchange_shards``
+    clause-exchange shards: a count or ``"auto"`` for one shard per
+    structural property cluster — clauses are routed only between
+    same-shard subscribers;
+``VerificationConfig.pool``
+    a persistent :class:`~repro.parallel.pool.WorkerPool` shared
+    across ``Session.run()`` calls (workers and shipped designs are
+    reused; see :func:`repro.parallel.default_pool`);
 ``VerificationConfig.schedule_only``
     don't spawn processes — measure standalone local proofs
     sequentially and *project* the makespan with the legacy greedy

@@ -83,6 +83,12 @@ class VerificationConfig:
     schedule_only: bool = False
     #: Cancel still-queued properties once one comes back FAILS.
     stop_on_failure: bool = False
+    #: Clause-exchange shards: a positive count, or ``"auto"`` for one
+    #: shard per structural property cluster (see repro.parallel.exchange).
+    exchange_shards: Union[int, str] = 1
+    #: A persistent :class:`repro.parallel.WorkerPool` shared across
+    #: ``Session.run()`` calls; ``None`` uses a private single-run pool.
+    pool: Optional[object] = None
     # -- escape hatch: validated IC3Options overrides ------------------
     engine: Dict[str, object] = field(default_factory=dict)
     # -- reporting -----------------------------------------------------
@@ -115,6 +121,24 @@ class VerificationConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers!r}")
+        if isinstance(self.exchange_shards, bool) or not (
+            self.exchange_shards == "auto"
+            or (isinstance(self.exchange_shards, int) and self.exchange_shards >= 1)
+        ):
+            raise ConfigError(
+                f"exchange_shards must be a positive int or 'auto', "
+                f"got {self.exchange_shards!r}"
+            )
+        if self.pool is not None:
+            from ..parallel.pool import WorkerPool
+
+            if not isinstance(self.pool, WorkerPool):
+                raise ConfigError(
+                    f"pool must be a repro.parallel.WorkerPool or None, "
+                    f"not {type(self.pool).__name__}"
+                )
+            if self.pool.closed:
+                raise ConfigError("pool has been shut down")
         from ..sat import UnknownBackendError, default_backend, get_backend
 
         try:

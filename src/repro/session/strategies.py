@@ -125,6 +125,8 @@ class ParallelJAStrategy:
         options = ParallelOptions(
             workers=config.workers,
             exchange=config.exchange,
+            exchange_shards=config.exchange_shards,
+            pool=config.pool,
             schedule_only=config.schedule_only,
             stop_on_failure=config.stop_on_failure,
             clause_reuse=config.clause_reuse,

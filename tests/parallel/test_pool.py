@@ -1,0 +1,137 @@
+"""Persistent WorkerPool semantics: reuse, isolation, crash replacement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.result import PropStatus
+from repro.parallel import WorkerPool, default_pool, shutdown_default_pool
+from repro.progress import PoolAttached, WorkerStarted
+from repro.session import ConfigError, Session
+
+
+@pytest.fixture
+def pool():
+    with WorkerPool(workers=2) as p:
+        yield p
+
+
+class TestPoolReuse:
+    def test_design_is_pickled_once_across_runs(self, pool, toggler):
+        reports = [
+            Session(toggler, strategy="parallel-ja", pool=pool).run()
+            for _ in range(3)
+        ]
+        assert pool.stats["runs"] == 3
+        assert pool.stats["design_pickles"] == 1
+        assert pool.stats["workers_spawned"] == 2
+        for report in reports:
+            assert report.outcomes["never_r"].status is PropStatus.HOLDS
+            assert report.outcomes["never_q"].status is PropStatus.FAILS
+            assert report.stats["pool"] == "persistent"
+
+    def test_runs_are_isolated(self, pool, toggler, counter4):
+        """Verdicts and clause traffic never leak between runs."""
+        first = Session(toggler, strategy="parallel-ja", pool=pool).run()
+        second = Session(counter4, strategy="parallel-ja", pool=pool).run()
+        third = Session(toggler, strategy="parallel-ja", pool=pool).run()
+        assert set(first.outcomes) == {"never_r", "never_q"}
+        assert set(second.outcomes) == {"P0", "P1"}
+        assert set(third.outcomes) == set(first.outcomes)
+        assert {n: o.status for n, o in third.outcomes.items()} == {
+            n: o.status for n, o in first.outcomes.items()
+        }
+        # Two distinct designs were shipped; each pickled exactly once.
+        assert pool.stats["design_pickles"] == 2
+        assert pool.stats["designs_cached"] == 2
+
+    def test_crashed_worker_is_replaced_before_next_run(self, pool, toggler):
+        first = Session(toggler, strategy="parallel-ja", pool=pool).run()
+        assert first.stats["worker_crashes"] == 0
+        # Simulate an OOM kill between runs.
+        victim = pool._slots[0].process
+        victim.terminate()
+        victim.join()
+        events = []
+        second = Session(
+            toggler, strategy="parallel-ja", pool=pool, on_event=events.append
+        ).run()
+        assert pool.stats["workers_replaced"] == 1
+        assert pool.stats["workers_spawned"] == 3
+        # The replacement ran at full strength: complete, crash-free run.
+        assert second.outcomes["never_r"].status is PropStatus.HOLDS
+        assert second.outcomes["never_q"].status is PropStatus.FAILS
+        assert second.stats["worker_crashes"] == 0
+        restarted = [e for e in events if isinstance(e, WorkerStarted)]
+        assert [e.worker for e in restarted] == [0]
+
+    def test_pool_attached_event_reports_reuse(self, pool, toggler):
+        events = []
+        Session(toggler, strategy="parallel-ja", pool=pool,
+                on_event=events.append).run()
+        first = next(e for e in events if isinstance(e, PoolAttached))
+        assert first.workers == 2
+        assert first.persistent is True
+        assert first.runs == 0
+        events.clear()
+        Session(toggler, strategy="parallel-ja", pool=pool,
+                on_event=events.append).run()
+        second = next(e for e in events if isinstance(e, PoolAttached))
+        assert second.runs == 1
+        # Warm pool: no new workers were spawned on the second run.
+        assert not any(isinstance(e, WorkerStarted) for e in events)
+
+    def test_ephemeral_runs_do_not_share_state(self, toggler):
+        first = Session(toggler, strategy="parallel-ja", workers=2).run()
+        second = Session(toggler, strategy="parallel-ja", workers=2).run()
+        assert first.stats["pool"] == "ephemeral"
+        assert first.stats["design_pickles"] == 1
+        assert second.stats["design_pickles"] == 1  # a fresh pool each time
+
+
+class TestPoolLifecycle:
+    def test_begin_run_rejects_concurrent_runs(self, pool, toggler):
+        pool.ensure_workers()
+        from repro.parallel.worker import WorkerSettings
+
+        pool.begin_run(toggler, WorkerSettings())
+        try:
+            with pytest.raises(RuntimeError, match="still active"):
+                pool.begin_run(toggler, WorkerSettings())
+        finally:
+            pool.end_run()
+
+    def test_shutdown_is_idempotent_and_closes(self, toggler):
+        pool = WorkerPool(workers=1)
+        Session(toggler, strategy="parallel-ja", pool=pool).run()
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.ensure_workers()
+
+    def test_config_rejects_closed_pool(self, toggler):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(ConfigError, match="shut down"):
+            Session(toggler, strategy="parallel-ja", pool=pool)
+
+    def test_config_rejects_non_pool(self, toggler):
+        with pytest.raises(ConfigError, match="WorkerPool"):
+            Session(toggler, strategy="parallel-ja", pool=object())
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+    def test_default_pool_is_shared_and_rebuildable(self):
+        shutdown_default_pool()
+        try:
+            first = default_pool(workers=1)
+            assert default_pool() is first
+            shutdown_default_pool()
+            second = default_pool(workers=1)
+            assert second is not first
+            assert not second.closed
+        finally:
+            shutdown_default_pool()

@@ -1,6 +1,6 @@
 """Crash re-dispatch and size-aware dispatch of the parallel engine.
 
-The crash tests replace the worker entry point with wrappers that
+The crash tests replace the pool worker entry point with wrappers that
 ``os._exit`` at controlled points (fork start method only: the patched
 function must be inherited by the child).  A file marker gates the
 surviving worker so the crash always wins the race for the first job,
@@ -18,7 +18,8 @@ from repro.engines.result import PropStatus
 from repro.gen.counter import buggy_counter
 from repro.parallel import ParallelOptions, parallel_ja_verify
 from repro.parallel import engine as engine_mod
-from repro.parallel.worker import worker_main
+from repro.parallel import worker as worker_mod
+from repro.parallel.worker import pool_worker_main  # real entry, pre-patch
 from repro.progress import PropertyRequeued
 from repro.ts.system import TransitionSystem
 
@@ -28,47 +29,56 @@ needs_fork = pytest.mark.skipif(
 )
 
 
-def _crash_after_claim(marker: str):
-    """Worker 0 claims its first job, then dies; others wait for that."""
+def _crash_on_first_job(marker: str):
+    """Worker 0 absorbs its setup, takes its first job, then dies.
 
-    def entry(worker_id, ts, settings, task_queue, out_queue, cancel_event,
-              exchange=None):
+    The parent assigned the job, so the crash loses work it must
+    recover; the sibling workers wait for the marker so worker 0 is
+    guaranteed to be the first to ack — and therefore the first to be
+    fed a job.
+    """
+
+    def entry(worker_id, ctrl_queue, out_queue, cancel_epoch, stop_event):
         import time
 
         if worker_id == 0:
-            job = task_queue.get(timeout=10)
-            out_queue.put(("claim", worker_id, job.name))
-            # Flush the feeder thread so the claim actually reaches the
-            # parent before this process dies.
-            out_queue.close()
-            out_queue.join_thread()
-            with open(marker, "w"):
-                pass
-            os._exit(1)
+            while True:
+                message = ctrl_queue.get(timeout=10)
+                if message[0] == "run":
+                    out_queue.put(("ready", message[1], worker_id))
+                elif message[0] == "job":
+                    # Flush the feeder thread so the ready ack reached
+                    # the parent before this process dies.
+                    out_queue.close()
+                    out_queue.join_thread()
+                    with open(marker, "w"):
+                        pass
+                    os._exit(1)
         while not os.path.exists(marker):
             time.sleep(0.01)
-        worker_main(worker_id, ts, settings, task_queue, out_queue,
-                    cancel_event, exchange)
+        pool_worker_main(
+            worker_id, ctrl_queue, out_queue, cancel_epoch, stop_event
+        )
 
     return entry
 
 
-def _crash_before_claim(marker: str):
-    """Worker 0 swallows its first job without claiming it, then dies."""
+def _crash_before_ready(marker: str):
+    """Worker 0 dies before even acknowledging the run setup."""
 
-    def entry(worker_id, ts, settings, task_queue, out_queue, cancel_event,
-              exchange=None):
+    def entry(worker_id, ctrl_queue, out_queue, cancel_epoch, stop_event):
         import time
 
         if worker_id == 0:
-            task_queue.get(timeout=10)
+            ctrl_queue.get(timeout=10)  # swallow the setup, say nothing
             with open(marker, "w"):
                 pass
             os._exit(1)
         while not os.path.exists(marker):
             time.sleep(0.01)
-        worker_main(worker_id, ts, settings, task_queue, out_queue,
-                    cancel_event, exchange)
+        pool_worker_main(
+            worker_id, ctrl_queue, out_queue, cancel_epoch, stop_event
+        )
 
     return entry
 
@@ -76,12 +86,12 @@ def _crash_before_claim(marker: str):
 @pytest.mark.slow
 @needs_fork
 class TestCrashRedispatch:
-    def test_claimed_job_is_retried_on_a_survivor(
+    def test_assigned_job_is_retried_on_a_survivor(
         self, toggler, tmp_path, monkeypatch
     ):
         marker = str(tmp_path / "crashed")
         monkeypatch.setattr(
-            engine_mod, "worker_main", _crash_after_claim(marker)
+            worker_mod, "pool_worker_main", _crash_on_first_job(marker)
         )
         events = []
         report = parallel_ja_verify(
@@ -96,25 +106,42 @@ class TestCrashRedispatch:
         assert report.stats["redispatched"] == 1
         requeued = [e for e in events if isinstance(e, PropertyRequeued)]
         assert len(requeued) == 1
-        # Attributed to worker 0 via its claim; None only in the rare
-        # case the OS reaped the claim message with the process.
-        assert requeued[0].worker in (0, None)
+        # Assignment is parent-side, so attribution is exact.
+        assert requeued[0].worker == 0
 
-    def test_job_swallowed_before_claim_is_recovered(
+    def test_worker_dead_before_ack_does_not_stall_the_run(
         self, toggler, tmp_path, monkeypatch
     ):
         marker = str(tmp_path / "crashed")
         monkeypatch.setattr(
-            engine_mod, "worker_main", _crash_before_claim(marker)
+            worker_mod, "pool_worker_main", _crash_before_ready(marker)
         )
         report = parallel_ja_verify(
             toggler, ParallelOptions(workers=2, start_method="fork")
         )
-        # The stall detector re-enqueues the swallowed job; the run
+        # The dead worker never held a job, so nothing was lost: the
+        # survivor works through the whole backlog and the run
         # terminates with full verdicts instead of hanging.
         assert report.outcomes["never_r"].status is PropStatus.HOLDS
         assert report.outcomes["never_q"].status is PropStatus.FAILS
-        assert report.stats["redispatched"] >= 1
+        assert report.stats["worker_crashes"] == 0
+        assert report.stats["redispatched"] == 0
+
+    def test_all_workers_dead_degrades_to_unknown(
+        self, toggler, tmp_path, monkeypatch
+    ):
+        def die_immediately(worker_id, ctrl_queue, out_queue, cancel_epoch,
+                            stop_event):
+            os._exit(1)
+
+        monkeypatch.setattr(worker_mod, "pool_worker_main", die_immediately)
+        report = parallel_ja_verify(
+            toggler, ParallelOptions(workers=2, start_method="fork")
+        )
+        assert all(
+            o.status is PropStatus.UNKNOWN for o in report.outcomes.values()
+        )
+        assert report.stats["cancelled"] == len(toggler.properties)
 
 
 class TestSizeAwareDispatch:

@@ -217,6 +217,84 @@ class TestIncrementalSemantics:
             assert solver.solve() is Status.SAT
             solver.retire(act)
 
+    def test_retired_activation_variables_are_recycled(self, backend):
+        """Variable and clause counts stay bounded over many guard/
+        query/retire generations — the long-IC3-run compaction fix."""
+        solver = create_solver(backend)
+        solver.add_clause([1, 2, 3])
+        base_vars = solver.num_vars
+        base_clauses = solver.num_clauses()
+        for _ in range(200):
+            act = solver.new_activation()
+            solver.add_clause([-act, -1])
+            solver.add_clause([-act, -2])
+            solver.add_clause([-act, -3])
+            assert solver.solve([act]) is Status.UNSAT
+            solver.retire(act)
+        # One generation may be in flight; growth must not scale with
+        # the generation count.
+        assert solver.num_vars <= base_vars + 1
+        assert solver.num_clauses() <= base_clauses + 3
+        stats = solver.stats()
+        assert stats["activations_retired"] == 200
+        assert stats["activations_recycled"] == 199
+        # The store stays sound after all that recycling.
+        assert solver.solve() is Status.SAT
+
+    def test_recycled_activation_group_is_independent(self, backend):
+        """A recycled variable's new group must carry none of the old
+        group's constraints (or their learned consequences)."""
+        solver = create_solver(backend)
+        solver.add_clause([1, 2])
+        first = solver.new_activation()
+        solver.add_clause([-first, -1])
+        solver.add_clause([-first, -2])
+        assert solver.solve([first]) is Status.UNSAT
+        solver.retire(first)
+        second = solver.new_activation()
+        assert second == first  # the variable was recycled
+        solver.add_clause([-second, -1])
+        # The old group forced -2 as well; the new one must not.
+        assert solver.solve([second]) is Status.SAT
+        assert solver.value(2) is True
+
+    def test_degenerate_unit_group_is_abandoned_not_recycled(self, backend):
+        """A group clause that collapses to the unit ``[-act]`` pins the
+        variable at root; it must never return to the free list."""
+        solver = create_solver(backend)
+        solver.add_clause([1])
+        act = solver.new_activation()
+        solver.add_clause([-act, -1])  # simplifies to [-act]: act := False
+        solver.retire(act)
+        replacement = solver.new_activation()
+        assert replacement != act
+        fresh = solver.new_var()
+        solver.add_clause([-replacement, fresh])
+        assert solver.solve([replacement]) is Status.SAT
+        assert solver.value(fresh) is True
+
+    def test_retirement_deletes_dependent_learnts(self, backend):
+        """Learned clauses mentioning a retired activation variable are
+        consequences of its group and must go with it: after recycling,
+        solving under the fresh group of the same variable must not be
+        poisoned by stale lemmas."""
+        rng = random.Random(4242)
+        for _ in range(15):
+            num_vars, clauses = random_cnf(rng, max_vars=6, max_clauses=18)
+            solver = create_solver(backend)
+            ok = all(solver.add_clause(c) for c in clauses)
+            if not ok:
+                continue
+            act = solver.new_activation()
+            for v in range(1, num_vars + 1):
+                solver.add_clause([-act, v if v % 2 else -v])
+            solver.solve([act])  # may learn clauses mentioning -act
+            solver.retire(act)
+            # The base formula's satisfiability is untouched by the
+            # retired group or its learned consequences.
+            expected = brute_force_sat(num_vars, clauses)
+            assert (solver.solve() is Status.SAT) == expected
+
 
 # ----------------------------------------------------------------------
 # Engine / strategy parity across backends
