@@ -1,0 +1,227 @@
+"""Job-oriented service benchmark (PR 5 acceptance).
+
+Two questions, answered with numbers in ``BENCH_service.json``:
+
+1. **Throughput** — submitting 6 mixed-size jobs *concurrently* to one
+   :class:`~repro.service.VerificationService` (4 worker seats) must
+   sustain at least the throughput of submitting the same 6 jobs
+   *serially* to the same warm pool.  Concurrency wins the straggler
+   tails: while a big job's last properties run, the seats a serial
+   client would leave idle execute the next job's backlog.
+2. **Latency** — per-job latency (submit → done) distributions for
+   both regimes, p50/p95.  Concurrent p95 may exceed serial per-job
+   latency (jobs share seats); the batch finishes sooner anyway —
+   that trade is the point of fair-share scheduling.
+
+Verdicts are asserted identical between the two regimes, job by job.
+
+Hardware note (``host_cpus`` in the JSON): on a single-core host the
+seat processes time-slice one CPU, so the seat-backfilling win
+collapses and the comparison degenerates to parity — concurrent wins
+only the per-job setup latencies it overlaps (the ``ShardHost`` keeps
+exchange-manager spawns out of both regimes).  Multi-core hosts show
+the real utilization gap.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py
+or:   PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.circuit.aig import AIG, aig_not
+from repro.gen.counter import buggy_counter
+from repro.service import VerificationService
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import publish_table
+
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_service.json")
+
+WORKERS = 4
+ROUNDS = 4
+
+
+def _blocks(groups: int) -> AIG:
+    aig = AIG()
+    for g in range(groups):
+        x = aig.add_latch(f"x{g}", init=0)
+        aig.set_next(x, aig_not(x))
+        y = aig.add_latch(f"y{g}", init=0)
+        aig.set_next(y, y)
+        z = aig.add_latch(f"z{g}", init=0)
+        aig.set_next(z, aig.or_(z, y))
+        aig.add_property(f"g{g}_y0", aig_not(y))
+        aig.add_property(f"g{g}_xy", aig_not(aig.and_(x, y)))
+        aig.add_property(f"g{g}_z0", aig_not(z))
+    return aig
+
+
+def job_mix() -> List[Tuple[str, TransitionSystem]]:
+    """6 jobs of deliberately mixed sizes (2 to 36 properties).
+
+    The mix is the argument, twice over.  On a multi-core host the
+    narrow jobs (2 properties) can never occupy more than 2 of the 4
+    seats on their own — a serial client idles the rest, the concurrent
+    scheduler backfills them from the big jobs' backlogs.  On *any*
+    host (including single-core CI runners, where seat parallelism is
+    time-sliced away) serial submission still pays each job's setup
+    latency — shard-manager spawns, design shipping, ready round-trips
+    — as dead time between jobs, while concurrent submission overlaps
+    it with sibling compute.
+    """
+    from repro.gen import ALL_TRUE_SPECS, FAILING_SPECS
+
+    return [
+        ("t124", TransitionSystem(ALL_TRUE_SPECS["t124"].build())),
+        ("counter8", TransitionSystem(buggy_counter(bits=8))),
+        ("t135", TransitionSystem(ALL_TRUE_SPECS["t135"].build())),
+        ("counter6", TransitionSystem(buggy_counter(bits=6))),
+        ("f175", TransitionSystem(FAILING_SPECS["f175"].build())),
+        ("blocks8", TransitionSystem(_blocks(8))),
+    ]
+
+
+def percentile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_batch(service: VerificationService, jobs, concurrent: bool):
+    """Submit the mix; returns (wall, per-job latencies, verdicts)."""
+    latencies: List[float] = []
+    all_verdicts: List[Dict[str, str]] = []
+    start = time.monotonic()
+    if concurrent:
+        submitted = [
+            (time.monotonic(), service.submit(ts, strategy="parallel-ja"))
+            for _, ts in jobs
+        ]
+        for at, handle in submitted:
+            report = handle.result(timeout=300)
+            # Future resolution time is close enough to completion time
+            # at these scales; what matters is the distribution shape.
+            latencies.append(time.monotonic() - at)
+            all_verdicts.append(
+                {n: o.status.value for n, o in report.outcomes.items()}
+            )
+    else:
+        for _, ts in jobs:
+            at = time.monotonic()
+            report = service.submit(ts, strategy="parallel-ja").result(
+                timeout=300
+            )
+            latencies.append(time.monotonic() - at)
+            all_verdicts.append(
+                {n: o.status.value for n, o in report.outcomes.items()}
+            )
+    wall = time.monotonic() - start
+    return wall, latencies, all_verdicts
+
+
+def build_report() -> Dict:
+    jobs = job_mix()
+    walls: Dict[str, List[float]] = {"serial": [], "concurrent": []}
+    latencies: Dict[str, List[float]] = {"serial": [], "concurrent": []}
+    reference_verdicts = None
+    identical = True
+    with VerificationService(
+        workers=WORKERS, max_concurrent_jobs=len(jobs)
+    ) as service:
+        # Warm the pool (spawn seats, cache designs) outside the clock.
+        warm, _, _ = run_batch(service, jobs, concurrent=False)
+        # Interleave the regimes so machine noise (a shared CI runner's
+        # neighbors) hits both alike; aggregate throughput over all
+        # rounds rather than cherry-picking a best round.
+        for _ in range(ROUNDS):
+            for mode, concurrent in (("serial", False), ("concurrent", True)):
+                wall, lats, verdicts = run_batch(service, jobs, concurrent)
+                walls[mode].append(wall)
+                latencies[mode].extend(lats)
+                if reference_verdicts is None:
+                    reference_verdicts = verdicts
+                identical = identical and verdicts == reference_verdicts
+        pool_stats = dict(service.stats()["pool"])
+    best = {
+        mode: {
+            "wall_s": [round(w, 4) for w in walls[mode]],
+            "total_wall_s": round(sum(walls[mode]), 4),
+            "jobs_per_s": round(
+                ROUNDS * len(jobs) / max(sum(walls[mode]), 1e-9), 2
+            ),
+            "latency_p50_s": round(percentile(latencies[mode], 0.50), 4),
+            "latency_p95_s": round(percentile(latencies[mode], 0.95), 4),
+        }
+        for mode in ("serial", "concurrent")
+    }
+    speedup = best["concurrent"]["jobs_per_s"] / max(
+        best["serial"]["jobs_per_s"], 1e-9
+    )
+    report = {
+        "benchmark": "service-concurrent-vs-serial",
+        "jobs": [name for name, _ in jobs],
+        "properties_total": sum(len(ts.properties) for _, ts in jobs),
+        "workers": WORKERS,
+        "host_cpus": os.cpu_count(),
+        "rounds": ROUNDS,
+        "warmup_wall_s": round(warm, 4),
+        "serial": best["serial"],
+        "concurrent": best["concurrent"],
+        "speedup": round(speedup, 2),
+        "identical_verdicts_between_regimes": identical,
+        "pool": pool_stats,
+        "summary": {
+            "concurrent_throughput_ge_serial": best["concurrent"]["jobs_per_s"]
+            >= best["serial"]["jobs_per_s"],
+            "identical_verdicts": identical,
+        },
+    }
+    publish_table(
+        "bench_service",
+        "Service: 6 mixed jobs, concurrent vs serial on one pool",
+        ["regime", "wall", "jobs/s", "p50 / p95 latency"],
+        [
+            [
+                mode,
+                f"{best[mode]['total_wall_s']}s",
+                best[mode]["jobs_per_s"],
+                f"{best[mode]['latency_p50_s']}s / {best[mode]['latency_p95_s']}s",
+            ]
+            for mode in ("serial", "concurrent")
+        ]
+        + [["speedup", f"{report['speedup']}x", "", ""]],
+    )
+    return report
+
+
+def write_report() -> Dict:
+    report = build_report()
+    path = os.path.abspath(OUTPUT)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {path}")
+    return report
+
+
+def test_service_benchmark():
+    """Benchmark-as-test: the acceptance bars must hold.
+
+    Throughput is wall-clock on whatever machine runs this, so the
+    hard assert allows a small noise margin; the JSON records the
+    strict comparison for the committed benchmark run.
+    """
+    report = write_report()
+    assert report["identical_verdicts_between_regimes"], report["summary"]
+    assert report["speedup"] >= 0.9, report["summary"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_report()["summary"], indent=2))

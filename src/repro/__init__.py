@@ -21,6 +21,10 @@ Layers (bottom-up):
 * :mod:`repro.session` — the unified orchestration API: a
   :class:`Session` facade, one :class:`VerificationConfig`, a pluggable
   strategy registry, and streaming :class:`ProgressEvent` channels;
+* :mod:`repro.service` — the server regime: a
+  :class:`VerificationService` accepting concurrent job submissions
+  (``submit -> JobHandle -> events()/result()``) multiplexed over one
+  shared worker pool with priorities and bounded admission;
 * :mod:`repro.gen` — benchmark generators (Example 1's counter and the
   synthetic HWMCC-12/13 stand-ins).
 
@@ -78,6 +82,7 @@ from .sat import (
     create_solver,
     register_backend,
 )
+from .service import JobHandle, JobStatus, QueueFull, VerificationService
 from .session import (
     ConfigError,
     Session,
@@ -119,6 +124,10 @@ __all__ = [
     "Session",
     "VerificationConfig",
     "ConfigError",
+    "VerificationService",
+    "JobHandle",
+    "JobStatus",
+    "QueueFull",
     "Strategy",
     "UnknownStrategyError",
     "register_strategy",

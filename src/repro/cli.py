@@ -7,6 +7,7 @@ Commands
 ``gen``       generate a named benchmark design as an AIGER file
 ``sweep``     random-simulation property sweep (no SAT)
 ``check``     multi-property verification through the session API
+``serve``     verify many designs concurrently from a job manifest
 
 The ``check`` command reads a (multi-property) AIGER file, resolves the
 requested strategy through the :mod:`repro.session` registry — so
@@ -20,6 +21,22 @@ cluster-sharded clause exchange (``auto``: one shard per cluster);
 ``--list-backends`` the SAT backend registry (``check --backend NAME``
 selects one; the ``REPRO_SAT_BACKEND`` environment variable sets the
 process default).
+
+The ``serve`` command is the batch/server mode: it reads a JSON
+manifest of jobs — each naming a design file plus any
+:class:`~repro.session.VerificationConfig` fields (``strategy``,
+``priority``, ``order``, budgets, ...) — submits them all to one
+:class:`~repro.service.VerificationService` over one shared worker
+pool, and prints each job's verdict table as it completes.  Manifest
+shape::
+
+    {"workers": 4, "max_concurrent_jobs": 4,
+     "jobs": [
+       {"design": "ctrl.aag", "strategy": "parallel-ja", "priority": 2},
+       {"design": "dma.aag", "strategy": "ja", "order": ["P3", "P1"]}
+     ]}
+
+(a bare JSON list of job objects is also accepted).
 """
 
 from __future__ import annotations
@@ -211,6 +228,90 @@ def _report_to_json(report: MultiPropReport) -> dict:
     }
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import VerificationService
+
+    with open(args.manifest) as f:
+        manifest = json.load(f)
+    if isinstance(manifest, list):
+        defaults, jobs = {}, manifest
+    else:
+        defaults = {k: v for k, v in manifest.items() if k != "jobs"}
+        jobs = manifest.get("jobs", [])
+    if not jobs:
+        print("manifest names no jobs", file=sys.stderr)
+        return 2
+
+    workers = args.workers or defaults.get("workers")
+    max_jobs = (
+        args.max_concurrent_jobs
+        or defaults.get("max_concurrent_jobs")
+        or min(4, len(jobs))
+    )
+    service = VerificationService(
+        workers=workers, max_concurrent_jobs=max_jobs
+    )
+    if args.progress:
+        service.subscribe(lambda event: print(format_event(event)))
+
+    handles = []
+    failures = unsolved = broken = 0
+    results: dict = {}
+    try:
+        for index, spec in enumerate(jobs):
+            spec = dict(spec)
+            try:
+                design = spec.pop("design")
+            except KeyError:
+                print(f"job #{index} names no design", file=sys.stderr)
+                return 2
+            priority = spec.pop("priority", None)
+            spec.setdefault("strategy", defaults.get("strategy", "parallel-ja"))
+            try:
+                config = VerificationConfig().with_overrides(**spec)
+                handles.append(
+                    service.submit(design, config, priority=priority)
+                )
+            except (
+                ConfigError,
+                UnknownStrategyError,
+                OSError,
+                ValueError,
+            ) as exc:
+                print(f"job #{index} ({design}): {exc}", file=sys.stderr)
+                return 2
+
+        for handle in handles:
+            try:
+                report = handle.result()
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                print(f"{handle.job_id} ({handle.design_name}): {exc}",
+                      file=sys.stderr)
+                broken += 1
+                continue
+            print(f"\n== {handle.job_id}: {handle.design_name} "
+                  f"[{handle.status.value}] ==")
+            _print_report(report)
+            results[handle.job_id] = _report_to_json(report)
+            failures += bool(report.false_props())
+            unsolved += bool(report.unsolved())
+    finally:
+        service.close()
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {args.json}")
+    # Exit status mirrors check, aggregated over all jobs.
+    if broken:
+        return 2
+    if failures:
+        return 1
+    if unsolved:
+        return 3
+    return 0
+
+
 # ----------------------------------------------------------------------
 def _shard_count(value: str):
     """``--exchange-shards`` values: a positive integer or ``auto``."""
@@ -346,6 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument("--json", default=None, help="write JSON report here")
     p_check.set_defaults(func=cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve", help="verify many designs concurrently from a manifest"
+    )
+    p_serve.add_argument(
+        "manifest",
+        help="JSON job manifest ({'jobs': [{'design': ..., ...}]} or a list)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker seats in the shared pool (default: manifest, then CPUs)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent-jobs", type=int, default=None, metavar="M",
+        help="jobs in flight at once (default: manifest, then min(4, #jobs))",
+    )
+    p_serve.add_argument(
+        "--progress", action="store_true",
+        help="print every job's progress events live",
+    )
+    p_serve.add_argument(
+        "--json", default=None, help="write the per-job JSON reports here"
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -10,7 +10,9 @@ that claim instead of simulating it:
   :class:`~repro.multiprop.ja.JAVerifier` machinery the sequential
   driver uses), with verdict aggregation, a total-time watchdog, and
   early cancellation of still-queued jobs once the run-level verdict is
-  decided;
+  decided.  Its :class:`SeatScheduler` is the fair multiplexer behind
+  :class:`repro.service.VerificationService`: any number of jobs'
+  property backlogs interleaved onto one pool's seats;
 * :mod:`repro.parallel.pool` — a persistent :class:`WorkerPool` that
   outlives a single run: workers cache pickled designs by content hash,
   accept successive job batches, and are shared across
@@ -38,30 +40,44 @@ Entry points: ``Session(design, strategy="parallel-ja", workers=4)`` or
 :func:`parallel_ja_verify` directly.
 """
 
-from .engine import ParallelOptions, parallel_ja_verify
+from .engine import ParallelOptions, PooledJob, SeatScheduler, parallel_ja_verify
 from .exchange import (
     ExchangeShard,
     ShardedExchange,
+    ShardHost,
     ShardMap,
     build_shard_map,
+    pack_clauses,
     shard_clusters,
     start_sharded_exchange,
+    unpack_clauses,
 )
-from .pool import WorkerPool, default_pool, shutdown_default_pool
+from .pool import (
+    WorkerPool,
+    default_pool,
+    shutdown_all_pools,
+    shutdown_default_pool,
+)
 from .sharing import ClauseExchange, ExchangeManager, start_exchange
 
 __all__ = [
     "ParallelOptions",
     "parallel_ja_verify",
+    "PooledJob",
+    "SeatScheduler",
     "WorkerPool",
     "default_pool",
     "shutdown_default_pool",
+    "shutdown_all_pools",
     "ExchangeShard",
     "ShardedExchange",
+    "ShardHost",
     "ShardMap",
     "build_shard_map",
     "shard_clusters",
     "start_sharded_exchange",
+    "pack_clauses",
+    "unpack_clauses",
     "ClauseExchange",
     "ExchangeManager",
     "start_exchange",

@@ -30,15 +30,20 @@ Design notes
   amortized.  With no pool supplied the engine creates a private
   single-run pool sized by ``resolve_workers`` and shuts it down
   afterwards, preserving the original per-run semantics.
-* **Parent-side scheduling.**  The engine keeps the job backlog and
-  assigns the next job to whichever worker reports idle, through that
+* **Parent-side scheduling, shared with the service.**  The
+  :class:`SeatScheduler` keeps each job's property backlog and assigns
+  the next property to whichever worker reports idle, through that
   worker's private queue (see :mod:`repro.parallel.pool` for why a
-  shared task queue cannot survive worker crashes).  One output queue
-  carries events, results and errors, so the parent needs no auxiliary
-  threads and, with one worker, the whole message stream — and
-  therefore the session's event sequence — is deterministic.  Every
-  message is tagged with the run id; stragglers from a previous run on
-  a shared pool are discarded by the pool.
+  shared task queue cannot survive worker crashes).  The same
+  scheduler multiplexes *many* concurrent jobs for
+  :class:`~repro.service.VerificationService` — weighted fair share
+  across jobs, LPT within one — and this engine is its degenerate
+  single-job case.  One output queue carries events, results and
+  errors, so the parent needs no auxiliary threads and, with one
+  worker and one job, the whole message stream — and therefore the
+  session's event sequence — is deterministic.  Every message is
+  tagged with the run id; stragglers from a previous run on a shared
+  pool are discarded by the pool.
 * **Size-aware dispatch**: with no explicit property order, the backlog
   is ordered by *descending* estimated cone-of-influence size, the
   classic LPT list-scheduling heuristic — big proofs start first, so
@@ -73,7 +78,7 @@ from __future__ import annotations
 import queue as queue_mod
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..engines.result import PropStatus
 from ..multiprop.parallel import ParallelSimResult, measure_local_proofs
@@ -141,317 +146,588 @@ class ParallelOptions:
         return max(1, min(workers, num_jobs))
 
 
-class _PoolRun:
-    """State of one in-flight pool execution (parent side)."""
+class PooledJob:
+    """Parent-side state of one admitted job (= one open run on the pool).
+
+    Everything the old single-run executor tracked per run now lives
+    here, so a :class:`SeatScheduler` can keep any number of them in
+    flight: the property backlog, the seats that acked this run's
+    setup, outcomes and pending names, crash/retry bookkeeping, the
+    watchdog deadline, and the job's private sharded-exchange managers.
+    """
 
     def __init__(
         self,
+        run_id: int,
         ts: TransitionSystem,
         options: ParallelOptions,
         design_name: str,
         emit: Emit,
+        order: List[str],
+        *,
+        weight: float = 1.0,
+        pool_label: str = "persistent",
+        start: Optional[float] = None,
+        job_id: Optional[str] = None,
+        on_finish=None,
     ) -> None:
+        self.run_id = run_id
         self.ts = ts
         self.options = options
         self.design_name = design_name
         self.emit = emit
+        self.order = list(order)
+        self.weight = weight
+        self.pool_label = pool_label
+        self.job_id = job_id
+        self.on_finish = on_finish
+        self.start = time.monotonic() if start is None else start
+        self.deadline = (
+            None
+            if options.total_time is None
+            else self.start + options.total_time
+        )
+        self.pending = set(order)
         self.outcomes: Dict[str, PropOutcome] = {}
-        # Parent-side scheduling state: jobs not yet handed out, workers
-        # that are set up and idle, and who is holding what.
         self.backlog: List[PropertyJob] = []
-        self.available: set = set()
-        self.assignments: Dict[int, str] = {}  # worker id -> job it holds
-        self.errors: List[str] = []
-        self.cancelled = 0
-        self.crashes = 0
-        # Crash re-dispatch bookkeeping (one retry per job).
+        self.ready: set = set()  # seats that acked this run's setup
         self.retried: set = set()
+        self.errors: List[str] = []
+        self.error: Optional[BaseException] = None
+        self.cancelled = False
+        self.cancelled_count = 0
+        self.crashes = 0
         self.redispatched = 0
-        self._job_time: Optional[float] = None
+        self.finished = False
+        self.total_time = 0.0
+        self.job_time: Optional[float] = None
+        self.dispatch_mode = "fifo"
+        self.use_exchange = False
+        self.num_shards = 0
+        self.managers: List[object] = []
+        self.exchange = None
+        self.exchange_stats: dict = {}
 
     # ------------------------------------------------------------------
-    def run(self, order: List[str]) -> MultiPropReport:
-        opts = self.options
-        start = time.monotonic()
-        deadline = None if opts.total_time is None else start + opts.total_time
-
-        pool = opts.pool
-        ephemeral = pool is None
-        if ephemeral:
-            pool = WorkerPool(
-                workers=opts.resolve_workers(len(order)),
-                start_method=opts.start_method,
-            )
-        self.pool = pool
-        # Everything after pool creation runs under the teardown guard:
-        # a bad shard spec or a failed manager start must not leak the
-        # worker processes just spawned.
-        managers: List[object] = []
-        exchange = None
-        num_shards = 0
-        dispatch_mode = "fifo"
-        use_exchange = opts.exchange and opts.clause_reuse
-        exchange_stats: dict = {}
-        try:
-            started, replaced = pool.ensure_workers()
-            for worker_id in sorted(started + replaced):
-                self.emit(WorkerStarted(worker=worker_id))
+    def record(self, outcome: PropOutcome, checkpoint: bool = True) -> None:
+        if outcome.name not in self.pending:  # pragma: no cover - defensive
+            return
+        self.pending.discard(outcome.name)
+        self.outcomes[outcome.name] = outcome
+        if checkpoint:
             self.emit(
-                PoolAttached(
-                    workers=pool.workers,
-                    persistent=not ephemeral,
-                    runs=pool.stats["runs"],
+                BudgetCheckpoint(
+                    scope="total", elapsed=time.monotonic() - self.start
                 )
             )
 
-            # Per-job budget, clamped by the total budget so a single
-            # worker cannot overrun the watchdog by an unbounded amount.
-            job_time = opts.per_property_time
-            if opts.total_time is not None:
-                job_time = (
-                    opts.total_time
-                    if job_time is None
-                    else min(job_time, opts.total_time)
-                )
-            self._job_time = job_time
-            # Dispatch order: LPT (descending cone size) unless the caller
-            # pinned an explicit order.  The report keeps ``order``.
-            if opts.order is None and opts.size_dispatch:
-                dispatch = _cone_descending(self.ts, order)
-                dispatch_mode = "cone-desc"
-            else:
-                dispatch = list(order)
-            self.backlog = [
-                PropertyJob(
-                    name=name,
-                    per_property_time=job_time,
-                    per_property_conflicts=opts.per_property_conflicts,
-                )
-                for name in dispatch
-            ]
+    def record_cancelled(
+        self, name: str, worker_id: Optional[int], checkpoint: bool = True
+    ) -> None:
+        if name not in self.pending:  # pragma: no cover - defensive
+            return
+        self.cancelled_count += 1
+        self.emit(PropertyCancelled(name=name, worker=worker_id))
+        self.emit(
+            PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True)
+        )
+        self.record(
+            PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
+            checkpoint,
+        )
 
-            if use_exchange:
-                shard_map = build_shard_map(
-                    self.ts, order, opts.exchange_shards
-                )
-                num_shards = shard_map.num_shards
-                managers, exchange = start_sharded_exchange(
-                    shard_map, ctx=pool.context
-                )
-                for shard in range(num_shards):
-                    self.emit(
-                        ShardOpened(
-                            shard=shard, members=len(shard_map.members(shard))
-                        )
-                    )
-
-            settings = WorkerSettings(
-                design_name=self.design_name,
-                clause_reuse=opts.clause_reuse,
-                respect_constraints_in_lifting=opts.respect_constraints_in_lifting,
-                coi_reduction=opts.coi_reduction,
-                ctg=opts.ctg,
-                max_frames=opts.max_frames,
-                stop_on_failure=opts.stop_on_failure,
-                solver_backend=opts.solver_backend,
-                engine_overrides=dict(opts.engine_overrides),
-            )
-            pool.begin_run(self.ts, settings, exchange)
-            self._collect(order, pool, deadline, start)
-        finally:
-            pool.end_run()
-            if managers:
-                try:
-                    exchange_stats = exchange.stats()
-                except Exception:  # pragma: no cover - managers died
-                    exchange_stats = {}
-                for manager in managers:
-                    manager.shutdown()
-            if ephemeral:
-                pool.shutdown()
-
-        if self.errors:
-            raise RuntimeError(
-                "parallel JA worker failure(s): " + "; ".join(self.errors)
-            )
-
+    def build_report(self, pool: WorkerPool) -> MultiPropReport:
+        """The job's :class:`MultiPropReport` (property order preserved)."""
         report = MultiPropReport(method="parallel-ja", design=self.design_name)
-        for name in order:  # dispatch order, not completion order
+        for name in self.order:  # property order, not completion order
             report.outcomes[name] = self.outcomes[name]
-        report.total_time = time.monotonic() - start
+        report.total_time = self.total_time
         report.stats = {
             "mode": "process",
             "workers": pool.workers,
-            "exchange": int(use_exchange),
-            "exchange_clauses": exchange_stats.get("clauses", 0),
-            "exchange_shards": num_shards,
-            "exchange_per_shard": exchange_stats.get("shards", []),
-            "cancelled": self.cancelled,
+            "exchange": int(self.use_exchange),
+            "exchange_clauses": self.exchange_stats.get("clauses", 0),
+            "exchange_shards": self.num_shards,
+            "exchange_per_shard": self.exchange_stats.get("shards", []),
+            "cancelled": self.cancelled_count,
             "worker_crashes": self.crashes,
-            "dispatch": dispatch_mode,
+            "dispatch": self.dispatch_mode,
             "redispatched": self.redispatched,
-            "pool": "ephemeral" if ephemeral else "persistent",
+            "pool": self.pool_label,
             "pool_runs": pool.stats["runs"],
             "design_pickles": pool.stats["design_pickles"],
         }
         return report
 
+
+class SeatScheduler:
+    """Fair multiplexer of many jobs' property backlogs onto pool seats.
+
+    This replaces the engine's exclusive pool ownership: each admitted
+    job opens its own run (:meth:`WorkerPool.open_run`), and whenever a
+    seat reports idle the scheduler picks which job feeds it by
+    **weighted fair share** — the job minimizing
+    ``(seats it holds + 1) / priority`` wins, ties to the oldest run —
+    with LPT order inside each job's backlog.  One scheduler owns the
+    pool's message stream (:meth:`WorkerPool.acquire_messages`); the
+    engine drives a single-job scheduler to completion, while a
+    :class:`~repro.service.VerificationService` keeps one alive across
+    arbitrarily many concurrent jobs.
+
+    Per-job isolation carries over from the single-run engine: run-id
+    tagged messages, per-job watchdog deadlines, per-job sharded
+    exchanges, exact crash attribution with one bounded re-dispatch,
+    and per-job cancellation that never touches sibling jobs.  With
+    ``revive_seats=True`` (service mode) a crashed seat is respawned
+    *mid-flight* and re-attached to every open run, up to a bounded
+    revive budget; without it (single-run engine mode) dead seats stay
+    down until the next run, exactly as before.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        revive_seats: bool = False,
+        service_emit: Optional[Emit] = None,
+        shard_host=None,
+    ) -> None:
+        pool.acquire_messages(self)
+        self.pool = pool
+        self.revive_seats = revive_seats
+        self.service_emit = service_emit
+        # Optional persistent ShardHost: jobs' exchange shards open on
+        # pooled manager processes instead of spawning their own.
+        self.shard_host = shard_host
+        self.jobs: Dict[int, PooledJob] = {}
+        # seat -> (run id, property name) it is currently executing
+        self.assignments: Dict[int, Tuple[int, str]] = {}
+        self.idle: set = set()
+        self._revive_budget = 2 * pool.workers if revive_seats else 0
+        self._last_reap = time.monotonic()
+
     # ------------------------------------------------------------------
-    def _collect(self, order, pool: WorkerPool, deadline, start) -> None:
-        """Drain worker messages until every property is accounted for.
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        ts: TransitionSystem,
+        options: ParallelOptions,
+        design_name: str,
+        emit: Optional[Emit],
+        order: List[str],
+        *,
+        priority: float = 1.0,
+        pool_label: str = "persistent",
+        start: Optional[float] = None,
+        job_id: Optional[str] = None,
+        on_finish=None,
+    ) -> PooledJob:
+        """Open one job on the pool and queue its property backlog."""
+        if priority <= 0:
+            raise ValueError(f"priority must be > 0, got {priority!r}")
+        pool = self.pool
+        emit = emit_or_null(emit)
+        if self.jobs:
+            # Settle any crashed seat BEFORE ensure_workers respawns it:
+            # a respawn would erase the crash evidence and the property
+            # that seat held would never be re-dispatched.
+            self._reap_crashed()
+        started, replaced = pool.ensure_workers()
+        for worker_id in sorted(started + replaced):
+            emit(WorkerStarted(worker=worker_id))
+        emit(
+            PoolAttached(
+                workers=pool.workers,
+                persistent=pool_label == "persistent",
+                runs=pool.stats["runs"],
+            )
+        )
 
-        Scheduling happens here: a worker that acks its setup or
-        finishes a job becomes available and immediately receives the
-        next backlog job; cancellation drains the backlog parent-side
-        without a round-trip, while already-assigned jobs still report
-        (their per-job budget is clamped by the watchdog's total).
-        """
-        pending = set(order)
-        while pending:
-            if (
-                deadline is not None
-                and time.monotonic() > deadline
-                and not pool.cancelled
-            ):
-                pool.cancel_active()
-            if pool.cancelled:
-                self._cancel_backlog(pending, start)
-            try:
-                message = pool.get(timeout=0.2)
-            except queue_mod.Empty:
-                if self._reap_crashed(pool, pending):
-                    break
-                continue
-            kind = message[0]
-            if kind == "ready":
-                self._feed(message[1], pool)
-            elif kind == "event":
-                self.emit(message[2])
-            elif kind == "result":
-                _, worker_id, outcome = message
-                self.assignments.pop(worker_id, None)
-                self._record(outcome, pending, start)
-                if (
-                    self.options.stop_on_failure
-                    and outcome.status is PropStatus.FAILS
-                    and not pool.cancelled
-                ):
-                    pool.cancel_active()
-                    self._cancel_backlog(pending, start)
-                self._feed(worker_id, pool)
-            elif kind == "cancelled":
-                _, worker_id, name = message
-                if self.assignments.get(worker_id) == name:
-                    del self.assignments[worker_id]
-                self._record_cancelled(name, worker_id, pending, start)
-                self._feed(worker_id, pool)
-            elif kind == "error":
-                _, worker_id, name, detail = message
-                self.assignments.pop(worker_id, None)
-                self.errors.append(f"{name}: {detail}")
-                self._record(
-                    PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
-                    pending,
-                    start,
-                )
-                self._feed(worker_id, pool)
-
-    def _feed(self, worker_id: int, pool: WorkerPool) -> None:
-        """Hand the next backlog job to a now-idle worker (or park it)."""
-        if self.backlog and not pool.cancelled:
-            job = self.backlog.pop(0)
-            self.assignments[worker_id] = job.name
-            self.available.discard(worker_id)
-            pool.assign(worker_id, job)
+        # Per-job budget, clamped by the total budget so a single
+        # worker cannot overrun the watchdog by an unbounded amount.
+        job_time = options.per_property_time
+        if options.total_time is not None:
+            job_time = (
+                options.total_time
+                if job_time is None
+                else min(job_time, options.total_time)
+            )
+        # Dispatch order: LPT (descending cone size) unless the caller
+        # pinned an explicit order.  The report keeps ``order``.
+        if options.order is None and options.size_dispatch:
+            dispatch = _cone_descending(ts, order)
+            dispatch_mode = "cone-desc"
         else:
-            self.available.add(worker_id)
+            dispatch = list(order)
+            dispatch_mode = "fifo"
 
-    def _cancel_backlog(self, pending, start) -> None:
-        """Record every not-yet-assigned job as cancelled (parent-side)."""
-        while self.backlog:
-            job = self.backlog.pop(0)
-            self._record_cancelled(job.name, None, pending, start)
+        managers: List[object] = []
+        exchange = None
+        num_shards = 0
+        use_exchange = options.exchange and options.clause_reuse
+        if use_exchange:
+            shard_map = build_shard_map(ts, order, options.exchange_shards)
+            num_shards = shard_map.num_shards
+            if self.shard_host is not None:
+                exchange = self.shard_host.open_shards(shard_map)
+            else:
+                managers, exchange = start_sharded_exchange(
+                    shard_map, ctx=pool.context
+                )
+            for shard in range(num_shards):
+                emit(
+                    ShardOpened(
+                        shard=shard, members=len(shard_map.members(shard))
+                    )
+                )
 
-    def _reap_crashed(self, pool: WorkerPool, pending) -> bool:
-        """Account for dead workers; True if no worker is left alive.
+        settings = WorkerSettings(
+            design_name=design_name,
+            clause_reuse=options.clause_reuse,
+            respect_constraints_in_lifting=options.respect_constraints_in_lifting,
+            coi_reduction=options.coi_reduction,
+            ctg=options.ctg,
+            max_frames=options.max_frames,
+            stop_on_failure=options.stop_on_failure,
+            solver_backend=options.solver_backend,
+            engine_overrides=dict(options.engine_overrides),
+        )
+        try:
+            run_id = pool.open_run(ts, settings, exchange)
+        except BaseException:  # don't leak the shard managers just started
+            for manager in managers:
+                manager.shutdown()
+            raise
+
+        job = PooledJob(
+            run_id,
+            ts,
+            options,
+            design_name,
+            emit,
+            order,
+            weight=priority,
+            pool_label=pool_label,
+            start=start,
+            job_id=job_id,
+            on_finish=on_finish,
+        )
+        job.job_time = job_time
+        job.dispatch_mode = dispatch_mode
+        job.use_exchange = use_exchange
+        job.num_shards = num_shards
+        job.managers = managers
+        job.exchange = exchange
+        job.backlog = [
+            PropertyJob(
+                name=name,
+                per_property_time=job_time,
+                per_property_conflicts=options.per_property_conflicts,
+            )
+            for name in dispatch
+        ]
+        self.jobs[run_id] = job
+        return job
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    @property
+    def live_jobs(self) -> List[PooledJob]:
+        return [job for job in self.jobs.values() if not job.finished]
+
+    def drive(self) -> None:
+        """Pump messages until every admitted job has finished."""
+        while self.live_jobs:
+            self.step()
+
+    def step(self, timeout: float = 0.2, max_messages: int = 64) -> None:
+        """One pump iteration: watchdogs, a message burst, crash reaping.
+
+        Mirrors the single-run collect loop, generalized: the deadline
+        check walks every live job, and an idle (or long-silent) queue
+        triggers the crash sweep so a dead seat in a *busy* multi-job
+        scheduler is still noticed promptly.  Only the first message
+        blocks (up to ``timeout``); whatever else is already queued is
+        drained in the same step, up to ``max_messages`` — with many
+        jobs streaming progress events, the per-step bookkeeping cost
+        is paid per burst, not per event.
+        """
+        now = time.monotonic()
+        for job in self.live_jobs:
+            if (
+                job.deadline is not None
+                and now > job.deadline
+                and not job.cancelled
+            ):
+                self.cancel_job(job)
+        if now - self._last_reap > 1.0:
+            self._reap_crashed()
+        try:
+            message = self.pool.next_message(timeout=timeout)
+        except queue_mod.Empty:
+            self._reap_crashed()
+            return
+        self._dispatch_message(message)
+        for _ in range(max_messages - 1):
+            try:
+                message = self.pool.next_message(timeout=0)
+            except queue_mod.Empty:
+                return
+            self._dispatch_message(message)
+
+    def _dispatch_message(self, message) -> None:
+        kind, run_id, worker_id = message[0], message[1], message[2]
+        job = self.jobs.get(run_id)
+        if job is None or job.finished:  # pragma: no cover - defensive
+            return
+        if kind == "ready":
+            job.ready.add(worker_id)
+            if worker_id not in self.assignments:
+                self._feed_seat(worker_id)
+        elif kind == "event":
+            job.emit(message[3])
+        elif kind == "result":
+            outcome = message[3]
+            self.assignments.pop(worker_id, None)
+            job.record(outcome)
+            if (
+                job.options.stop_on_failure
+                and outcome.status is PropStatus.FAILS
+                and not job.cancelled
+            ):
+                self.cancel_job(job)
+            self._feed_seat(worker_id)
+        elif kind == "cancelled":
+            name = message[3]
+            if self.assignments.get(worker_id) == (run_id, name):
+                del self.assignments[worker_id]
+            job.record_cancelled(name, worker_id)
+            self._feed_seat(worker_id)
+        elif kind == "error":
+            name, detail = message[3], message[4]
+            self.assignments.pop(worker_id, None)
+            job.errors.append(f"{name}: {detail}")
+            job.record(
+                PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True)
+            )
+            self._feed_seat(worker_id)
+        self._maybe_finish(job)
+
+    # ------------------------------------------------------------------
+    # Seat feeding (weighted fair share across jobs, LPT within one)
+    # ------------------------------------------------------------------
+    def _feed_seat(self, worker_id: int) -> None:
+        """Hand an idle seat the fairest job's next property (or park it)."""
+        if worker_id in self.assignments:
+            return
+        if not self.pool.worker_alive(worker_id):
+            self.idle.discard(worker_id)
+            return
+        job = self._pick_job(worker_id)
+        if job is None:
+            self.idle.add(worker_id)
+            return
+        prop = job.backlog.pop(0)
+        self.assignments[worker_id] = (job.run_id, prop.name)
+        self.idle.discard(worker_id)
+        self.pool.assign(worker_id, prop, run_id=job.run_id)
+
+    def _pick_job(self, worker_id: int) -> Optional[PooledJob]:
+        """Weighted fair share: fewest held seats per unit of priority.
+
+        Only jobs whose setup this seat has acked are eligible (the
+        FIFO control queue guarantees a worker never sees a job before
+        its run's design), ties go to the oldest run so admission order
+        breaks symmetry deterministically.
+        """
+        busy: Dict[int, int] = {}
+        for run_id, _ in self.assignments.values():
+            busy[run_id] = busy.get(run_id, 0) + 1
+        best = None
+        best_key = None
+        for job in self.jobs.values():
+            if job.finished or job.cancelled or not job.backlog:
+                continue
+            if worker_id not in job.ready:
+                continue
+            key = ((busy.get(job.run_id, 0) + 1) / job.weight, job.run_id)
+            if best_key is None or key < best_key:
+                best, best_key = job, key
+        return best
+
+    # ------------------------------------------------------------------
+    # Cancellation and completion
+    # ------------------------------------------------------------------
+    def cancel_job(self, job: PooledJob) -> None:
+        """Cancel one job: drain its backlog, let assigned seats report.
+
+        Sibling jobs are untouched — the pool's per-run cancel either
+        raises the epoch (oldest run, monotonic ids protect the rest)
+        or sends run-targeted cancel messages.  Properties already on a
+        seat still report (their per-property budget is clamped by this
+        job's total), exactly like the single-run watchdog.
+        """
+        if job.finished or job.cancelled:
+            return
+        job.cancelled = True
+        self.pool.cancel_run(job.run_id)
+        while job.backlog:
+            prop = job.backlog.pop(0)
+            job.record_cancelled(prop.name, None)
+        self._maybe_finish(job)
+
+    def _maybe_finish(self, job: PooledJob) -> None:
+        if not job.finished and not job.pending:
+            self._finish_job(job)
+
+    def _finish_job(self, job: PooledJob) -> None:
+        job.finished = True
+        job.total_time = time.monotonic() - job.start
+        if job.exchange is not None:
+            try:
+                job.exchange_stats = job.exchange.stats()
+            except Exception:  # pragma: no cover - managers died
+                job.exchange_stats = {}
+            # Dropping the proxies releases host-pooled shard objects;
+            # private managers are shut down outright.
+            job.exchange = None
+        for manager in job.managers:
+            manager.shutdown()
+        job.managers = []
+        self.pool.close_run(job.run_id)
+        if job.errors:
+            job.error = RuntimeError(
+                "parallel JA worker failure(s): " + "; ".join(job.errors)
+            )
+        if job.on_finish is not None:
+            job.on_finish(job)
+
+    def forget(self, job: PooledJob) -> None:
+        """Drop a finished job's state (long-lived service schedulers)."""
+        if job.finished:
+            self.jobs.pop(job.run_id, None)
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def _reap_crashed(self) -> None:
+        """Account for dead seats; degrade or revive as configured.
 
         A crash (OOM kill, hard fault) is a degraded-but-valid run: the
-        job the dead worker held is re-dispatched once onto a surviving
-        worker (``stats["redispatched"]``); a second crash on the same
-        job — or a retry with the run already cancelling — reports it
+        property the dead seat held is re-dispatched once within its
+        job (``stats["redispatched"]``); a second crash on the same
+        property — or a retry with nobody to run it — reports it
         UNKNOWN and counts in ``stats["worker_crashes"]`` either way.
-        Only *verifier exceptions* (the ``error`` message kind) abort
-        the run, matching the sequential driver's propagation.
+        Only *verifier exceptions* (the ``error`` message kind) fail a
+        job, matching the sequential driver's propagation.
         """
-        for worker_id in pool.failed_workers():
-            self.available.discard(worker_id)
-            name = self.assignments.pop(worker_id, None)
-            if name is not None and name in pending:
-                self.crashes += 1
-                self._retry_or_give_up(name, worker_id, pending, pool)
-        if pool.any_alive():
-            return False
-        # Nobody left to run the backlog: mark the remainder.
-        pool.cancel_active()
-        for name in sorted(pending):
-            self._record_cancelled(name, None, pending, None)
-        return True
+        self._last_reap = time.monotonic()
+        failed = self.pool.failed_workers()
+        for worker_id in failed:
+            self.idle.discard(worker_id)
+            for job in self.jobs.values():
+                job.ready.discard(worker_id)
+            held = self.assignments.pop(worker_id, None)
+            if held is None:
+                continue
+            run_id, name = held
+            job = self.jobs.get(run_id)
+            if job is not None and not job.finished and name in job.pending:
+                job.crashes += 1
+                self._retry_or_give_up(job, name, worker_id)
+        if failed and self.revive_seats and not self.pool.closed:
+            self._revive(failed)
+        if not self.pool.any_alive():
+            self._degrade_all()
 
-    def _retry_or_give_up(self, name, worker_id, pending, pool: WorkerPool) -> None:
-        """One bounded retry for a job lost to a worker crash.
+    def _retry_or_give_up(
+        self, job: PooledJob, name: str, worker_id: int
+    ) -> None:
+        """One bounded retry for a property lost to a seat crash.
 
-        Retrying needs a survivor to run the job; with none alive (or
-        the run already cancelling) the job degrades to UNKNOWN here —
-        never claiming a re-dispatch that could not execute.  The job
-        goes to the backlog *front* (it already waited its turn once)
-        and straight to an idle live worker when one is parked.
+        The property goes to its job's backlog *front* (it already
+        waited its turn once) and straight to an idle live seat when
+        one is parked; without a live seat — or a revive budget that
+        could produce one — it degrades to UNKNOWN here, never claiming
+        a re-dispatch that could not execute.
         """
-        if name not in self.retried and pool.any_alive() and not pool.cancelled:
-            self.retried.add(name)
-            self.redispatched += 1
-            self.backlog.insert(
+        revivable = self.revive_seats and self._revive_budget > 0
+        if (
+            name not in job.retried
+            and not job.cancelled
+            and (self.pool.any_alive() or revivable)
+        ):
+            job.retried.add(name)
+            job.redispatched += 1
+            job.backlog.insert(
                 0,
                 PropertyJob(
                     name=name,
-                    per_property_time=self._job_time,
-                    per_property_conflicts=self.options.per_property_conflicts,
+                    per_property_time=job.job_time,
+                    per_property_conflicts=job.options.per_property_conflicts,
                 ),
             )
-            self.emit(PropertyRequeued(name=name, worker=worker_id))
-            for idle in sorted(self.available):
-                if pool.worker_alive(idle):
-                    self.available.discard(idle)
-                    self._feed(idle, pool)
+            job.emit(PropertyRequeued(name=name, worker=worker_id))
+            for idle_worker in sorted(self.idle):
+                if self.pool.worker_alive(idle_worker):
+                    self._feed_seat(idle_worker)
                     break
             return
-        self.emit(PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True))
-        self._record(
-            PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
-            pending,
-            None,
+        job.emit(
+            PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True)
         )
-
-    def _record(self, outcome: PropOutcome, pending, start) -> None:
-        if outcome.name not in pending:  # pragma: no cover - defensive
-            return
-        pending.discard(outcome.name)
-        self.outcomes[outcome.name] = outcome
-        if start is not None:
-            self.emit(
-                BudgetCheckpoint(scope="total", elapsed=time.monotonic() - start)
-            )
-
-    def _record_cancelled(self, name, worker_id, pending, start) -> None:
-        if name not in pending:  # pragma: no cover - defensive
-            return
-        self.cancelled += 1
-        self.emit(PropertyCancelled(name=name, worker=worker_id))
-        self.emit(PropertySolved(name=name, status=PropStatus.UNKNOWN, local=True))
-        self._record(
+        job.record(
             PropOutcome(name=name, status=PropStatus.UNKNOWN, local=True),
-            pending,
-            start,
+            checkpoint=False,
         )
+        self._maybe_finish(job)
+
+    def _revive(self, failed: List[int]) -> None:
+        """Respawn dead seats mid-flight and re-attach every open run.
+
+        Bounded by the revive budget (``2 * workers`` per scheduler) so
+        a seat that dies instantly on spawn cannot respawn forever.
+        """
+        if self._revive_budget <= 0:
+            return
+        started, replaced = self.pool.ensure_workers()
+        fresh = sorted(started + replaced)
+        self._revive_budget -= len(fresh)
+        for worker_id in fresh:
+            for job in self.live_jobs:
+                self.pool.attach_worker(job.run_id, worker_id)
+            if self.service_emit is not None:
+                self.service_emit(WorkerStarted(worker=worker_id))
+
+    def _degrade_all(self) -> None:
+        """No seat left alive: every live job's remainder goes UNKNOWN."""
+        for job in self.live_jobs:
+            self.pool.cancel_run(job.run_id)
+            job.cancelled = True
+            job.backlog = []
+            for name in sorted(job.pending):
+                job.record_cancelled(name, None, checkpoint=False)
+            self._maybe_finish(job)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the message lease; tear down any unfinished job.
+
+        Unfinished jobs only exist here on an exception path — shut
+        their shard managers down and close their runs so a failed
+        drive never leaks manager processes or open-run state.
+        """
+        for job in list(self.jobs.values()):
+            if not job.finished:
+                for manager in job.managers:
+                    manager.shutdown()
+                job.managers = []
+                if not self.pool.closed:
+                    self.pool.cancel_run(job.run_id)
+                    self.pool.close_run(job.run_id)
+        self.pool.release_messages(self)
 
 
 # ----------------------------------------------------------------------
@@ -565,4 +841,51 @@ def parallel_ja_verify(
         return report
     if opts.schedule_only:
         return _schedule_only(ts, opts, design_name, emit, order)
-    return _PoolRun(ts, opts, design_name, emit).run(order)
+    return _run_pooled(ts, opts, design_name, emit, order)
+
+
+def _run_pooled(
+    ts: TransitionSystem,
+    opts: ParallelOptions,
+    design_name: str,
+    emit: Emit,
+    order: List[str],
+) -> MultiPropReport:
+    """One job driven to completion on a single-job seat scheduler.
+
+    This is the old exclusive engine expressed as the degenerate case
+    of the multiplexer: one scheduler, one admitted job, drive, report.
+    Everything after pool creation runs under the teardown guard — a
+    bad shard spec or a failed manager start must not leak the worker
+    processes just spawned.
+    """
+    start = time.monotonic()
+    pool = opts.pool
+    ephemeral = pool is None
+    if ephemeral:
+        pool = WorkerPool(
+            workers=opts.resolve_workers(len(order)),
+            start_method=opts.start_method,
+        )
+    scheduler = None
+    job = None
+    try:
+        scheduler = SeatScheduler(pool)
+        job = scheduler.admit(
+            ts,
+            opts,
+            design_name,
+            emit,
+            order,
+            pool_label="ephemeral" if ephemeral else "persistent",
+            start=start,
+        )
+        scheduler.drive()
+    finally:
+        if scheduler is not None:
+            scheduler.close()
+        if ephemeral:
+            pool.shutdown()
+    if job.error is not None:
+        raise job.error
+    return job.build_report(pool)

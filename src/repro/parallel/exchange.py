@@ -17,7 +17,10 @@ This module shards the exchange by property cluster:
 * :class:`ExchangeShard` is one append-only deduplicated clause log —
   the same cursor protocol as the legacy exchange, plus per-shard
   traffic stats that record *which properties* published and fetched
-  (the routing-isolation tests rely on this);
+  (the routing-isolation tests rely on this).  Fetch replies are
+  **batched**: the whole cursor gap ships as one packed int64 buffer
+  (:func:`pack_clauses`) instead of one pickled tuple per clause, and
+  ``stats()["fetch_batches"]`` counts the non-empty replies;
 * each shard is hosted in its **own** manager process
   (:func:`start_sharded_exchange`), so shards serialize independently
   and publish/fetch throughput scales with the shard count;
@@ -36,6 +39,7 @@ thousand manager processes.
 
 from __future__ import annotations
 
+from array import array
 from multiprocessing.managers import BaseManager
 from typing import Dict, Iterable, List, Mapping, MutableMapping, Sequence, Tuple, Union
 
@@ -45,6 +49,39 @@ Clause = Tuple[int, ...]
 
 #: Upper bound on ``shards="auto"`` (one manager process per shard).
 AUTO_SHARD_CAP = 8
+
+
+def pack_clauses(clauses: Sequence[Clause]) -> bytes:
+    """Flatten a clause list into one length-prefixed int64 buffer.
+
+    A manager proxy pickles whatever ``fetch`` returns; a list of many
+    small tuples costs one pickle op *per clause per literal*, which at
+    the paper's 10k-property scale dominates the reply.  The packed
+    form — ``[len, lit, lit, ..., len, lit, ...]`` as a flat
+    ``array('q')`` — serializes as a single bytes blob regardless of
+    clause count: one message per cursor gap instead of one tuple per
+    clause.
+    """
+    flat = array("q")
+    for clause in clauses:
+        flat.append(len(clause))
+        flat.extend(clause)
+    return flat.tobytes()
+
+
+def unpack_clauses(blob: bytes) -> List[Clause]:
+    """Inverse of :func:`pack_clauses` (client side of a fetch reply)."""
+    flat = array("q")
+    flat.frombytes(blob)
+    clauses: List[Clause] = []
+    i = 0
+    end = len(flat)
+    while i < end:
+        width = flat[i]
+        i += 1
+        clauses.append(tuple(flat[i : i + width]))
+        i += width
+    return clauses
 
 
 class ShardMap:
@@ -156,6 +193,7 @@ class ExchangeShard:
         self._seen = set()
         self._publishes = 0
         self._fetches = 0
+        self._fetch_batches = 0
         self._publishers: set = set()
         self._fetchers: set = set()
 
@@ -175,11 +213,26 @@ class ExchangeShard:
 
     def fetch(self, name: str, cursor: int) -> Tuple[List[Clause], int]:
         """Clauses appended at or after ``cursor``, plus the new cursor."""
+        blob, new_cursor = self.fetch_batch(name, cursor)
+        return unpack_clauses(blob), new_cursor
+
+    def fetch_batch(self, name: str, cursor: int) -> Tuple[bytes, int]:
+        """The cursor gap as **one** packed reply, plus the new cursor.
+
+        This is what :class:`ShardedExchange` clients actually call:
+        the whole gap travels as a single :func:`pack_clauses` buffer —
+        one serialized message per fetch, however many clauses the gap
+        holds.  ``stats()["fetch_batches"]`` counts the non-empty
+        replies, so the reply-batching rate is observable per shard.
+        """
         if cursor < 0:
             raise ValueError(f"cursor must be non-negative, got {cursor}")
         self._fetches += 1
         self._fetchers.add(name)
-        return self._log[cursor:], len(self._log)
+        gap = self._log[cursor:]
+        if gap:
+            self._fetch_batches += 1
+        return pack_clauses(gap), len(self._log)
 
     def size(self) -> int:
         return len(self._log)
@@ -191,6 +244,7 @@ class ExchangeShard:
             "clauses": len(self._log),
             "publishes": self._publishes,
             "fetches": self._fetches,
+            "fetch_batches": self._fetch_batches,
             "publishers": sorted(self._publishers),
             "fetchers": sorted(self._fetchers),
         }
@@ -225,7 +279,11 @@ class ShardedExchange:
         return self._shards[self.shard_of(name)].publish(name, clauses)
 
     def fetch(self, name: str, cursor: int) -> Tuple[List[Clause], int]:
-        return self._shards[self.shard_of(name)].fetch(name, cursor)
+        """One batched round-trip per cursor gap (see ``fetch_batch``)."""
+        blob, new_cursor = self._shards[self.shard_of(name)].fetch_batch(
+            name, cursor
+        )
+        return unpack_clauses(blob), new_cursor
 
     def fetch_fresh(
         self, name: str, cursors: MutableMapping[int, int]
@@ -248,6 +306,7 @@ class ShardedExchange:
             "clauses": sum(s["clauses"] for s in per_shard),
             "publishes": sum(s["publishes"] for s in per_shard),
             "fetches": sum(s["fetches"] for s in per_shard),
+            "fetch_batches": sum(s["fetch_batches"] for s in per_shard),
         }
 
     def routing_violations(self) -> int:
@@ -269,6 +328,58 @@ class ShardManager(BaseManager):
 
 
 ShardManager.register("ExchangeShard", ExchangeShard)
+
+
+class ShardHost:
+    """A persistent set of shard-manager processes, reused across jobs.
+
+    The engine's per-run exchange spawns (and tears down) one manager
+    process per shard per run — fine for one-shot runs, a systematic
+    tax on a :class:`~repro.service.VerificationService` that keeps
+    many jobs in flight: every live job would hold its own manager
+    processes.  A host keeps one manager process per *shard index* for
+    the service's lifetime; shard ``i`` of every job is hosted in
+    manager ``i`` as its own :class:`ExchangeShard` object, so jobs
+    stay fully isolated (separate logs, separate stats) while the
+    process count stays bounded by the widest job, not the job count.
+    Freeing is by proxy refcount: when a job's last proxy dies, the
+    manager drops its shard objects.
+    """
+
+    def __init__(self, ctx=None) -> None:
+        self._ctx = ctx
+        self._managers: List[ShardManager] = []
+        self._closed = False
+
+    @property
+    def processes(self) -> int:
+        """Manager processes currently alive."""
+        return len(self._managers)
+
+    def open_shards(self, shard_map: ShardMap) -> ShardedExchange:
+        """One fresh :class:`ExchangeShard` per shard, on pooled managers."""
+        if self._closed:
+            raise RuntimeError("ShardHost is shut down")
+        while len(self._managers) < shard_map.num_shards:
+            manager = ShardManager(ctx=self._ctx)
+            manager.start()
+            self._managers.append(manager)
+        proxies = [
+            self._managers[shard].ExchangeShard(
+                shard, shard_map.members(shard)
+            )
+            for shard in range(shard_map.num_shards)
+        ]
+        return ShardedExchange(shard_map, proxies)
+
+    def shutdown(self) -> None:
+        """Stop every pooled manager process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for manager in self._managers:
+            manager.shutdown()
+        self._managers = []
 
 
 def start_sharded_exchange(

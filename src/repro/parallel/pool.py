@@ -44,9 +44,33 @@ already-running processes: cancelling run ``r`` raises the epoch to
 whose run id is at or below the epoch.  Run ids increase monotonically,
 so old cancellations never affect new runs.
 
+Run protocol: **seat leasing, not exclusive ownership.**  The PR-4
+pool allowed exactly one batch at a time (``begin_run`` raised on
+concurrency), which blocked the server regime where many jobs share
+one pool.  The primitive is now :meth:`open_run` — any number of runs
+may be open concurrently, each identified by its monotonically
+increasing run id; the scheduler that drives them (the engine's
+``SeatScheduler``, shared with :class:`repro.service.VerificationService`)
+leases idle seats job-by-job via :meth:`assign` and routes the single
+output queue's run-tagged messages itself.  Because one process may
+not have two consumers of that queue, a scheduler must take the
+message lease (:meth:`acquire_messages`) first; the legacy exclusive
+protocol (:meth:`begin_run` / :meth:`get` / :meth:`end_run`) survives
+as a thin shim over ``open_run`` that refuses to start while any other
+run is open.
+
+Cancellation is per run: :meth:`cancel_run` raises the shared epoch (a
+:class:`multiprocessing.Value` holding a run id below which every job
+is declined) when the target is the *oldest* open run — run ids are
+monotonic, so that never touches a newer run — and falls back to
+explicit ``("cancel", run_id)`` control messages otherwise.  Workers
+decline (report ``cancelled``) any assigned job of a cancelled run.
+
 Use :func:`default_pool` for the module-level shared pool
 (``VerificationConfig(pool=default_pool())``), or construct pools
-explicitly and pass them around; a pool is a context manager and
+explicitly and pass them around; a pool is a context manager, every
+live pool is shut down at interpreter exit (an ``atexit`` hook walks a
+weak registry, so no seat process ever outlives the interpreter), and
 :meth:`shutdown` is idempotent.  The engine still creates a private
 single-run pool when no pool is supplied, preserving the original
 per-run semantics.
@@ -64,7 +88,7 @@ import queue as queue_mod
 import time
 import weakref
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ts.system import TransitionSystem
 
@@ -73,6 +97,10 @@ from ..ts.system import TransitionSystem
 #: to the same per-worker message stream, so the parent always knows
 #: exactly which hashes a worker still holds.
 DESIGN_CACHE_SIZE = 8
+
+#: Every live pool, weakly held, so interpreter exit can sweep seat
+#: processes even for pools the caller forgot to shut down.
+_live_pools: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def _lru_touch(cache: "OrderedDict", key, value) -> None:
@@ -94,6 +122,17 @@ class _Slot:
         # Content hashes this worker holds, mirroring the worker's own
         # LRU (same keys, same order, same cap).
         self.designs: "OrderedDict" = OrderedDict()
+
+
+class _OpenRun:
+    """Parent-side record of one open run (for late seat attachment)."""
+
+    __slots__ = ("ts", "settings", "exchange")
+
+    def __init__(self, ts, settings, exchange) -> None:
+        self.ts = ts
+        self.settings = settings
+        self.exchange = exchange
 
 
 class WorkerPool:
@@ -121,8 +160,12 @@ class WorkerPool:
         self._pickled: "OrderedDict[str, bytes]" = OrderedDict()
         self._hash_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
         self._run_ids = itertools.count()
+        self._open: Dict[int, _OpenRun] = {}
+        self._cancelled_runs: set = set()
         self._active: Optional[int] = None
+        self._consumer: Optional[object] = None  # message-lease holder
         self._closed = False
+        _live_pools.add(self)
         self.stats = {
             "runs": 0,
             "design_pickles": 0,
@@ -196,6 +239,9 @@ class WorkerPool:
             return
         self._closed = True
         self._active = None
+        self._open.clear()
+        self._cancelled_runs.clear()
+        self._consumer = None
         self._stop.set()
         for slot in self._slots:
             try:
@@ -245,16 +291,51 @@ class WorkerPool:
         return digest
 
     # ------------------------------------------------------------------
-    # Run protocol
+    # Message lease
     # ------------------------------------------------------------------
-    def begin_run(self, ts, settings, exchange=None) -> int:
+    def acquire_messages(self, owner: object) -> None:
+        """Claim the pool's single output-message stream for ``owner``.
+
+        The pool has one output queue; two consumers would steal each
+        other's messages, so whoever pumps :meth:`next_message` (a
+        ``SeatScheduler``, usually inside a
+        :class:`~repro.service.VerificationService`) must hold this
+        lease.  Re-acquiring by the same owner is a no-op; a second
+        owner is refused — attach to the service instead of running the
+        engine directly on its pool.
+        """
+        if self._consumer is not None and self._consumer is not owner:
+            raise RuntimeError(
+                "pool messages are already being consumed by another "
+                "scheduler (is this pool attached to a running "
+                "VerificationService?)"
+            )
+        self._consumer = owner
+
+    def release_messages(self, owner: object) -> None:
+        """Give up the message lease (no-op when ``owner`` lacks it)."""
+        if self._consumer is owner:
+            self._consumer = None
+
+    # ------------------------------------------------------------------
+    # Run protocol — seat leasing (many runs may be open at once)
+    # ------------------------------------------------------------------
+    @property
+    def open_runs(self) -> List[int]:
+        """Ids of runs currently open, oldest first."""
+        return sorted(self._open)
+
+    def open_run(self, ts, settings, exchange=None) -> int:
         """Open a run: ship the design + settings to every live worker.
 
         Returns the run id.  Each worker acknowledges its setup with a
-        ``ready`` message (surfaced through :meth:`get`); because setup
-        and job messages share the worker's FIFO control queue, a
-        worker can never see a job before the run's design and
-        settings.  Only one run may be active at a time.
+        ``ready`` message (surfaced through :meth:`next_message`);
+        because setup and job messages share the worker's FIFO control
+        queue, a worker can never see a job before the run's design and
+        settings.  Any number of runs may be open concurrently — their
+        jobs are interleaved onto seats by whoever holds the message
+        lease — but an *exclusive* legacy run (:meth:`begin_run`)
+        blocks new opens until it ends.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is shut down")
@@ -265,72 +346,152 @@ class WorkerPool:
         if not self._slots:
             self.ensure_workers()
         run_id = next(self._run_ids)
-        digest = self._design_digest(ts)
-        payload = self._pickled[digest]
-        for slot in self._slots:
-            if not slot.process.is_alive():
-                continue
-            body = None if digest in slot.designs else payload
-            slot.ctrl.put(("run", run_id, digest, body, settings, exchange))
-            _lru_touch(slot.designs, digest, True)
-        self._active = run_id
+        self._open[run_id] = _OpenRun(ts, settings, exchange)
+        for worker_id, slot in enumerate(self._slots):
+            if slot.process.is_alive():
+                self.attach_worker(run_id, worker_id)
         self.stats["runs"] += 1
         return run_id
 
-    def assign(self, worker_id: int, job) -> None:
-        """Hand one job of the active run to a specific worker."""
-        if self._active is None:
-            raise RuntimeError("no active run; call begin_run first")
-        self._slots[worker_id].ctrl.put(("job", self._active, job))
+    def attach_worker(self, run_id: int, worker_id: int) -> None:
+        """Ship an open run's setup to one seat (late join/respawn).
 
-    def get(self, timeout: float = 0.2):
-        """Next message of the active run, run-id tag stripped.
-
-        Yields ``("ready", worker)``, ``("event", worker, event)``,
-        ``("result", worker, outcome)``, ``("cancelled", worker, name)``
-        and ``("error", worker, name, detail)``.  Messages from earlier
-        runs (stragglers of a cancelled batch) are silently discarded.
-        Raises :class:`queue.Empty` on timeout, like a queue would.
+        Used by schedulers that revive crashed seats mid-flight: the
+        fresh process knows nothing, so every open run's design and
+        settings must be re-shipped before it can serve their jobs.
         """
-        if self._active is None:
-            raise RuntimeError("no active run; call begin_run first")
+        run = self._open[run_id]
+        digest = self._design_digest(run.ts)
+        payload = self._pickled[digest]
+        slot = self._slots[worker_id]
+        body = None if digest in slot.designs else payload
+        slot.ctrl.put(
+            ("run", run_id, digest, body, run.settings, run.exchange)
+        )
+        _lru_touch(slot.designs, digest, True)
+
+    def assign(self, worker_id: int, job, run_id: Optional[int] = None) -> None:
+        """Hand one job of a run to a specific worker seat."""
+        if run_id is None:
+            if self._active is None:
+                raise RuntimeError("no active run; call begin_run first")
+            run_id = self._active
+        if run_id not in self._open:
+            raise RuntimeError(f"run {run_id} is not open on this pool")
+        self._slots[worker_id].ctrl.put(("job", run_id, job))
+
+    def next_message(self, timeout: float = 0.2):
+        """Next message of any open run: ``(kind, run_id, worker, ...)``.
+
+        Kinds are ``ready``, ``event``, ``result``, ``cancelled`` and
+        ``error`` (payloads as documented in :mod:`repro.parallel.worker`).
+        Messages from runs no longer open (stragglers of a finished or
+        cancelled batch) are silently discarded.  Raises
+        :class:`queue.Empty` on timeout, like a queue would; a
+        non-positive timeout polls without blocking (the scheduler's
+        burst-drain path).
+        """
         deadline = time.monotonic() + timeout
         while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise queue_mod.Empty
-            message = self._out_queue.get(timeout=remaining)
-            if message[1] != self._active:
+            if timeout <= 0:
+                message = self._out_queue.get_nowait()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise queue_mod.Empty
+                message = self._out_queue.get(timeout=remaining)
+            if message[1] not in self._open:
                 continue
-            return (message[0],) + tuple(message[2:])
+            return (message[0], message[1]) + tuple(message[2:])
+
+    def cancel_run(self, run_id: int) -> None:
+        """Cancel one open run (assigned-but-unstarted jobs decline).
+
+        The oldest open run is cancelled through the shared epoch —
+        prompt, reaches even jobs already sitting in worker queues, and
+        can never touch a newer run because ids are monotonic.  Younger
+        runs get explicit per-worker ``cancel`` messages instead, so a
+        cancelled job never takes its siblings down with it.
+        """
+        if run_id not in self._open:
+            return
+        self._cancelled_runs.add(run_id)
+        if run_id == min(self._open):
+            with self._cancel_epoch.get_lock():
+                if self._cancel_epoch.value < run_id:
+                    self._cancel_epoch.value = run_id
+        else:
+            for slot in self._slots:
+                if slot.process.is_alive():
+                    slot.ctrl.put(("cancel", run_id))
+
+    def run_cancelled(self, run_id: int) -> bool:
+        """True once ``run_id`` has been cancelled."""
+        return (
+            run_id in self._cancelled_runs
+            or self._cancel_epoch.value >= run_id
+        )
+
+    def close_run(self, run_id: int) -> None:
+        """Close an open run; anything still in flight goes stale.
+
+        Workers drop the run's cached state on the ``end`` message, and
+        :meth:`next_message`'s open-run filter discards late replies,
+        so a finished run cannot haunt its successors.
+        """
+        if run_id not in self._open:
+            return
+        del self._open[run_id]
+        self._cancelled_runs.discard(run_id)
+        for slot in self._slots:
+            if slot.process.is_alive():
+                try:
+                    slot.ctrl.put(("end", run_id))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+
+    # ------------------------------------------------------------------
+    # Run protocol — legacy exclusive shim (one batch at a time)
+    # ------------------------------------------------------------------
+    def begin_run(self, ts, settings, exchange=None) -> int:
+        """Open an *exclusive* run (the pre-service single-batch mode).
+
+        Raises while any other run is open; direct callers that want
+        concurrency should go through
+        :class:`~repro.service.VerificationService` (or :meth:`open_run`
+        with their own scheduler) instead.
+        """
+        if self._open:
+            raise RuntimeError(
+                f"run {min(self._open)} is still active on this pool"
+            )
+        run_id = self.open_run(ts, settings, exchange)
+        self._active = run_id
+        return run_id
+
+    def get(self, timeout: float = 0.2):
+        """Next message of the exclusive run, run-id tag stripped."""
+        if self._active is None:
+            raise RuntimeError("no active run; call begin_run first")
+        message = self.next_message(timeout)
+        return (message[0],) + tuple(message[2:])
 
     def cancel_active(self) -> None:
-        """Cancel the active run (assigned-but-unstarted jobs decline)."""
-        if self._active is None:
-            return
-        with self._cancel_epoch.get_lock():
-            if self._cancel_epoch.value < self._active:
-                self._cancel_epoch.value = self._active
+        """Cancel the exclusive run (see :meth:`cancel_run`)."""
+        if self._active is not None:
+            self.cancel_run(self._active)
 
     @property
     def cancelled(self) -> bool:
-        """True once the active run has been cancelled."""
-        return (
-            self._active is not None
-            and self._cancel_epoch.value >= self._active
-        )
+        """True once the exclusive run has been cancelled."""
+        return self._active is not None and self.run_cancelled(self._active)
 
     def end_run(self) -> None:
-        """Close the active run; anything still in flight goes stale.
-
-        Raising the cancel epoch makes workers decline any job of this
-        run still sitting in their queues, and :meth:`get`'s run filter
-        drops their late replies, so a finished run cannot haunt the
-        next one.
-        """
+        """Close the exclusive run; anything still in flight goes stale."""
         if self._active is None:
             return
-        self.cancel_active()
+        self.cancel_run(self._active)
+        self.close_run(self._active)
         self._active = None
 
     # ------------------------------------------------------------------
@@ -391,4 +552,16 @@ def shutdown_default_pool() -> None:
         _default = None
 
 
-atexit.register(shutdown_default_pool)
+def shutdown_all_pools() -> None:
+    """Shut down every live pool (the ``atexit`` seat-process sweep).
+
+    Covers explicitly constructed pools as well as :func:`default_pool`:
+    seats are daemon processes, but an orderly stop lets them flush
+    their queues instead of dying mid-message at interpreter teardown.
+    """
+    shutdown_default_pool()
+    for pool in list(_live_pools):
+        pool.shutdown()
+
+
+atexit.register(shutdown_all_pools)

@@ -14,12 +14,21 @@ Control messages (private queue, parent -> worker):
 
 ``("run", run_id, design_hash, payload-or-None, settings, exchange)``
     a new run: the pickled design ships only when this worker has not
-    cached the hash yet; the worker rebuilds its per-run clause
-    database and acknowledges with ``ready``;
+    cached the hash yet; the worker builds the run's fresh clause
+    databases and acknowledges with ``ready``.  Several runs may be
+    live at once — the worker keeps one state record per open run and
+    serves whichever run each job message names, which is what lets a
+    :class:`~repro.service.VerificationService` interleave many jobs'
+    properties on one seat;
 ``("job", run_id, PropertyJob)``
-    one property to verify.  Scheduling is parent-side: the engine
+    one property to verify.  Scheduling is parent-side: the scheduler
     assigns the next backlog job to whichever worker reported idle, so
     the queue is FIFO and a setup always precedes the run's jobs;
+``("cancel", run_id)``
+    decline (report ``cancelled``) any later job of that run — the
+    per-run complement of the pool-wide cancel epoch;
+``("end", run_id)``
+    the run is over; drop its cached state;
 ``("stop",)``
     shutdown sentinel.
 
@@ -153,7 +162,8 @@ def pool_worker_main(
     # per-slot mirror, applied to the same ordered message stream, so
     # the two sides always agree on which hashes this worker holds.
     designs: "OrderedDict[str, TransitionSystem]" = OrderedDict()
-    run: Optional[_ActiveRun] = None
+    runs: Dict[int, _ActiveRun] = {}
+    cancelled: set = set()
     while True:
         try:
             message = ctrl_queue.get(timeout=_POLL_TIMEOUT)
@@ -175,18 +185,26 @@ def pool_worker_main(
                 )
                 continue
             _lru_touch(designs, digest, ts)
-            run = _ActiveRun(
+            runs[run_id] = _ActiveRun(
                 run_id=run_id, ts=ts, settings=settings, exchange=exchange
             )
             out_queue.put(("ready", run_id, worker_id))
             continue
+        if kind == "cancel":
+            cancelled.add(message[1])
+            continue
+        if kind == "end":
+            runs.pop(message[1], None)
+            cancelled.discard(message[1])
+            continue
         # kind == "job"
         _, run_id, job = message
-        if run is None or run_id != run.run_id:
+        run = runs.get(run_id)
+        if run is None:
             # A job of a run this worker never set up: impossible on the
             # FIFO queue unless the run is long gone — drop it.
             continue
-        if run_id <= cancel_epoch.value:
+        if run_id <= cancel_epoch.value or run_id in cancelled:
             out_queue.put(("cancelled", run_id, worker_id, job.name))
             continue
         _execute(worker_id, run, job, out_queue)

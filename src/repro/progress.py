@@ -28,7 +28,12 @@ The event vocabulary mirrors what the paper's tables measure:
   cancellation (the property still gets its UNKNOWN
   :class:`PropertySolved`, preserving the one-verdict-per-property
   invariant);
-* :class:`RunStarted` / :class:`RunFinished` — session bracketing.
+* :class:`RunStarted` / :class:`RunFinished` — session bracketing;
+* :class:`JobQueued` / :class:`JobStarted` / :class:`JobFinished` /
+  :class:`ServiceSaturated` — the job-oriented
+  :class:`~repro.service.VerificationService` admitted, started or
+  finished one submitted job, or refused admission because its bounded
+  queue is full (back-pressure made observable).
 
 This module deliberately has no imports from the rest of the package so
 that every layer can use it without import cycles; the classes are
@@ -56,6 +61,10 @@ __all__ = [
     "ShardOpened",
     "PropertyCancelled",
     "PropertyRequeued",
+    "JobQueued",
+    "JobStarted",
+    "JobFinished",
+    "ServiceSaturated",
     "Emit",
     "null_emit",
     "emit_or_null",
@@ -236,6 +245,67 @@ class PropertyRequeued(ProgressEvent):
     worker: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class JobQueued(ProgressEvent):
+    """A submitted job was admitted to the service's pending queue."""
+
+    kind: ClassVar[str] = "job-queued"
+    job: str
+    design: str
+    strategy: str
+    priority: float = 1.0
+
+
+@dataclass(frozen=True)
+class JobStarted(ProgressEvent):
+    """A queued job began executing.
+
+    ``mode`` is ``"pool"`` when the job's properties are multiplexed
+    onto shared worker seats (process-parallel strategies) and
+    ``"thread"`` when the whole strategy runs on a service thread
+    (sequential strategies).
+    """
+
+    kind: ClassVar[str] = "job-started"
+    job: str
+    design: str
+    strategy: str
+    mode: str = "thread"
+
+
+@dataclass(frozen=True)
+class JobFinished(ProgressEvent):
+    """A job reached a terminal state.
+
+    ``status`` is the :class:`~repro.service.JobStatus` value name in
+    lower case (``"done"``, ``"failed"``, ``"cancelled"``), typed
+    loosely to keep this module dependency-free.
+    """
+
+    kind: ClassVar[str] = "job-finished"
+    job: str
+    status: str
+    total_time: float = 0.0
+    num_true: int = 0
+    num_false: int = 0
+    num_unknown: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceSaturated(ProgressEvent):
+    """A submit found the service's bounded admission queue full.
+
+    Emitted once per refused/blocked submission attempt; ``pending`` is
+    the queue depth at that moment and ``limit`` its bound.  Blocking
+    submitters wait for space after this event; non-blocking ones
+    receive :class:`~repro.service.QueueFull`.
+    """
+
+    kind: ClassVar[str] = "service-saturated"
+    pending: int
+    limit: int
+
+
 Emit = Callable[[ProgressEvent], None]
 
 
@@ -297,4 +367,22 @@ def format_event(event: ProgressEvent) -> str:
     if isinstance(event, PropertyRequeued):
         by = f" (worker {event.worker} crashed)" if event.worker is not None else ""
         return f"[{event.kind}] {event.name}{by}"
+    if isinstance(event, JobQueued):
+        return (
+            f"[{event.kind}] {event.job}: {event.strategy} on {event.design} "
+            f"(priority {event.priority:g})"
+        )
+    if isinstance(event, JobStarted):
+        return (
+            f"[{event.kind}] {event.job}: {event.strategy} on {event.design} "
+            f"({event.mode})"
+        )
+    if isinstance(event, JobFinished):
+        return (
+            f"[{event.kind}] {event.job}: {event.status} — "
+            f"{event.num_false} false, {event.num_true} true, "
+            f"{event.num_unknown} unknown in {event.total_time:.2f}s"
+        )
+    if isinstance(event, ServiceSaturated):
+        return f"[{event.kind}] {event.pending}/{event.limit} jobs pending"
     return f"[{event.kind}] {event!r}"

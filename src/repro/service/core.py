@@ -1,0 +1,690 @@
+"""The job-oriented verification service.
+
+:class:`VerificationService` is the server-regime entry point: many
+jobs — each a whole multi-property verification of some design under
+some :class:`~repro.session.VerificationConfig` — run *concurrently*
+against one shared :class:`~repro.parallel.WorkerPool`.
+
+Execution model
+---------------
+
+``submit(design, config, priority=...)`` returns a
+:class:`~repro.service.JobHandle` immediately.  Jobs wait in a
+**bounded admission queue** (``max_pending``; a full queue emits
+:class:`~repro.progress.ServiceSaturated` and either blocks the
+submitter or raises :class:`~repro.service.QueueFull` with
+``block=False``) until one of ``max_concurrent_jobs`` slots frees up.
+Admitted jobs execute one of two ways:
+
+* **pooled** — ``strategy="parallel-ja"`` (without ``schedule_only``):
+  the job's per-property proofs are *interleaved with every other
+  pooled job's* onto the shared pool's worker seats by the
+  :class:`~repro.parallel.engine.SeatScheduler` — weighted fair share
+  across jobs (seats held per unit of ``priority``), LPT within each
+  job, per-job run-id isolation, watchdogs, crash re-dispatch and
+  sharded clause exchanges all preserved from the single-run engine;
+* **threaded** — every other strategy runs to completion on a service
+  thread (sequential engines have no seat-level parallelism to
+  multiplex; they still gain concurrent admission, handles, events and
+  cancellation).
+
+A single dispatcher thread owns the scheduler, so all seat decisions
+are serialized and — with one worker and one job — deterministic,
+exactly like the engine it replaced.
+
+The service either *owns* its pool (constructed lazily from
+``workers=...``, shut down on :meth:`close`) or *attaches* to a caller
+pool (left running on close).  While a service is attached, the pool's
+message stream is leased to its scheduler — running the engine
+directly on the same pool is refused rather than silently corrupted.
+
+:class:`~repro.session.Session` is a thin synchronous wrapper over a
+private single-job service, so the one-shot API and the server API
+exercise the same machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Set
+
+import queue as queue_mod
+
+from ..multiprop.report import MultiPropReport, PropOutcome
+from ..engines.result import PropStatus
+from ..parallel.engine import SeatScheduler
+from ..parallel.pool import WorkerPool
+from ..progress import (
+    Emit,
+    JobFinished,
+    JobQueued,
+    JobStarted,
+    ProgressEvent,
+    ServiceSaturated,
+)
+from ..session.config import VerificationConfig, resolve_order
+from ..session.registry import get_strategy
+from .jobs import JobHandle, JobStatus, QueueFull
+
+
+class _JobRecord:
+    """Service-side state of one submitted job."""
+
+    __slots__ = (
+        "handle",
+        "ts",
+        "config",
+        "order",
+        "priority",
+        "kind",
+        "submitted_at",
+        "cancel_requested",
+        "thread",
+        "pooled_job",
+        "emit_failure",
+        "announced",
+    )
+
+    def __init__(self, handle, ts, config, order, priority, kind) -> None:
+        self.handle = handle
+        self.ts = ts
+        self.config = config
+        self.order = order  # resolved property-name list
+        self.priority = priority
+        self.kind = kind  # "pool" | "thread"
+        self.submitted_at = time.monotonic()
+        self.cancel_requested = False
+        self.thread: Optional[threading.Thread] = None
+        self.pooled_job = None  # PooledJob while executing on seats
+        # First exception a subscriber raised while consuming this
+        # job's events (e.g. BrokenPipeError from a print callback);
+        # surfaced through the handle's future, never allowed to kill
+        # the dispatcher or leave the future unresolved.
+        self.emit_failure: Optional[BaseException] = None
+        # The dispatcher may not admit this record until its JobQueued
+        # has been emitted (on the submitting thread) — otherwise a
+        # fast job could stream JobStarted before its own JobQueued.
+        self.announced = False
+
+
+class VerificationService:
+    """Concurrent multi-job verification over one shared worker pool."""
+
+    def __init__(
+        self,
+        pool: Optional[WorkerPool] = None,
+        *,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        max_concurrent_jobs: int = 8,
+        max_pending: int = 64,
+        on_event: Optional[Emit] = None,
+    ) -> None:
+        if max_concurrent_jobs < 1:
+            raise ValueError(
+                f"max_concurrent_jobs must be >= 1, got {max_concurrent_jobs}"
+            )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if pool is not None and pool.closed:
+            raise ValueError("pool has been shut down")
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.max_pending = max_pending
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._workers = workers
+        self._start_method = start_method
+        self._scheduler: Optional[SeatScheduler] = None
+        self._shard_host = None  # persistent exchange managers (pooled jobs)
+        self._inline = False  # private Session mode: no pooled jobs
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._pending: Deque[_JobRecord] = deque()
+        self._running: Set[_JobRecord] = set()
+        self._records: List[_JobRecord] = []
+        self._commands: "queue_mod.Queue" = queue_mod.Queue()
+        self._wake = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._subscribers: List[Emit] = []
+        self._job_ids = 0
+        self._closed = False
+        self._stopping = False
+        self._torn_down = False
+        if on_event is not None:
+            self.subscribe(on_event)
+
+    # ------------------------------------------------------------------
+    # Private single-job mode (the Session facade's backend)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _private(cls) -> "VerificationService":
+        """One-shot service backing a single ``Session.run()``.
+
+        Inline mode: every strategy — including ``parallel-ja`` — runs
+        on the job thread, so the engine keeps exclusive ownership of
+        whatever pool the config names and the one-shot semantics
+        (ephemeral pool per run unless ``config.pool`` is set) are
+        byte-for-byte those of the pre-service engine.
+        """
+        service = cls(max_concurrent_jobs=1, max_pending=1)
+        service._inline = True
+        return service
+
+    # ------------------------------------------------------------------
+    # Introspection and events
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The shared pool (None until the first pooled job creates it)."""
+        return self._pool
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def jobs(self) -> List[JobHandle]:
+        """Handles of every job ever submitted, in submission order."""
+        with self._lock:
+            return [record.handle for record in self._records]
+
+    def stats(self) -> dict:
+        """Queue/slot occupancy plus the shared pool's counters."""
+        with self._lock:
+            pending = len(self._pending)
+            running = len(self._running)
+            total = len(self._records)
+        out = {
+            "pending": pending,
+            "running": running,
+            "submitted": total,
+            "max_concurrent_jobs": self.max_concurrent_jobs,
+            "max_pending": self.max_pending,
+        }
+        if self._pool is not None:
+            out["pool"] = dict(self._pool.stats)
+        return out
+
+    def subscribe(self, callback: Emit) -> Emit:
+        """Register a callback for every job's events; returns it."""
+        with self._lock:
+            self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Emit) -> None:
+        with self._lock:
+            self._subscribers.remove(callback)
+
+    def _emit_service(self, event: ProgressEvent) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(event)
+
+    def _emit_job(self, record: _JobRecord, event: ProgressEvent) -> None:
+        record.handle._emit(event)
+        self._emit_service(event)
+
+    def _guarded_job_emit(self, record: _JobRecord):
+        """An emit router that survives raising subscribers.
+
+        Pooled jobs' events are delivered on the dispatcher thread,
+        which must outlive any one job — so a subscriber exception
+        (``BrokenPipeError`` from a print callback is the classic) is
+        recorded as the job's failure and later events are dropped,
+        instead of unwinding the scheduler.  Threaded jobs keep the
+        raise-at-call-site behaviour (it aborts the strategy early,
+        exactly like the pre-service ``Session`` did).
+        """
+
+        def emit(event: ProgressEvent) -> None:
+            if record.emit_failure is not None:
+                return
+            try:
+                self._emit_job(record, event)
+            except BaseException as exc:  # surfaced via the job's future
+                record.emit_failure = exc
+
+        return emit
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        design,
+        config: Optional[VerificationConfig] = None,
+        *,
+        priority: Optional[float] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        on_event: Optional[Emit] = None,
+        **overrides: object,
+    ) -> JobHandle:
+        """Queue one verification job; returns its handle immediately.
+
+        ``design`` is anything :class:`~repro.session.Session` accepts
+        (path, AIG, or TransitionSystem); ``overrides`` are config
+        fields applied on top of ``config``.  ``priority`` (default:
+        ``config.priority``) weights the job's fair share of worker
+        seats.  When the admission queue is full, ``block=True`` waits
+        (up to ``timeout`` seconds) for space and ``block=False``
+        raises :class:`QueueFull`; either way a
+        :class:`~repro.progress.ServiceSaturated` event records the
+        back-pressure.
+        """
+        from ..session.core import Session
+
+        base = config if config is not None else VerificationConfig()
+        if overrides:
+            base = base.with_overrides(**overrides)
+        ts, design_name = Session._coerce_design(design)
+        if base.design_name == "design" and design_name is not None:
+            base = base.with_overrides(design_name=design_name)
+        base.validate()
+        get_strategy(base.strategy)  # fail fast on unknown strategies
+        order = resolve_order(ts, base.order)
+        if order is None:
+            order = [p.name for p in ts.properties]
+        weight = float(priority) if priority is not None else float(base.priority)
+        if weight <= 0:
+            raise ValueError(f"priority must be > 0, got {weight!r}")
+        kind = (
+            "pool"
+            if (
+                base.strategy == "parallel-ja"
+                and not base.schedule_only
+                and not self._inline
+                and order
+            )
+            else "thread"
+        )
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        saturation_announced = False
+        while True:
+            with self._not_full:
+                if self._closed:
+                    raise RuntimeError("VerificationService is closed")
+                pending_now = len(self._pending)
+                if pending_now < self.max_pending:
+                    self._job_ids += 1
+                    handle = JobHandle(
+                        f"job-{self._job_ids - 1}",
+                        base.design_name,
+                        base.strategy,
+                        weight,
+                    )
+                    record = _JobRecord(handle, ts, base, order, weight, kind)
+                    handle._cancel_request = (
+                        lambda _h: self._request_cancel(record)
+                    )
+                    self._pending.append(record)
+                    self._records.append(record)
+                    break
+            # Queue full: announce the back-pressure OUTSIDE the lock (a
+            # subscriber may call back into the service), then refuse or
+            # wait for space.
+            if not saturation_announced:
+                saturation_announced = True
+                self._emit_service(
+                    ServiceSaturated(
+                        pending=pending_now, limit=self.max_pending
+                    )
+                )
+            if not block:
+                raise QueueFull(pending_now, self.max_pending)
+            with self._not_full:
+                if self._closed:
+                    raise RuntimeError("VerificationService is closed")
+                if len(self._pending) >= self.max_pending:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise QueueFull(len(self._pending), self.max_pending)
+                    if not self._not_full.wait(timeout=remaining):
+                        raise QueueFull(len(self._pending), self.max_pending)
+        if on_event is not None:
+            handle.subscribe(on_event)
+        try:
+            self._emit_job(
+                record,
+                JobQueued(
+                    job=handle.job_id,
+                    design=base.design_name,
+                    strategy=base.strategy,
+                    priority=weight,
+                ),
+            )
+        finally:
+            # Only now may the dispatcher touch the record; without the
+            # gate a fast job could finish before its JobQueued is out.
+            record.announced = True
+            self._ensure_dispatcher()
+            self._wake.set()
+        return handle
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def _request_cancel(self, record: _JobRecord) -> bool:
+        queued = False
+        with self._lock:
+            if record.handle.status is JobStatus.QUEUED:
+                if record not in self._pending:  # being admitted right now
+                    return False
+                self._pending.remove(record)
+                record.cancel_requested = True
+                queued = True
+                self._not_full.notify()
+            elif (
+                record.handle.status is JobStatus.RUNNING
+                and record.kind == "pool"
+            ):
+                record.cancel_requested = True
+                self._commands.put(("cancel", record))
+                self._wake.set()
+                return True
+            else:
+                return False
+        if queued:
+            self._finalize(record, self._cancelled_report(record), None)
+        return queued
+
+    def _cancelled_report(self, record: _JobRecord) -> MultiPropReport:
+        """All-UNKNOWN report for a job cancelled before it started."""
+        report = MultiPropReport(
+            method=record.config.strategy, design=record.config.design_name
+        )
+        for name in record.order:
+            report.outcomes[name] = PropOutcome(
+                name=name, status=PropStatus.UNKNOWN, local=True
+            )
+        report.stats = {"cancelled": len(record.order), "mode": "cancelled"}
+        return report
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _ensure_dispatcher(self) -> None:
+        with self._lock:
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._serve, name="repro-service", daemon=True
+                )
+                self._dispatcher.start()
+
+    def _serve(self) -> None:
+        while True:
+            self._drain_commands()
+            self._admit_ready()
+            scheduler = self._scheduler
+            if scheduler is not None and scheduler.live_jobs:
+                scheduler.step(timeout=0.05)
+                continue
+            with self._lock:
+                threaded_running = any(
+                    r.kind == "thread" for r in self._running
+                )
+                stop = (
+                    self._stopping
+                    and not self._pending
+                    and not threaded_running
+                )
+            if stop:
+                return
+            self._wake.wait(timeout=0.05)
+            self._wake.clear()
+
+    def _drain_commands(self) -> None:
+        while True:
+            try:
+                command = self._commands.get_nowait()
+            except queue_mod.Empty:
+                return
+            if command[0] == "cancel":
+                record = command[1]
+                job = record.pooled_job
+                if (
+                    self._scheduler is not None
+                    and job is not None
+                    and not job.finished
+                ):
+                    self._scheduler.cancel_job(job)
+
+    def _admit_ready(self) -> None:
+        while True:
+            with self._lock:
+                if (
+                    not self._pending
+                    or not self._pending[0].announced
+                    or len(self._running) >= self.max_concurrent_jobs
+                ):
+                    return
+                record = self._pending.popleft()
+                self._running.add(record)
+                self._not_full.notify()
+            self._start_job(record)
+
+    def _start_job(self, record: _JobRecord) -> None:
+        handle = record.handle
+        handle._transition(JobStatus.RUNNING)
+        try:
+            if record.kind == "pool":
+                self._start_pooled(record)
+            else:
+                self._emit_job(
+                    record,
+                    JobStarted(
+                        job=handle.job_id,
+                        design=record.config.design_name,
+                        strategy=record.config.strategy,
+                        mode="thread",
+                    ),
+                )
+                record.thread = threading.Thread(
+                    target=self._run_threaded,
+                    args=(record,),
+                    name=f"repro-{handle.job_id}",
+                    daemon=True,
+                )
+                record.thread.start()
+        except BaseException as exc:  # admission failed: fail the job
+            self._finalize(record, None, exc)
+
+    def _start_pooled(self, record: _JobRecord) -> None:
+        from ..session.strategies import parallel_options
+
+        self._ensure_scheduler(record)
+        self._emit_job(
+            record,
+            JobStarted(
+                job=record.handle.job_id,
+                design=record.config.design_name,
+                strategy=record.config.strategy,
+                mode="pool",
+            ),
+        )
+        options = parallel_options(record.ts, record.config)
+        record.pooled_job = self._scheduler.admit(
+            record.ts,
+            options,
+            record.config.design_name,
+            self._guarded_job_emit(record),
+            record.order,
+            priority=record.priority,
+            pool_label="persistent",
+            job_id=record.handle.job_id,
+            on_finish=lambda job: self._pooled_finished(record, job),
+        )
+
+    def _ensure_scheduler(self, record: _JobRecord) -> None:
+        if self._scheduler is not None:
+            return
+        if self._pool is None:
+            # Size by the service's own knob, the first job's explicit
+            # worker count, or one seat per CPU — deliberately NOT
+            # clamped by the first job's property count (a 1-property
+            # first job must not cap the whole service at one seat).
+            workers = (
+                self._workers
+                if self._workers is not None
+                else record.config.workers
+            )
+            self._pool = WorkerPool(
+                workers=workers, start_method=self._start_method
+            )
+        from ..parallel.exchange import ShardHost
+
+        def safe_service_emit(event: ProgressEvent) -> None:
+            # Scheduler-originated events (revived seats) are delivered
+            # on the dispatcher thread; a raising subscriber must not
+            # kill it.
+            try:
+                self._emit_service(event)
+            except Exception:
+                pass
+
+        self._shard_host = ShardHost(ctx=self._pool.context)
+        self._scheduler = SeatScheduler(
+            self._pool,
+            revive_seats=True,
+            service_emit=safe_service_emit,
+            shard_host=self._shard_host,
+        )
+
+    def _pooled_finished(self, record: _JobRecord, job) -> None:
+        self._scheduler.forget(job)
+        record.pooled_job = None
+        if job.error is not None:
+            self._finalize(record, None, job.error)
+        else:
+            self._finalize(record, job.build_report(self._pool), None)
+
+    def _run_threaded(self, record: _JobRecord) -> None:
+        try:
+            strategy = get_strategy(record.config.strategy)
+            report = strategy.run(
+                record.ts,
+                record.config,
+                lambda event: self._emit_job(record, event),
+            )
+            error = None
+        except BaseException as exc:  # re-raised at handle.result()
+            report, error = None, exc
+        self._finalize(record, report, error)
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _finalize(self, record: _JobRecord, report, error) -> None:
+        handle = record.handle
+        failure = error if error is not None else record.emit_failure
+        if failure is not None:
+            status = JobStatus.FAILED
+        elif record.cancel_requested:
+            status = JobStatus.CANCELLED
+        else:
+            status = JobStatus.DONE
+        # Transition BEFORE emitting JobFinished: an ``events()`` stream
+        # opened in between sees a terminal handle and yields nothing,
+        # instead of registering a queue that would never receive its
+        # terminating event.  Queues registered earlier still get it.
+        handle._transition(status)
+        try:
+            self._emit_job(
+                record,
+                JobFinished(
+                    job=handle.job_id,
+                    status=status.value,
+                    total_time=report.total_time if report is not None else 0.0,
+                    num_true=len(report.true_props()) if report is not None else 0,
+                    num_false=len(report.false_props())
+                    if report is not None
+                    else 0,
+                    num_unknown=len(report.unsolved())
+                    if report is not None
+                    else 0,
+                ),
+            )
+        except BaseException as exc:
+            # A raising subscriber must never leave the future pending
+            # (the caller would block forever); it becomes the result.
+            if failure is None:
+                failure = exc
+                handle._transition(JobStatus.FAILED)
+        with self._lock:
+            self._running.discard(record)
+        record.ts = None  # free the design; the report stands alone
+        if failure is not None:
+            handle.done.set_exception(failure)
+        else:
+            handle.done.set_result(report)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted job is terminal."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in self.jobs():
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not handle.wait(timeout=remaining):
+                raise TimeoutError(
+                    f"jobs still running after {timeout} seconds"
+                )
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop admission, cancel queued jobs, wait for running ones.
+
+        Running jobs finish normally (pooled jobs keep their seats
+        until done); queued jobs resolve as CANCELLED.  An owned pool
+        is shut down; an attached pool is released but left running.
+        Idempotent.
+        """
+        with self._lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
+            self._closed = True
+            self._stopping = True
+            cancelled = list(self._pending)
+            self._pending.clear()
+            self._not_full.notify_all()
+        for record in cancelled:
+            record.cancel_requested = True
+            self._finalize(record, self._cancelled_report(record), None)
+        self._wake.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+        for record in list(self._records):
+            if record.thread is not None:
+                record.thread.join(timeout)
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+        if self._shard_host is not None:
+            self._shard_host.shutdown()
+            self._shard_host = None
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "VerificationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"VerificationService({state}, "
+            f"{len(self._running)} running, {len(self._pending)} pending)"
+        )

@@ -122,6 +122,9 @@ from ..progress import (
     ClusterStarted,
     Emit,
     FrameAdvanced,
+    JobFinished,
+    JobQueued,
+    JobStarted,
     ProgressEvent,
     PropertyCancelled,
     PropertyRequeued,
@@ -129,6 +132,7 @@ from ..progress import (
     PropertyStarted,
     RunFinished,
     RunStarted,
+    ServiceSaturated,
     WorkerStarted,
     format_event,
 )
@@ -172,6 +176,10 @@ __all__ = [
     "WorkerStarted",
     "PropertyCancelled",
     "PropertyRequeued",
+    "JobQueued",
+    "JobStarted",
+    "JobFinished",
+    "ServiceSaturated",
     "Emit",
     "format_event",
 ]

@@ -89,6 +89,14 @@ class VerificationConfig:
     #: A persistent :class:`repro.parallel.WorkerPool` shared across
     #: ``Session.run()`` calls; ``None`` uses a private single-run pool.
     pool: Optional[object] = None
+    # -- service specifics (repro.service) -----------------------------
+    #: Default fair-share weight when this config is ``submit()``-ed to
+    #: a :class:`repro.service.VerificationService` (> 0; a job holding
+    #: seats proportional to its weight relative to its siblings').
+    priority: float = 1.0
+    #: Jobs a service built from this config runs concurrently (``repro
+    #: serve``); ``None`` defers to the service's own default.
+    max_concurrent_jobs: Optional[int] = None
     # -- escape hatch: validated IC3Options overrides ------------------
     engine: Dict[str, object] = field(default_factory=dict)
     # -- reporting -----------------------------------------------------
@@ -121,6 +129,17 @@ class VerificationConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers!r}")
+        if (
+            isinstance(self.priority, bool)
+            or not isinstance(self.priority, (int, float))
+            or self.priority <= 0
+        ):
+            raise ConfigError(f"priority must be > 0, got {self.priority!r}")
+        if self.max_concurrent_jobs is not None and self.max_concurrent_jobs < 1:
+            raise ConfigError(
+                f"max_concurrent_jobs must be >= 1, "
+                f"got {self.max_concurrent_jobs!r}"
+            )
         if isinstance(self.exchange_shards, bool) or not (
             self.exchange_shards == "auto"
             or (isinstance(self.exchange_shards, int) and self.exchange_shards >= 1)

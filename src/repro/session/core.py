@@ -111,11 +111,21 @@ class Session:
     def run(self) -> MultiPropReport:
         """Run the configured strategy to completion, emitting events.
 
+        The session is a thin synchronous wrapper over a **private
+        single-job** :class:`~repro.service.VerificationService`: the
+        run is submitted as one job and awaited, so the one-shot API
+        exercises exactly the machinery the server API does (the job
+        lifecycle shows up in the event stream as
+        ``job-queued``/``job-started``/``job-finished`` between the
+        session's :class:`RunStarted`/:class:`RunFinished` brackets).
+
         :class:`RunFinished` is emitted even when the strategy raises
         (with zeroed counters), so subscribers can always close their
         bookkeeping on it; the exception then propagates to the caller.
         """
-        strategy = get_strategy(self.config.strategy)
+        from ..service.core import VerificationService
+
+        get_strategy(self.config.strategy)  # fail fast, as before
         self._emit(
             RunStarted(
                 strategy=self.config.strategy,
@@ -125,7 +135,14 @@ class Session:
         )
         report: Optional[MultiPropReport] = None
         try:
-            report = strategy.run(self.ts, self.config, self._emit)
+            service = VerificationService._private()
+            try:
+                handle = service.submit(
+                    self.ts, self.config, on_event=self._emit
+                )
+                report = handle.result()
+            finally:
+                service.close()
         finally:
             self._emit(
                 RunFinished(

@@ -115,32 +115,46 @@ class SweptJAStrategy:
         )
 
 
+def parallel_options(ts: "TransitionSystem", config: VerificationConfig):
+    """The ``ParallelOptions`` slice of a config (shared with the service).
+
+    :class:`~repro.service.VerificationService` uses the same mapping
+    when it multiplexes a pooled job onto its shared pool, so the CLI,
+    ``Session`` and ``submit()`` agree on every knob.
+    """
+    from ..parallel import ParallelOptions
+
+    return ParallelOptions(
+        workers=config.workers,
+        exchange=config.exchange,
+        exchange_shards=config.exchange_shards,
+        pool=config.pool,
+        schedule_only=config.schedule_only,
+        stop_on_failure=config.stop_on_failure,
+        clause_reuse=config.clause_reuse,
+        respect_constraints_in_lifting=config.respect_constraints_in_lifting,
+        per_property_time=config.per_property_time,
+        per_property_conflicts=config.per_property_conflicts,
+        total_time=config.total_time,
+        order=resolve_order(ts, config.order),
+        max_frames=config.max_frames,
+        coi_reduction=config.coi_reduction,
+        ctg=config.ctg,
+        solver_backend=config.solver_backend,
+        engine_overrides=dict(config.engine),
+    )
+
+
 @register_strategy("parallel-ja")
 class ParallelJAStrategy:
     """Process-parallel JA-verification with live clause exchange (Sec. 11)."""
 
     def run(self, ts, config, emit) -> "MultiPropReport":
-        from ..parallel import ParallelOptions, parallel_ja_verify
+        from ..parallel import parallel_ja_verify
 
-        options = ParallelOptions(
-            workers=config.workers,
-            exchange=config.exchange,
-            exchange_shards=config.exchange_shards,
-            pool=config.pool,
-            schedule_only=config.schedule_only,
-            stop_on_failure=config.stop_on_failure,
-            clause_reuse=config.clause_reuse,
-            respect_constraints_in_lifting=config.respect_constraints_in_lifting,
-            per_property_time=config.per_property_time,
-            per_property_conflicts=config.per_property_conflicts,
-            total_time=config.total_time,
-            order=resolve_order(ts, config.order),
-            max_frames=config.max_frames,
-            coi_reduction=config.coi_reduction,
-            ctg=config.ctg,
-            solver_backend=config.solver_backend,
-            engine_overrides=dict(config.engine),
-        )
         return parallel_ja_verify(
-            ts, options, design_name=config.design_name, emit=emit
+            ts,
+            parallel_options(ts, config),
+            design_name=config.design_name,
+            emit=emit,
         )

@@ -242,3 +242,62 @@ class TestWorkerSideIsolation:
         # imported it and emitted a ClauseImport.
         imports = [e for e in events if isinstance(e, ClauseImport)]
         assert not [e for e in imports if e.name == "never_s"]
+
+
+class TestBatchedFetchReplies:
+    """Fetch replies travel as one packed buffer per cursor gap."""
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.parallel.exchange import pack_clauses, unpack_clauses
+
+        clauses = [(1, -2, 3), (-4,), (5, 6)]
+        assert unpack_clauses(pack_clauses(clauses)) == clauses
+        assert unpack_clauses(pack_clauses([])) == []
+        # int64 range survives (activation literals can run high).
+        wide = [(2**40, -(2**40) - 1)]
+        assert unpack_clauses(pack_clauses(wide)) == wide
+
+    def test_fetch_batch_is_one_blob_per_gap(self):
+        shard = ExchangeShard(0, ("p",))
+        shard.publish("p", [(1, 2), (-3,), (4, 5, 6)])
+        blob, cursor = shard.fetch_batch("p", 0)
+        assert isinstance(blob, bytes)
+        assert cursor == 3
+        from repro.parallel.exchange import unpack_clauses
+
+        assert unpack_clauses(blob) == [(1, 2), (-3,), (4, 5, 6)]
+        # An empty gap is an empty blob — and not a counted batch.
+        empty, cursor = shard.fetch_batch("p", cursor)
+        assert empty == b"" and cursor == 3
+
+    def test_fetch_batches_stat_counts_nonempty_replies(self):
+        shard = ExchangeShard(0, ("p", "q"))
+        shard.fetch("q", 0)  # empty gap: a fetch, not a batch
+        shard.publish("p", [(1,)])
+        shard.fetch("q", 0)  # one clause: one batched reply
+        shard.fetch("q", 1)  # caught up again
+        stats = shard.stats()
+        assert stats["fetches"] == 3
+        assert stats["fetch_batches"] == 1
+
+    def test_sharded_stats_aggregate_fetch_batches(self):
+        shard_map = shard_clusters([["p"], ["q"]], 2)
+        exchange = in_process_exchange(shard_map)
+        exchange.publish("p", [(1,)])
+        exchange.publish("q", [(2,)])
+        cursors: dict = {}
+        exchange.fetch_fresh("p", cursors)
+        exchange.fetch_fresh("q", cursors)
+        stats = exchange.stats()
+        assert stats["fetch_batches"] == 2
+        assert stats["fetch_batches"] == sum(
+            s["fetch_batches"] for s in stats["shards"]
+        )
+
+    def test_engine_reports_fetch_batches_per_shard(self):
+        from repro.parallel import ParallelOptions, parallel_ja_verify
+
+        ts = TransitionSystem(buggy_counter(bits=4))
+        report = parallel_ja_verify(ts, ParallelOptions(workers=2))
+        for shard_stats in report.stats["exchange_per_shard"]:
+            assert "fetch_batches" in shard_stats

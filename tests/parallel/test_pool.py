@@ -135,3 +135,124 @@ class TestPoolLifecycle:
             assert not second.closed
         finally:
             shutdown_default_pool()
+
+    def test_atexit_sweep_covers_every_live_pool(self):
+        from repro.parallel import shutdown_all_pools
+
+        explicit = WorkerPool(workers=1)
+        shared = default_pool(workers=1)
+        try:
+            shutdown_all_pools()
+            assert explicit.closed
+            assert shared.closed
+        finally:
+            shutdown_all_pools()
+
+
+class TestSeatLeasing:
+    """The multi-run protocol under the service's scheduler."""
+
+    def test_two_runs_open_concurrently_and_route_messages(
+        self, pool, toggler, counter4
+    ):
+        import queue as queue_mod
+
+        from repro.parallel.worker import PropertyJob, WorkerSettings
+
+        pool.ensure_workers()
+        first = pool.open_run(toggler, WorkerSettings(clause_reuse=False))
+        second = pool.open_run(counter4, WorkerSettings(clause_reuse=False))
+        assert pool.open_runs == [first, second]
+        # Wait for every seat to ack both setups, then run one property
+        # of each run on the same seat.
+        acks = []
+        while len(acks) < 2 * pool.workers:
+            acks.append(pool.next_message(timeout=10.0))
+        assert {(m[0], m[1]) for m in acks} == {
+            ("ready", first), ("ready", second)
+        }
+        pool.assign(0, PropertyJob(name="never_q"), run_id=first)
+        pool.assign(0, PropertyJob(name="P1"), run_id=second)
+        outcomes = {}
+        try:
+            while len(outcomes) < 2:
+                message = pool.next_message(timeout=30.0)
+                if message[0] == "result":
+                    outcomes[message[1]] = message[3]
+        except queue_mod.Empty:  # pragma: no cover - diagnosis aid
+            pytest.fail(f"only {list(outcomes)} of 2 results arrived")
+        assert outcomes[first].name == "never_q"
+        assert outcomes[first].status is PropStatus.FAILS
+        assert outcomes[second].name == "P1"
+        assert outcomes[second].status is PropStatus.HOLDS
+        pool.close_run(first)
+        pool.close_run(second)
+        assert pool.open_runs == []
+
+    def test_cancel_run_spares_younger_siblings(self, pool, toggler):
+        from repro.parallel.worker import PropertyJob, WorkerSettings
+
+        pool.ensure_workers()
+        old = pool.open_run(toggler, WorkerSettings())
+        young = pool.open_run(toggler, WorkerSettings())
+        pool.cancel_run(old)  # oldest: epoch path
+        assert pool.run_cancelled(old)
+        assert not pool.run_cancelled(young)
+        # The cancelled run's jobs decline; the sibling's still execute.
+        acks = 0
+        while acks < 2 * pool.workers:
+            if pool.next_message(timeout=10.0)[0] == "ready":
+                acks += 1
+        pool.assign(0, PropertyJob(name="never_q"), run_id=old)
+        pool.assign(1, PropertyJob(name="never_q"), run_id=young)
+        seen = {}
+        while len(seen) < 2:
+            message = pool.next_message(timeout=30.0)
+            if message[0] in ("cancelled", "result"):
+                seen[message[1]] = message[0]
+        assert seen == {old: "cancelled", young: "result"}
+        pool.close_run(old)
+        pool.close_run(young)
+
+    def test_cancel_younger_run_spares_the_oldest(self, pool, toggler):
+        from repro.parallel.worker import WorkerSettings
+
+        pool.ensure_workers()
+        old = pool.open_run(toggler, WorkerSettings())
+        young = pool.open_run(toggler, WorkerSettings())
+        pool.cancel_run(young)  # non-oldest: per-worker cancel messages
+        assert pool.run_cancelled(young)
+        assert not pool.run_cancelled(old)
+        pool.close_run(old)
+        pool.close_run(young)
+
+    def test_begin_run_refused_while_leased_runs_open(self, pool, toggler):
+        from repro.parallel.worker import WorkerSettings
+
+        pool.ensure_workers()
+        run = pool.open_run(toggler, WorkerSettings())
+        with pytest.raises(RuntimeError, match="still active"):
+            pool.begin_run(toggler, WorkerSettings())
+        pool.close_run(run)
+
+    def test_message_lease_is_exclusive(self, pool):
+        owner, thief = object(), object()
+        pool.acquire_messages(owner)
+        pool.acquire_messages(owner)  # re-entrant for the same owner
+        with pytest.raises(RuntimeError, match="consumed"):
+            pool.acquire_messages(thief)
+        pool.release_messages(thief)  # non-holder: no-op
+        with pytest.raises(RuntimeError, match="consumed"):
+            pool.acquire_messages(thief)
+        pool.release_messages(owner)
+        pool.acquire_messages(thief)
+        pool.release_messages(thief)
+
+    def test_assign_to_unopened_run_rejected(self, pool, toggler):
+        from repro.parallel.worker import PropertyJob, WorkerSettings
+
+        pool.ensure_workers()
+        run = pool.open_run(toggler, WorkerSettings())
+        with pytest.raises(RuntimeError, match="not open"):
+            pool.assign(0, PropertyJob(name="never_q"), run_id=run + 1)
+        pool.close_run(run)

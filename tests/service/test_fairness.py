@@ -1,0 +1,157 @@
+"""Fairness/starvation properties of the multi-job seat scheduler.
+
+Hypothesis drives random job mixes — designs of different sizes,
+priorities spread over two orders of magnitude, random submission
+order — through one shared 2-worker service and asserts the three
+invariants the job-oriented API stands on:
+
+1. **no starvation** — every admitted job reaches a terminal state,
+   however lopsided the priorities (weighted fair share is
+   work-conserving: a backlog only waits while seats are busy);
+2. **verdict parity** — N concurrent jobs produce exactly the verdicts
+   the same inputs produce under serial ``Session.run()``;
+3. **cancellation isolation** — cancelling one job never perturbs any
+   sibling's verdicts.
+
+The service (and its pool) is module-scoped: seats stay warm and
+designs stay cached across Hypothesis examples, which is exactly the
+server regime the scheduler exists for — and what keeps this suite
+fast enough for the non-slow tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.aig import AIG, aig_not
+from repro.gen.counter import buggy_counter
+from repro.service import JobStatus, VerificationService
+from repro.session import Session
+from repro.ts.system import TransitionSystem
+
+RESULT_TIMEOUT = 120.0
+
+
+def _blocks_design(groups: int) -> AIG:
+    """Independent toggler blocks: 2 properties per group, one fails."""
+    aig = AIG()
+    for g in range(groups):
+        x = aig.add_latch(f"x{g}", init=0)
+        aig.set_next(x, aig_not(x))
+        y = aig.add_latch(f"y{g}", init=0)
+        aig.set_next(y, y)
+        aig.add_property(f"g{g}_y0", aig_not(y))
+        aig.add_property(f"g{g}_x0", aig_not(x))  # fails at frame 1
+    return aig
+
+
+#: Job menu: small designs of deliberately different sizes/shapes.
+DESIGNS = {
+    "counter3": TransitionSystem(buggy_counter(bits=3)),
+    "counter4": TransitionSystem(buggy_counter(bits=4)),
+    "blocks2": TransitionSystem(_blocks_design(2)),
+    "blocks4": TransitionSystem(_blocks_design(4)),
+}
+
+_expected_cache: dict = {}
+
+
+def expected_verdicts(key: str) -> dict:
+    """Serial ``Session.run()`` ground truth, computed once per design."""
+    if key not in _expected_cache:
+        report = Session(
+            DESIGNS[key], strategy="parallel-ja", workers=2
+        ).run()
+        _expected_cache[key] = {
+            name: o.status for name, o in report.outcomes.items()
+        }
+    return _expected_cache[key]
+
+
+def verdicts(report) -> dict:
+    return {name: o.status for name, o in report.outcomes.items()}
+
+
+@pytest.fixture(scope="module")
+def service():
+    with VerificationService(workers=2, max_concurrent_jobs=4) as service:
+        yield service
+
+
+job_mixes = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(DESIGNS)),
+        st.floats(min_value=0.05, max_value=8.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(mix=job_mixes)
+def test_every_admitted_job_finishes_with_serial_verdicts(service, mix):
+    """Invariants 1 + 2: termination and parity under arbitrary mixes."""
+    handles = [
+        service.submit(DESIGNS[key], strategy="parallel-ja", priority=weight)
+        for key, weight in mix
+    ]
+    reports = [handle.result(timeout=RESULT_TIMEOUT) for handle in handles]
+    for (key, _), handle, report in zip(mix, handles, reports):
+        assert handle.status is JobStatus.DONE, f"{handle} never finished"
+        assert verdicts(report) == expected_verdicts(key), (
+            f"job on {key} diverged from its serial Session.run()"
+        )
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(mix=job_mixes, victim=st.integers(min_value=0, max_value=3))
+def test_cancelling_one_job_never_perturbs_siblings(service, mix, victim):
+    """Invariant 3: sibling verdicts survive any single cancellation."""
+    victim %= len(mix)
+    handles = [
+        service.submit(DESIGNS[key], strategy="parallel-ja", priority=weight)
+        for key, weight in mix
+    ]
+    handles[victim].cancel()
+    for index, ((key, _), handle) in enumerate(zip(mix, handles)):
+        report = handle.result(timeout=RESULT_TIMEOUT)
+        if index == victim:
+            # The victim resolves either way; a DONE victim simply won
+            # the race and must then also show serial verdicts.
+            assert handle.status in (JobStatus.CANCELLED, JobStatus.DONE)
+            if handle.status is JobStatus.DONE:
+                assert verdicts(report) == expected_verdicts(key)
+        else:
+            assert handle.status is JobStatus.DONE
+            assert verdicts(report) == expected_verdicts(key)
+
+
+@pytest.mark.slow
+def test_starved_priorities_still_finish(service):
+    """A 100:1 priority spread must not starve the lightweight job."""
+    heavy = [
+        service.submit(DESIGNS["blocks4"], strategy="parallel-ja",
+                       priority=100.0)
+        for _ in range(3)
+    ]
+    light = service.submit(DESIGNS["counter4"], strategy="parallel-ja",
+                           priority=0.5)
+    assert verdicts(light.result(timeout=RESULT_TIMEOUT)) == expected_verdicts(
+        "counter4"
+    )
+    for handle in heavy:
+        assert verdicts(
+            handle.result(timeout=RESULT_TIMEOUT)
+        ) == expected_verdicts("blocks4")

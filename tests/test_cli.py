@@ -200,3 +200,74 @@ class TestRegisteredStrategyViaCLI:
             assert "dummy" in capsys.readouterr().out
         finally:
             unregister_strategy("dummy")
+
+
+class TestServe:
+    @pytest.fixture
+    def manifest(self, counter_file, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        with open(path, "w") as f:
+            json.dump(
+                {
+                    "workers": 2,
+                    "max_concurrent_jobs": 3,
+                    "jobs": [
+                        {"design": counter_file, "strategy": "parallel-ja",
+                         "priority": 2},
+                        {"design": counter_file, "strategy": "ja"},
+                        {"design": counter_file},
+                    ],
+                },
+                f,
+            )
+        return path
+
+    def test_serve_runs_all_jobs_concurrently(self, manifest, capsys):
+        assert main(["serve", manifest]) == 1  # counter4's P0 fails
+        out = capsys.readouterr().out
+        for job_id in ("job-0", "job-1", "job-2"):
+            assert f"== {job_id}:" in out
+        assert out.count("Debugging set: {P0}") == 3
+
+    def test_serve_json_report(self, manifest, tmp_path, capsys):
+        out_json = str(tmp_path / "serve.json")
+        main(["serve", manifest, "--json", out_json])
+        with open(out_json) as f:
+            data = json.load(f)
+        assert set(data) == {"job-0", "job-1", "job-2"}
+        assert data["job-0"]["outcomes"]["P1"]["status"] == "holds"
+        assert data["job-1"]["method"] == "ja"
+
+    def test_serve_accepts_bare_job_list(self, counter_file, tmp_path):
+        path = str(tmp_path / "list.json")
+        with open(path, "w") as f:
+            json.dump([{"design": counter_file, "strategy": "ja"}], f)
+        assert main(["serve", path]) == 1
+
+    def test_serve_progress_streams_job_events(self, manifest, capsys):
+        main(["serve", manifest, "--progress"])
+        out = capsys.readouterr().out
+        assert "[job-queued]" in out
+        assert "[job-started]" in out
+        assert "[job-finished]" in out
+
+    def test_serve_rejects_empty_manifest(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.json")
+        with open(path, "w") as f:
+            json.dump({"jobs": []}, f)
+        assert main(["serve", path]) == 2
+        assert "no jobs" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_job_spec(self, counter_file, tmp_path, capsys):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as f:
+            json.dump({"jobs": [{"design": counter_file, "nonsense": 1}]}, f)
+        assert main(["serve", path]) == 2
+        assert "job #0" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_design(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as f:
+            json.dump({"jobs": [{"strategy": "ja"}]}, f)
+        assert main(["serve", path]) == 2
+        assert "names no design" in capsys.readouterr().err
