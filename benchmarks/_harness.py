@@ -14,13 +14,13 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.multiprop.report import format_time, render_table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-_collected: List[str] = []
+_collected: list[str] = []
 
 
 def publish_table(
@@ -39,7 +39,7 @@ def publish_table(
     return text
 
 
-def collected_tables() -> List[str]:
+def collected_tables() -> list[str]:
     return list(_collected)
 
 

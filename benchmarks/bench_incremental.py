@@ -28,7 +28,6 @@ import json
 import os
 import sys
 import time
-from typing import Dict
 
 # Script mode (`python benchmarks/bench_incremental.py`): make the repo
 # root importable the same way pytest's rootdir insertion does.
@@ -60,7 +59,7 @@ OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_incremental.j
 
 
 # ----------------------------------------------------------------------
-def run_ic3(ts: TransitionSystem, backend: str, incremental: bool) -> Dict:
+def run_ic3(ts: TransitionSystem, backend: str, incremental: bool) -> dict:
     """One JA-verification pass; returns timing + work + verdict maps."""
     verifier = JAVerifier(
         ts,
@@ -89,7 +88,7 @@ def run_ic3(ts: TransitionSystem, backend: str, incremental: bool) -> Dict:
     }
 
 
-def run_bmc_persistent(ts: TransitionSystem, backend: str) -> Dict:
+def run_bmc_persistent(ts: TransitionSystem, backend: str) -> dict:
     """Default BMC: one incremental unrolling, bad cone by assumption."""
     start = time.monotonic()
     solver = create_solver(backend)
@@ -116,7 +115,7 @@ def run_bmc_persistent(ts: TransitionSystem, backend: str) -> Dict:
     }
 
 
-def run_bmc_rebuild(ts: TransitionSystem, backend: str) -> Dict:
+def run_bmc_rebuild(ts: TransitionSystem, backend: str) -> dict:
     """Baseline BMC: re-encode the whole unrolling for every depth."""
     start = time.monotonic()
     verdicts = {prop.name: "unknown" for prop in ts.properties}
@@ -144,9 +143,9 @@ def run_bmc_rebuild(ts: TransitionSystem, backend: str) -> Dict:
     }
 
 
-def run_strategies(ts: TransitionSystem, backends) -> Dict:
+def run_strategies(ts: TransitionSystem, backends) -> dict:
     """Verdict/frame maps per strategy per backend (parity evidence)."""
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     for strategy in ("ja", "separate", "joint"):
         per_backend = {}
         for backend in backends:
@@ -170,9 +169,9 @@ def run_strategies(ts: TransitionSystem, backends) -> Dict:
 
 
 # ----------------------------------------------------------------------
-def build_report() -> Dict:
+def build_report() -> dict:
     backends = sorted(available_backends())
-    report: Dict = {
+    report: dict = {
         "benchmark": "incremental-sat-backends",
         "backends": backends,
         "bmc_depth": BMC_DEPTH,
@@ -183,7 +182,7 @@ def build_report() -> Dict:
     rows = []
     for name, build in FAMILIES.items():
         ts = TransitionSystem(build())
-        family: Dict = {"properties": len(ts.properties), "backends": {}}
+        family: dict = {"properties": len(ts.properties), "backends": {}}
         for backend in backends:
             persistent = run_ic3(ts, backend, incremental=True)
             rebuild = run_ic3(ts, backend, incremental=False)
@@ -277,7 +276,7 @@ def build_report() -> Dict:
     return report
 
 
-def write_report() -> Dict:
+def write_report() -> dict:
     report = build_report()
     path = os.path.abspath(OUTPUT)
     with open(path, "w") as f:

@@ -24,7 +24,6 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
@@ -78,15 +77,15 @@ def bench_design(groups: int = 12) -> AIG:
 # ----------------------------------------------------------------------
 # 1. Repeated-run amortization
 # ----------------------------------------------------------------------
-def run_amortization(ts: TransitionSystem) -> Dict:
-    persistent_walls: List[float] = []
+def run_amortization(ts: TransitionSystem) -> dict:
+    persistent_walls: list[float] = []
     with WorkerPool(workers=POOL_WORKERS) as pool:
         for _ in range(POOL_RUNS):
             start = time.monotonic()
             parallel_ja_verify(ts, ParallelOptions(pool=pool))
             persistent_walls.append(round(time.monotonic() - start, 4))
         pool_stats = dict(pool.stats)
-    ephemeral_walls: List[float] = []
+    ephemeral_walls: list[float] = []
     ephemeral_pickles = 0
     for _ in range(POOL_RUNS):
         start = time.monotonic()
@@ -129,7 +128,7 @@ def _hammer(exchange, name, ops, index, barrier, times) -> None:
     serializes by ~the shard count (and on multi-core hosts the shard
     servers additionally run in parallel).
     """
-    cursors: Dict[int, int] = {}
+    cursors: dict[int, int] = {}
     barrier.wait()
     start = time.monotonic()
     for i in range(ops):
@@ -184,11 +183,11 @@ def measure_throughput(num_shards: int) -> float:
     return total_ops / max(wall, 1e-9)
 
 
-def run_throughput() -> Dict:
+def run_throughput() -> dict:
     # Interleave repetitions and keep each configuration's best: wall
     # clock on shared CI machines is noisy and we are comparing peak
     # serving capacity, not scheduler luck.
-    best: Dict[int, float] = {1: 0.0, 4: 0.0}
+    best: dict[int, float] = {1: 0.0, 4: 0.0}
     for _ in range(3):
         for shards in (1, 4):
             best[shards] = max(best[shards], measure_throughput(shards))
@@ -205,9 +204,9 @@ def run_throughput() -> Dict:
 # ----------------------------------------------------------------------
 # 3. Verdict parity across shard counts and backends
 # ----------------------------------------------------------------------
-def run_parity(ts: TransitionSystem) -> Dict:
+def run_parity(ts: TransitionSystem) -> dict:
     backends = sorted(available_backends())
-    cells: Dict[str, Dict] = {}
+    cells: dict[str, dict] = {}
     reference = None
     identical = True
     for backend in backends:
@@ -239,7 +238,7 @@ def run_parity(ts: TransitionSystem) -> Dict:
 
 
 # ----------------------------------------------------------------------
-def build_report() -> Dict:
+def build_report() -> dict:
     ts = TransitionSystem(bench_design())
     amortization = run_amortization(ts)
     throughput = run_throughput()
@@ -295,7 +294,7 @@ def build_report() -> Dict:
     return report
 
 
-def write_report() -> Dict:
+def write_report() -> dict:
     report = build_report()
     path = os.path.abspath(OUTPUT)
     with open(path, "w") as f:

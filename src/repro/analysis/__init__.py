@@ -1,0 +1,99 @@
+"""repro.analysis — project-native static analysis for the repro tree.
+
+Generic linters see syntax; this package checks the *protocols* the
+codebase actually runs on: that every tuple-tagged message sent across
+a process queue has a dispatch arm on the other side, that nothing
+unpicklable rides in a cross-process payload, that supervision loops
+cannot block forever on a dead peer, that critical sections stay
+bookkeeping-only, and that the event/config registries stay closed
+under the CLI.  ``repro lint`` (see :mod:`repro.cli`) is the entry
+point; CI runs it as a blocking gate.
+
+Layout::
+
+    findings.py    Finding / Severity, fingerprints for baselining
+    registry.py    @register_checker, mirrors the strategy registry
+    context.py     FileContext / ProjectContext + naming-convention helpers
+    checkers/      the built-in domain checkers (register on import)
+    baseline.py    analysis_baseline.toml — justified false positives
+    runner.py      analyze_paths / analyze_sources, parallel driver
+    reporting.py   text and JSON reports
+
+Suppressing a finding, in preference order: fix the code; add an inline
+``# repro: ignore[checker-id]`` pragma on (or just above) the line; add
+a justified entry to ``analysis_baseline.toml``.  Baseline entries
+without a real justification are rejected at load time.
+
+Docstring conventions for checker modules
+-----------------------------------------
+Checkers are documentation-first — a finding nobody understands gets
+suppressed, not fixed.  Every checker module follows these rules:
+
+* the **module docstring** explains the *hazard* (what breaks at
+  runtime, where in this codebase it would bite) before the *rule*,
+  and ends by enumerating exactly what is flagged and what is
+  deliberately excluded;
+* the **class docstring's first line** is the one-line rule statement
+  shown by ``repro lint --list-checkers`` — imperative mood, under 72
+  characters, no trailing period needed;
+* **finding messages** state the consequence, not just the pattern
+  ("a crashed peer hangs this loop forever", not "get() without
+  timeout"), and never contain line numbers or other position-dependent
+  data — the baseline fingerprints on the message text;
+* helper functions carry one-line docstrings describing their
+  *contract* (what maps to what), not their implementation.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    parse_baseline,
+    render_baseline,
+    save_baseline,
+    split_baselined,
+)
+from .context import FileContext, ProjectContext, channel_of, terminal_name
+from .findings import Finding, Severity
+from .registry import (
+    Checker,
+    UnknownCheckerError,
+    all_checkers,
+    available_checkers,
+    get_checker,
+    register_checker,
+    unregister_checker,
+)
+from .reporting import render_json, render_text
+from .runner import AnalysisResult, analyze_paths, analyze_sources, collect_files
+
+__all__ = [
+    "AnalysisResult",
+    "BaselineEntry",
+    "BaselineError",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "Severity",
+    "UnknownCheckerError",
+    "all_checkers",
+    "analyze_paths",
+    "analyze_sources",
+    "available_checkers",
+    "channel_of",
+    "collect_files",
+    "get_checker",
+    "load_baseline",
+    "parse_baseline",
+    "register_checker",
+    "render_baseline",
+    "render_json",
+    "render_text",
+    "save_baseline",
+    "split_baselined",
+    "terminal_name",
+    "unregister_checker",
+]

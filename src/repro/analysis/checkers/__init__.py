@@ -1,0 +1,19 @@
+"""Built-in checkers; importing this package registers all of them.
+
+Each module registers its checkers via :func:`@register_checker
+<repro.analysis.registry.register_checker>` at import time, exactly as
+verification strategies register with the session registry.  Add a new
+checker by dropping a module here and importing it below.
+"""
+
+from __future__ import annotations
+
+from . import hygiene, locks, pickle_safety, queue_discipline, wire_protocol
+
+__all__ = [
+    "hygiene",
+    "locks",
+    "pickle_safety",
+    "queue_discipline",
+    "wire_protocol",
+]

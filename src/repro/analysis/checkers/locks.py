@@ -1,0 +1,142 @@
+"""Blocking-while-locked: no slow calls inside ``with <lock>:`` bodies.
+
+The service keeps its dispatcher honest by doing only bookkeeping under
+``self._lock``; a queue ``.get()``, a ``.join()``, a ``sleep()`` or a
+solver call inside the critical section would stall every other thread
+touching the service — and, worse, can deadlock against a peer that
+needs the same lock to make the awaited event happen.
+
+Lock-ish context managers are recognised by construction
+(``threading.Lock()`` / ``RLock`` / ``Condition`` / semaphores assigned
+to an attribute), by name (a terminal name containing ``lock``), or by
+the ``<value>.get_lock()`` idiom on shared ctypes.
+
+Inside such a ``with`` body the checker flags calls named ``get``,
+``put``, ``join``, ``wait``, ``acquire``, ``result``, ``solve`` or
+``sleep``.  The one deliberate exception is the condition-variable
+idiom — ``with self._cond: self._cond.wait(...)`` — where the blocking
+receiver *is* the lock being held: that is how conditions are meant to
+be used, and it is excluded by comparing the receiver expression
+against the ``with`` item.  ``dict.get(key)`` lookups (positional
+arguments) and ``*_nowait`` variants are not blocking and not flagged,
+and neither is ``.put()`` on an *unbounded thread-local* queue (plain
+``queue.Queue()`` with no maxsize) — that put is pure bookkeeping and
+holding a lock across it is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import (
+    FileContext,
+    QueueBindings,
+    call_name,
+    is_method_call,
+    terminal_name,
+)
+from ..findings import Finding
+from ..registry import Checker, register_checker
+
+_LOCK_CTORS = ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+_BLOCKING_METHODS = ("get", "put", "join", "wait", "acquire", "result", "solve")
+
+
+def _lockish_names(ctx: FileContext) -> set[str]:
+    """Terminal names bound to lock constructions in this file."""
+    names: set[str] = set()
+    for node in ctx.walk():
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if call_name(node.value) not in _LOCK_CTORS:
+            continue
+        for target in node.targets:
+            name = terminal_name(target)
+            if name is not None:
+                names.add(name)
+    return names
+
+
+def _is_lockish(item: ast.withitem, known: set[str]) -> bool:
+    expr = item.context_expr
+    if is_method_call(expr, "get_lock"):
+        return True
+    name = terminal_name(expr)
+    if name is None:
+        return False
+    return name in known or "lock" in name.lower()
+
+
+def _same_expr(a: ast.expr, b: ast.expr) -> bool:
+    return ast.dump(a) == ast.dump(b)
+
+
+@register_checker("blocking-while-locked")
+class BlockingWhileLockedChecker(Checker):
+    """Critical sections must stay bookkeeping-only."""
+
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        known = _lockish_names(ctx)
+        bindings = QueueBindings(ctx)
+        for node in ctx.walk():
+            if not isinstance(node, ast.With):
+                continue
+            lock_items = [i for i in node.items if _is_lockish(i, known)]
+            if not lock_items:
+                continue
+            lock_label = (
+                terminal_name(lock_items[0].context_expr) or "lock"
+            ).lstrip("_")
+            for stmt in node.body:
+                for call in ast.walk(stmt):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    finding = self._check_call(
+                        ctx, call, lock_items, lock_label, bindings
+                    )
+                    if finding is not None:
+                        yield finding
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        lock_items: list[ast.withitem],
+        lock_label: str,
+        bindings: QueueBindings,
+    ) -> Finding | None:
+        name = call_name(call)
+        if name == "sleep":
+            return ctx.finding(
+                call,
+                self.id,
+                f"sleep() while holding {lock_label!r} stalls every "
+                f"thread contending for it",
+            )
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        if name not in _BLOCKING_METHODS:
+            return None
+        receiver = call.func.value
+        # Condition idiom: waiting on the very lock being held is the
+        # intended use of Condition objects.
+        if any(_same_expr(receiver, item.context_expr) for item in lock_items):
+            return None
+        if name == "get" and call.args:
+            return None  # dict.get(key[, default]) — a lookup, not a wait
+        if name == "join" and isinstance(receiver, ast.Constant):
+            return None  # ", ".join(...) — string, not a process
+        if name == "put":
+            target = terminal_name(receiver)
+            if target in bindings.thread and target not in bindings.bounded:
+                return None  # unbounded thread queue: put never blocks
+        return ctx.finding(
+            call,
+            self.id,
+            f"potentially blocking .{name}() while holding "
+            f"{lock_label!r}; move the slow call outside the critical "
+            f"section",
+        )

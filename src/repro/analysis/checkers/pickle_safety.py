@@ -1,0 +1,156 @@
+"""Pickle safety of cross-process queue payloads.
+
+Everything that crosses a ``multiprocessing`` queue is pickled in the
+sender and unpickled in the child.  A lambda, a function defined inside
+the enclosing function, an open file handle, a lock/condition, or a
+``Manager`` object in the payload raises ``PicklingError`` (or the
+``multiprocessing`` "can only be shared through inheritance"
+``RuntimeError``) at ``.put()`` time — typically inside the pool's
+dispatch path, where the traceback points nowhere near the offending
+object.
+
+The checker flags those payload shapes on ``.put()`` calls against
+*cross-process* queues.  Which queues are cross-process is decided per
+file:
+
+* a queue constructed from the stdlib ``queue`` module (``queue.Queue``
+  under any import alias, or an imported ``Queue`` name from ``queue``)
+  is thread-local — never flagged;
+* a queue constructed via ``multiprocessing`` / a context object
+  (``ctx.Queue()``, ``mp.SimpleQueue()``, ``JoinableQueue()``) is
+  cross-process;
+* otherwise the project naming convention decides: receivers whose
+  :func:`channel_of` name is a known wire channel-ish name (contains
+  ``ctrl``, ``out`` or ``queue``) are assumed cross-process, because
+  that is what those names mean in this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import (
+    FileContext,
+    QueueBindings,
+    call_name,
+    channel_of,
+    is_method_call,
+    terminal_name,
+)
+from ..findings import Finding
+from ..registry import Checker, register_checker
+
+_LOCK_CTORS = ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event")
+_CHANNELISH = ("ctrl", "out", "queue")
+
+
+def _is_cross_process(receiver: ast.expr, bindings: QueueBindings) -> bool:
+    name = terminal_name(receiver)
+    if name is None:
+        return False
+    if name in bindings.thread:
+        return False
+    if name in bindings.mp:
+        return True
+    channel = channel_of(receiver) or ""
+    stripped = name.lstrip("_")
+    return any(
+        marker in candidate
+        for marker in _CHANNELISH
+        for candidate in (channel, stripped)
+    )
+
+
+def _local_hazards(func: ast.AST) -> dict[str, str]:
+    """Names bound (one level deep) to unpicklable things in ``func``."""
+    hazards: dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            hazards[node.name] = (
+                f"function {node.name!r} defined in the enclosing scope "
+                f"(closures do not pickle)"
+            )
+        if not isinstance(node, ast.Assign):
+            continue
+        label = _hazard_of_expr(node.value)
+        if label is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                hazards[target.id] = f"{target.id!r} is bound to {label}"
+    return hazards
+
+
+def _hazard_of_expr(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Lambda):
+        return "a lambda (not picklable)"
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name == "open":
+            return "an open file handle (not picklable)"
+        if name in _LOCK_CTORS:
+            return (
+                f"a {name} (synchronization primitives cannot cross "
+                f"process queues)"
+            )
+        if name == "Manager":
+            return "a Manager (share its proxies, never the manager itself)"
+    return None
+
+
+@register_checker("pickle-safety")
+class PickleSafetyChecker(Checker):
+    """No lambdas, closures, locks or handles in cross-process payloads."""
+
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        bindings = QueueBindings(ctx)
+        module_hazards = _local_hazards(ctx.tree) if ctx.tree else {}
+        # Module-level defs are picklable by reference; only *nested*
+        # functions and hazardous local bindings matter.
+        module_level_defs = {
+            node.name
+            for node in (ctx.tree.body if ctx.tree else [])
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        for func in ctx.functions():
+            hazards = dict(module_hazards)
+            hazards.update(_local_hazards(func))
+            for name in module_level_defs:
+                hazards.pop(name, None)
+            for node in ast.walk(func):
+                if not is_method_call(node, "put") or not node.args:
+                    continue
+                if not _is_cross_process(node.func.value, bindings):
+                    continue
+                yield from self._check_payload(ctx, node, hazards)
+
+    def _check_payload(
+        self,
+        ctx: FileContext,
+        put_call: ast.Call,
+        hazards: dict[str, str],
+    ) -> Iterable[Finding]:
+        seen: set[str] = set()
+        for arg in put_call.args:
+            for node in ast.walk(arg):
+                message: str | None = None
+                if isinstance(node, ast.Lambda):
+                    message = (
+                        "cross-process payload contains a lambda, which "
+                        "cannot be pickled"
+                    )
+                elif isinstance(node, ast.Call):
+                    label = _hazard_of_expr(node)
+                    if label is not None:
+                        message = f"cross-process payload contains {label}"
+                elif isinstance(node, ast.Name) and node.id in hazards:
+                    message = (
+                        f"cross-process payload references {hazards[node.id]}"
+                    )
+                if message is not None and message not in seen:
+                    seen.add(message)
+                    yield ctx.finding(put_call, self.id, message)

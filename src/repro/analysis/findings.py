@@ -1,0 +1,63 @@
+"""Findings: what a checker reports and how findings are identified.
+
+A :class:`Finding` is one diagnostic — checker id, severity, location
+and message.  Two identities matter:
+
+* the **location key** (``file:line``) is what reporters print and what
+  humans navigate by;
+* the **fingerprint** (checker id + file + message, *no line number*)
+  is what the baseline matches on, so a finding does not "escape" its
+  baseline entry just because unrelated edits shifted it a few lines.
+
+Messages therefore must be stable: checkers never interpolate line
+numbers or other position-dependent data into ``message``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit status of ``repro lint``."""
+
+    ERROR = "error"  # new occurrences fail the run
+    WARNING = "warning"  # reported, never fails the run
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by one checker at one source location."""
+
+    file: str
+    line: int
+    checker: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+    column: int = 0
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.checker, self.file, self.message)
+
+    def render(self) -> str:
+        """The canonical one-line text form (``file:line: ...``)."""
+        return (
+            f"{self.file}:{self.line}: {self.severity.value} "
+            f"[{self.checker}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "checker": self.checker,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

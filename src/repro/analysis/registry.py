@@ -1,0 +1,135 @@
+"""The checker registry: how analysis passes plug into ``repro lint``.
+
+Mirrors the strategy (:mod:`repro.session.registry`) and SAT-backend
+(:mod:`repro.sat.backend`) registries: a checker registers under an id
+with :func:`register_checker`, the runner resolves ids through
+:func:`get_checker` and enumerates them with :func:`available_checkers`,
+so adding a project-specific rule never requires touching the runner or
+the CLI:
+
+    from repro.analysis import register_checker, Checker, Finding
+
+    @register_checker("no-print")
+    class NoPrint(Checker):
+        \"\"\"Flag print() calls in library code.\"\"\"
+
+        def check_file(self, ctx):
+            for node in ctx.walk():
+                ...
+                yield ctx.finding(node, self.id, "print() in library code")
+
+Checkers come in two scopes:
+
+* ``scope = "file"`` — :meth:`Checker.check_file` sees one parsed file
+  at a time (these run in parallel across files);
+* ``scope = "project"`` — :meth:`Checker.check_project` sees the whole
+  analyzed file set at once, for cross-file invariants like
+  wire-protocol exhaustiveness (a tag *sent* in ``pool.py`` must be
+  *dispatched* in ``worker.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
+
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import FileContext, ProjectContext
+
+
+class UnknownCheckerError(KeyError):
+    """Lookup of a checker id that is not registered."""
+
+    def __init__(self, name: str, available: list) -> None:
+        super().__init__(name)
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        return (
+            f"unknown checker {self.name!r}; "
+            f"available: {', '.join(self.available) or '(none)'}"
+        )
+
+
+class Checker:
+    """Base class of every analysis pass (see the registry docstring)."""
+
+    #: Registry id, set by :func:`register_checker`.
+    id: str = ""
+    #: ``"file"`` (per-file, parallelizable) or ``"project"`` (cross-file).
+    scope: str = "file"
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        """Findings for one file (``scope == "file"`` checkers)."""
+        return ()
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        """Findings over the whole file set (``scope == "project"``)."""
+        return ()
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register_checker(
+    name: str, *, replace: bool = False
+) -> Callable[[type], type]:
+    """Class decorator: instantiate and register a checker under ``name``.
+
+    The decorated class is instantiated once (checkers are stateless —
+    per-run state belongs in the contexts they are handed) and its
+    ``id`` attribute is set to the registered name.  Re-registration
+    raises unless ``replace=True``, exactly like the strategy registry.
+    """
+
+    def decorator(cls: type) -> type:
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"checker {name!r} is already registered")
+        instance = cls()
+        instance.id = name
+        _REGISTRY[name] = instance
+        return cls
+
+    return decorator
+
+
+def unregister_checker(name: str) -> None:
+    """Remove a registered checker (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_checker(name: str) -> Checker:
+    """Resolve a checker id; raises :class:`UnknownCheckerError`."""
+    _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownCheckerError(name, sorted(_REGISTRY)) from None
+
+
+def all_checkers() -> list[Checker]:
+    """Every registered checker, id order (built-ins auto-import)."""
+    _load_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def available_checkers() -> dict[str, str]:
+    """Registered ids mapped to one-line descriptions.
+
+    The description is the first line of the checker's docstring —
+    exactly what ``python -m repro lint --list-checkers`` prints.
+    """
+    _load_builtins()
+    out: dict[str, str] = {}
+    for name in sorted(_REGISTRY):
+        doc = (type(_REGISTRY[name]).__doc__ or "").strip()
+        out[name] = doc.splitlines()[0] if doc else ""
+    return out
+
+
+def _load_builtins() -> None:
+    """Import the built-in checker modules (registers on import)."""
+    from . import checkers  # noqa: F401  (import-for-effect)

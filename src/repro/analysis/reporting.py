@@ -1,0 +1,62 @@
+"""Text and JSON reporters for analysis results.
+
+The text form is the human-facing ``file:line: severity [checker]
+message`` stream plus a one-line verdict; the JSON form is the
+machine-facing document CI archives (``repro lint --format=json``).
+Both render the same :class:`~repro.analysis.runner.AnalysisResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import AnalysisResult
+
+
+def render_text(result: "AnalysisResult") -> str:
+    """The human report: findings, stale entries, one-line verdict."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.file}: warning [stale-baseline] baseline entry for "
+            f"[{entry.checker}] no longer matches: {entry.message!r}"
+        )
+    verdict = "clean" if result.ok else "FAILED"
+    lines.append(
+        f"{verdict}: {len(result.errors())} error(s), "
+        f"{len(result.warnings())} warning(s) in {result.files_analyzed} "
+        f"file(s) ({result.baselined} baselined, "
+        f"{result.suppressed} suppressed inline)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: "AnalysisResult") -> str:
+    """The machine report (stable key order, newline-terminated)."""
+    document = {
+        "tool": "repro-lint",
+        "ok": result.ok,
+        "files_analyzed": result.files_analyzed,
+        "checkers": result.checkers,
+        "findings": [finding.to_json() for finding in result.findings],
+        "counts": {
+            "errors": len(result.errors()),
+            "warnings": len(result.warnings()),
+            "baselined": result.baselined,
+            "suppressed": result.suppressed,
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "stale_baseline": [
+            {
+                "checker": entry.checker,
+                "file": entry.file,
+                "message": entry.message,
+            }
+            for entry in result.stale_baseline
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"

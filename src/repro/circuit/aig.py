@@ -22,7 +22,7 @@ construction, so equivalent sub-circuits share nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 FALSE_LIT = 0
 TRUE_LIT = 1
@@ -48,7 +48,7 @@ class Latch:
 
     lit: int
     next: int
-    init: Optional[int]  # 0, 1, or None (uninitialized)
+    init: int | None  # 0, 1, or None (uninitialized)
     name: str = ""
 
 
@@ -82,15 +82,15 @@ class AIG:
 
     def __init__(self) -> None:
         # Node 0 is constant FALSE; kind table parallels node indices.
-        self._kinds: List[str] = ["const"]
-        self.inputs: List[int] = []  # input literals (even)
-        self.input_names: List[str] = []
-        self.latches: List[Latch] = []
-        self.properties: List[Property] = []
-        self.constraints: List[int] = []  # invariant constraints (AIGER 1.9)
-        self._ands: Dict[int, _AndNode] = {}  # node index -> fanins
-        self._strash: Dict[Tuple[int, int], int] = {}
-        self._latch_pos: Dict[int, int] = {}  # node index -> position in latches
+        self._kinds: list[str] = ["const"]
+        self.inputs: list[int] = []  # input literals (even)
+        self.input_names: list[str] = []
+        self.latches: list[Latch] = []
+        self.properties: list[Property] = []
+        self.constraints: list[int] = []  # invariant constraints (AIGER 1.9)
+        self._ands: dict[int, _AndNode] = {}  # node index -> fanins
+        self._strash: dict[tuple[int, int], int] = {}
+        self._latch_pos: dict[int, int] = {}  # node index -> position in latches
 
     # ------------------------------------------------------------------
     # Node creation
@@ -107,7 +107,7 @@ class AIG:
         self.input_names.append(name or f"i{len(self.inputs) - 1}")
         return lit
 
-    def add_latch(self, name: str = "", init: Optional[int] = 0) -> int:
+    def add_latch(self, name: str = "", init: int | None = 0) -> int:
         """Add a latch with reset value ``init``; returns its literal.
 
         The next-state function starts as the latch itself (a hold
@@ -209,7 +209,7 @@ class AIG:
     def kind(self, idx: int) -> str:
         return self._kinds[idx]
 
-    def and_fanins(self, idx: int) -> Tuple[int, int]:
+    def and_fanins(self, idx: int) -> tuple[int, int]:
         node = self._ands[idx]
         return node.left, node.right
 
@@ -223,7 +223,7 @@ class AIG:
         if lit < 0 or aig_var(lit) >= len(self._kinds):
             raise ValueError(f"literal {lit} out of range")
 
-    def cone_of_influence(self, roots: Iterable[int]) -> Tuple[set, set]:
+    def cone_of_influence(self, roots: Iterable[int]) -> tuple[set, set]:
         """Transitive fanin of ``roots`` through ANDs *and* latch next-fns.
 
         Returns ``(node_indices, latch_literals)``: every node reachable
@@ -249,7 +249,7 @@ class AIG:
                 stack.append(aig_var(self.latches[self._latch_pos[idx]].next))
         return seen, latches
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         return {
             "inputs": len(self.inputs),
             "latches": len(self.latches),

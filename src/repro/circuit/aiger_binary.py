@@ -19,7 +19,6 @@ Layout (AIGER 1.9):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from .aig import AIG, aig_not
 
@@ -33,7 +32,7 @@ def _encode_varint(value: int) -> bytes:
     return bytes(out)
 
 
-def _decode_varint(data: bytes, pos: int) -> Tuple[int, int]:
+def _decode_varint(data: bytes, pos: int) -> tuple[int, int]:
     value, shift = 0, 0
     while True:
         if pos >= len(data):
@@ -70,7 +69,7 @@ def write_aig_binary(aig: AIG) -> bytes:
     header = f"aig {max_var} {n_in} {n_latch} 0 {n_and} {len(aig.properties)}"
     if aig.constraints:
         header += f" {len(aig.constraints)}"
-    chunks: List[bytes] = [header.encode("ascii"), b"\n"]
+    chunks: list[bytes] = [header.encode("ascii"), b"\n"]
     for latch in aig.latches:
         line = str(lit_of(latch.next))
         if latch.init is None:
@@ -125,14 +124,14 @@ def parse_aig_binary(data: bytes) -> AIG:
         lit_map[i + 1] = aig.add_input()
 
     pos = newline + 1
-    latch_rows: List[Tuple[int, int, Optional[int]]] = []
+    latch_rows: list[tuple[int, int, int | None]] = []
     for i in range(n_latch):
         end = data.find(b"\n", pos)
         parts = data[pos:end].split()
         pos = end + 1
         var = n_in + i + 1
         nxt = int(parts[0])
-        init: Optional[int] = 0
+        init: int | None = 0
         if len(parts) > 1:
             reset = int(parts[1])
             if reset == var * 2:
@@ -144,7 +143,7 @@ def parse_aig_binary(data: bytes) -> AIG:
         lit_map[var] = aig.add_latch(init=init)
         latch_rows.append((var, nxt, init))
 
-    def read_ascii_lits(count: int) -> List[int]:
+    def read_ascii_lits(count: int) -> list[int]:
         nonlocal pos
         out = []
         for _ in range(count):

@@ -18,7 +18,7 @@ name-preserving input literals).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from .aig import AIG, Property, aig_not, aig_var, is_negated
 
@@ -28,11 +28,11 @@ class CoiReduction:
     """A reduced design plus the literal maps to translate results back."""
 
     aig: AIG
-    input_map: Dict[int, int]  # original input lit -> reduced input lit
-    latch_map: Dict[int, int]  # original latch lit -> reduced latch lit
-    kept_properties: List[str] = field(default_factory=list)
+    input_map: dict[int, int]  # original input lit -> reduced input lit
+    latch_map: dict[int, int]  # original latch lit -> reduced latch lit
+    kept_properties: list[str] = field(default_factory=list)
 
-    def translate_inputs_back(self, frames: Sequence[Dict[int, bool]]) -> List[Dict[int, bool]]:
+    def translate_inputs_back(self, frames: Sequence[dict[int, bool]]) -> list[dict[int, bool]]:
         """Map a reduced-design input trace to original-design literals.
 
         Inputs outside the cone are unconstrained; they default to False
@@ -65,11 +65,11 @@ def reduce_to_cone(aig: AIG, prop_names: Iterable[str]) -> CoiReduction:
 
     reduced = AIG()
     # Deterministic construction order: follow the original ordering.
-    input_map: Dict[int, int] = {}
+    input_map: dict[int, int] = {}
     for i, inp in enumerate(aig.inputs):
         if aig_var(inp) in node_set:
             input_map[inp] = reduced.add_input(aig.input_names[i])
-    latch_map: Dict[int, int] = {}
+    latch_map: dict[int, int] = {}
     kept_latches = []
     for latch in aig.latches:
         if latch.lit in latch_lits:
@@ -77,7 +77,7 @@ def reduce_to_cone(aig: AIG, prop_names: Iterable[str]) -> CoiReduction:
             kept_latches.append(latch)
 
     # Rebuild the combinational logic bottom-up with memoization.
-    memo: Dict[int, int] = {0: 0}
+    memo: dict[int, int] = {0: 0}
 
     def rebuild(lit: int) -> int:
         idx = aig_var(lit)

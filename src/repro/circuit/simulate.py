@@ -8,7 +8,7 @@ when that is asserted, e.g. for debugging-set membership checks).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from .aig import AIG, aig_var, is_negated
 
@@ -23,7 +23,7 @@ class Simulator:
 
     def __init__(self, aig: AIG) -> None:
         self.aig = aig
-        self.state: Dict[int, bool] = {}
+        self.state: dict[int, bool] = {}
         self.reset()
 
     def reset(self, uninitialized: Mapping[int, bool] | None = None) -> None:
@@ -45,7 +45,7 @@ class Simulator:
         value = self._eval_node(aig_var(lit), inputs, {})
         return not value if is_negated(lit) else value
 
-    def _eval_node(self, idx: int, inputs: Mapping[int, bool], cache: Dict[int, bool]) -> bool:
+    def _eval_node(self, idx: int, inputs: Mapping[int, bool], cache: dict[int, bool]) -> bool:
         # Iterative DFS to survive deep circuits without recursion limits.
         stack = [idx]
         aig = self.aig
@@ -79,7 +79,7 @@ class Simulator:
 
     def step(self, inputs: Mapping[int, bool]) -> None:
         """Advance one clock cycle under the given input valuation."""
-        cache: Dict[int, bool] = {}
+        cache: dict[int, bool] = {}
         new_state = {}
         for latch in self.aig.latches:
             value = self._eval_node(aig_var(latch.next), inputs, cache)
@@ -91,7 +91,7 @@ class Simulator:
         self,
         input_seq: Sequence[Mapping[int, bool]],
         watch: Iterable[int] = (),
-    ) -> List[Dict[int, bool]]:
+    ) -> list[dict[int, bool]]:
         """Run a full input sequence; returns per-cycle values of ``watch``.
 
         The returned list has one entry per cycle *before* the clock edge,
@@ -99,7 +99,7 @@ class Simulator:
         steps, under ``input_seq[t]``.
         """
         watch = list(watch)
-        rows: List[Dict[int, bool]] = []
+        rows: list[dict[int, bool]] = []
         for frame_inputs in input_seq:
             rows.append({lit: self.eval_lit(lit, frame_inputs) for lit in watch})
             self.step(frame_inputs)
@@ -109,8 +109,8 @@ class Simulator:
         self,
         input_seq: Sequence[Mapping[int, bool]],
         prop_lit: int,
-        uninitialized: Optional[Mapping[int, bool]] = None,
-    ) -> Optional[int]:
+        uninitialized: Mapping[int, bool] | None = None,
+    ) -> int | None:
         """Replay ``input_seq``; return the first cycle where ``prop_lit``
         is FALSE, or None if the property holds along the whole trace."""
         self.reset(uninitialized)

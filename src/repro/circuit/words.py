@@ -8,12 +8,12 @@ synthetic benchmark families are expressed.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from .aig import AIG, FALSE_LIT, TRUE_LIT, aig_not
 
 
-def const_word(value: int, width: int) -> List[int]:
+def const_word(value: int, width: int) -> list[int]:
     """A constant as a word of TRUE/FALSE literals (LSB first)."""
     if value < 0:
         raise ValueError("const_word takes non-negative values")
@@ -38,7 +38,7 @@ def _check_same_width(a: Sequence[int], b: Sequence[int]) -> None:
         raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
 
 
-def add(aig: AIG, a: Sequence[int], b: Sequence[int], carry_in: int = FALSE_LIT) -> List[int]:
+def add(aig: AIG, a: Sequence[int], b: Sequence[int], carry_in: int = FALSE_LIT) -> list[int]:
     """Ripple-carry addition (modular, result has the same width)."""
     _check_same_width(a, b)
     out = []
@@ -50,7 +50,7 @@ def add(aig: AIG, a: Sequence[int], b: Sequence[int], carry_in: int = FALSE_LIT)
     return out
 
 
-def inc(aig: AIG, a: Sequence[int]) -> List[int]:
+def inc(aig: AIG, a: Sequence[int]) -> list[int]:
     """Increment by one (modular)."""
     out = []
     carry = TRUE_LIT
@@ -90,13 +90,13 @@ def ule_const(aig: AIG, a: Sequence[int], value: int) -> int:
     return ule(aig, a, const_word(value, len(a)))
 
 
-def mux_word(aig: AIG, sel: int, then_word: Sequence[int], else_word: Sequence[int]) -> List[int]:
+def mux_word(aig: AIG, sel: int, then_word: Sequence[int], else_word: Sequence[int]) -> list[int]:
     """Per-bit multiplexer: ``sel ? then_word : else_word``."""
     _check_same_width(then_word, else_word)
     return [aig.mux(sel, t, e) for t, e in zip(then_word, else_word)]
 
 
-def word_latches(aig: AIG, name: str, width: int, init: int = 0) -> List[int]:
+def word_latches(aig: AIG, name: str, width: int, init: int = 0) -> list[int]:
     """Create a register of ``width`` latches named ``name[i]``."""
     return [
         aig.add_latch(f"{name}[{i}]", init=(init >> i) & 1)

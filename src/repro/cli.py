@@ -8,6 +8,7 @@ Commands
 ``sweep``     random-simulation property sweep (no SAT)
 ``check``     multi-property verification through the session API
 ``serve``     verify many designs concurrently from a job manifest
+``lint``      the project's own static-analysis pass (repro.analysis)
 
 The ``check`` command reads a (multi-property) AIGER file, resolves the
 requested strategy through the :mod:`repro.session` registry — so
@@ -44,7 +45,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
 
 from . import __version__
 from .circuit.aiger import save_aag
@@ -147,18 +147,28 @@ def cmd_check(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         total_time=args.time_limit,
         per_property_time=args.per_property_time,
+        per_property_conflicts=args.per_property_conflicts,
+        total_conflicts=args.total_conflicts,
         order=args.order,
         clause_reuse=not args.no_reuse,
+        clause_db_path=args.clause_db,
         respect_constraints_in_lifting=args.respect_lifting,
         coi_reduction=args.coi,
         ctg=args.ctg,
+        max_frames=args.max_frames,
+        include_etf=not args.exclude_etf,
         cluster_inner=args.cluster_inner,
+        similarity_threshold=args.similarity_threshold,
         workers=args.workers,
         exchange=not args.no_exchange,
         exchange_shards=args.exchange_shards,
         schedule_only=args.schedule_only,
         stop_on_failure=args.stop_on_failure,
         solver_backend=args.backend,
+        engine=dict(args.engine or []),
+        # The "design" sentinel lets Session derive the name from the
+        # design path unless --design-name overrides it explicitly.
+        design_name=args.design_name or "design",
     )
     try:
         session = Session(args.design, config)
@@ -226,6 +236,44 @@ def _report_to_json(report: MultiPropReport) -> dict:
             for name, o in report.outcomes.items()
         },
     }
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint`` — run the project's own static analysis.
+
+    Exit status: 0 clean (new warnings do not fail the run), 1 new
+    error-severity findings, 2 on a malformed baseline or bad paths.
+    """
+    from .analysis import (
+        BaselineError,
+        analyze_paths,
+        render_json,
+        render_text,
+        save_baseline,
+    )
+
+    try:
+        result = analyze_paths(
+            args.paths,
+            jobs=args.jobs,
+            baseline_path=args.baseline,
+        )
+    except (BaselineError, FileNotFoundError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        save_baseline(args.baseline, result.findings)
+        print(
+            f"wrote {args.baseline} with {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'}; "
+            f"replace every TODO justification before committing"
+        )
+        return 0
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -313,6 +361,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _engine_override(value: str):
+    """``--engine KEY=VALUE`` pairs; values parse as JSON, else strings.
+
+    Key validity is checked by ``VerificationConfig.validate()`` against
+    ``ENGINE_OVERRIDE_KEYS``, so the CLI stays in sync with the config
+    for free.
+    """
+    key, sep, raw = value.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {value!r}"
+        )
+    try:
+        parsed: object = json.loads(raw)
+    except ValueError:
+        parsed = raw
+    return key, parsed
+
+
 def _shard_count(value: str):
     """``--exchange-shards`` values: a positive integer or ``auto``."""
     if value == "auto":
@@ -343,6 +410,17 @@ class _ListBackendsAction(argparse.Action):
     def __call__(self, parser, namespace, values, option_string=None):
         for name, description in available_backends().items():
             print(f"{name:<14} {description}")
+        parser.exit(0)
+
+
+class _ListCheckersAction(argparse.Action):
+    """``lint --list-checkers``: print the checker registry and exit."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from .analysis import available_checkers
+
+        for name, description in available_checkers().items():
+            print(f"{name:<22} {description}")
         parser.exit(0)
 
 
@@ -404,7 +482,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--per-property-time", type=float, default=None, help="seconds per property"
     )
+    p_check.add_argument(
+        "--per-property-conflicts", type=int, default=None, metavar="N",
+        help="SAT conflict budget per property (default: unlimited)",
+    )
+    p_check.add_argument(
+        "--total-conflicts", type=int, default=None, metavar="N",
+        help="SAT conflict budget for the whole run (default: unlimited)",
+    )
+    p_check.add_argument(
+        "--max-frames", type=int, default=500, metavar="N",
+        help="IC3 frame ceiling per property (default: 500)",
+    )
     p_check.add_argument("--no-reuse", action="store_true", help="disable clauseDB re-use")
+    p_check.add_argument(
+        "--clause-db", default=None, metavar="PATH", dest="clause_db",
+        help="persist the shared clause database at PATH across runs",
+    )
     p_check.add_argument(
         "--respect-lifting",
         action="store_true",
@@ -418,6 +512,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--cluster-inner", choices=("joint", "ja"), default="joint",
         help="method inside each cluster (clustered only)",
+    )
+    p_check.add_argument(
+        "--exclude-etf", action="store_true",
+        help="joint/clustered: leave expected-to-fail properties out",
+    )
+    p_check.add_argument(
+        "--similarity-threshold", type=float, default=0.5, metavar="T",
+        help="clustered: COI-similarity cut in [0, 1] (default: 0.5)",
+    )
+    p_check.add_argument(
+        "--engine", type=_engine_override, action="append", default=None,
+        metavar="KEY=VALUE",
+        help="low-level IC3Options override (repeatable; see "
+        "ENGINE_OVERRIDE_KEYS in repro.session.config)",
+    )
+    p_check.add_argument(
+        "--design-name", default=None, metavar="NAME",
+        help="name used for the design in reports (default: derived "
+        "from the design path)",
     )
     p_check.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -448,6 +561,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--json", default=None, help="write JSON report here")
     p_check.set_defaults(func=cmd_check)
 
+    p_lint = sub.add_parser(
+        "lint", help="run the project's own static-analysis checkers"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--baseline", default="analysis_baseline.toml", metavar="PATH",
+        help="justified false-positive baseline (default: "
+        "analysis_baseline.toml; a missing file is an empty baseline)",
+    )
+    p_lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel analysis processes (default: one per CPU)",
+    )
+    p_lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="adopt the current findings into --baseline with TODO "
+        "justifications (which must be replaced before the file loads)",
+    )
+    p_lint.add_argument(
+        "--list-checkers",
+        action=_ListCheckersAction,
+        nargs=0,
+        help="list registered checkers and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
     p_serve = sub.add_parser(
         "serve", help="verify many designs concurrently from a manifest"
     )
@@ -474,7 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

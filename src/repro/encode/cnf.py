@@ -8,14 +8,14 @@ Tseitin encoder.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 
 class CnfBuilder:
     """Accumulates clauses and allocates fresh CNF variables."""
 
     def __init__(self) -> None:
-        self.clauses: List[List[int]] = []
+        self.clauses: list[list[int]] = []
         self.num_vars = 0
 
     def new_var(self) -> int:
@@ -36,7 +36,7 @@ class CnfBuilder:
         for clause in clauses:
             self.add_clause(clause)
 
-    def extend_vars(self, count: int) -> List[int]:
+    def extend_vars(self, count: int) -> list[int]:
         """Allocate ``count`` fresh variables, returned in order."""
         return [self.new_var() for _ in range(count)]
 

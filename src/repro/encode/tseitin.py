@@ -12,7 +12,7 @@ encoders sharing a sink.
 
 from __future__ import annotations
 
-from typing import Dict, Protocol
+from typing import Protocol
 
 from ..circuit.aig import AIG, aig_var, is_negated
 
@@ -31,7 +31,7 @@ class ConeEncoder:
     def __init__(self, aig: AIG, sink: ClauseSink) -> None:
         self.aig = aig
         self.sink = sink
-        self._node_var: Dict[int, int] = {}
+        self._node_var: dict[int, int] = {}
         self._true_var: int | None = None
 
     # ------------------------------------------------------------------

@@ -9,7 +9,6 @@ needed for the transition itself.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..circuit.aig import AIG
 from .tseitin import ClauseSink, ConeEncoder
@@ -21,9 +20,9 @@ class Unroller:
     def __init__(self, aig: AIG, sink: ClauseSink) -> None:
         self.aig = aig
         self.sink = sink
-        self._frames: List[ConeEncoder] = []
+        self._frames: list[ConeEncoder] = []
         # Per-frame maps: AIG input literal -> CNF var.
-        self.input_vars: List[Dict[int, int]] = []
+        self.input_vars: list[dict[int, int]] = []
 
     @property
     def num_frames(self) -> int:
@@ -38,7 +37,7 @@ class Unroller:
     def _extend(self) -> None:
         t = len(self._frames)
         enc = ConeEncoder(self.aig, self.sink)
-        frame_inputs: Dict[int, int] = {}
+        frame_inputs: dict[int, int] = {}
         for inp in self.aig.inputs:
             var = self.sink.new_var()
             enc.set_leaf(inp, var)
@@ -81,14 +80,14 @@ class Unroller:
         self.frame(t)
         return self.input_vars[t][input_lit]
 
-    def extract_inputs(self, model_value, upto_frame: int) -> List[Dict[int, bool]]:
+    def extract_inputs(self, model_value, upto_frame: int) -> list[dict[int, bool]]:
         """Read back per-frame input valuations from a SAT model.
 
         ``model_value`` is a callable mapping a signed CNF literal to a
         bool or None (e.g. ``Solver.value``).  Frames 0..upto_frame
         inclusive are extracted.
         """
-        seq: List[Dict[int, bool]] = []
+        seq: list[dict[int, bool]] = []
         for t in range(upto_frame + 1):
             frame_inputs = {}
             for inp, var in self.input_vars[t].items():
@@ -97,9 +96,9 @@ class Unroller:
             seq.append(frame_inputs)
         return seq
 
-    def extract_uninit(self, model_value) -> Dict[int, bool]:
+    def extract_uninit(self, model_value) -> dict[int, bool]:
         """Values the model chose for uninitialized latches at frame 0."""
-        out: Dict[int, bool] = {}
+        out: dict[int, bool] = {}
         if not self._frames:
             return out
         enc = self._frames[0]

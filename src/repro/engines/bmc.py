@@ -13,7 +13,7 @@ once the bound or budget is exhausted without finding a counterexample.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..circuit.aig import aig_not
 from ..encode.unroll import Unroller
@@ -29,10 +29,10 @@ def bmc_check(
     prop_name: str,
     max_depth: int = 64,
     assumed: Sequence[str] = (),
-    budget: Optional[ResourceBudget] = None,
+    budget: ResourceBudget | None = None,
     validate: bool = True,
-    emit: Optional[Emit] = None,
-    solver_backend: Optional[str] = None,
+    emit: Emit | None = None,
+    solver_backend: str | None = None,
 ) -> EngineResult:
     """Search for a counterexample of depth ``<= max_depth`` frames.
 
@@ -124,9 +124,9 @@ def _unknown(prop_name, frames, assumed, start, stats) -> EngineResult:
 def bmc_sweep(
     ts: TransitionSystem,
     max_depth: int = 32,
-    names: Optional[Sequence[str]] = None,
-    budget: Optional[ResourceBudget] = None,
-    solver_backend: Optional[str] = None,
+    names: Sequence[str] | None = None,
+    budget: ResourceBudget | None = None,
+    solver_backend: str | None = None,
 ) -> dict:
     """Multi-property BMC: find every property failing within ``max_depth``.
 

@@ -16,7 +16,7 @@ tools' invariants, or audit a clauseDB.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..sat import Status, create_solver
 from ..ts.system import Clause, TransitionSystem, negate_cube
@@ -39,7 +39,7 @@ def certify_invariant(
     prop_name: str,
     clauses: Sequence[Clause],
     assumed: Sequence[str] = (),
-    solver_backend: Optional[str] = None,
+    solver_backend: str | None = None,
 ) -> CertificateReport:
     """Check that ``clauses`` certify ``prop_name`` (under ``assumed``).
 
@@ -57,7 +57,7 @@ def certify_invariant(
     prop = ts.prop_by_name.get(prop_name)
     if prop is None:
         return CertificateReport(False, f"unknown property {prop_name!r}")
-    normalized: List[Clause] = []
+    normalized: list[Clause] = []
     for clause in clauses:
         clause = tuple(clause)
         if not ts.clause_holds_at_init(clause):

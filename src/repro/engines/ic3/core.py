@@ -48,7 +48,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ...progress import (
     BudgetCheckpoint,
@@ -87,7 +87,7 @@ class IC3Options:
     respect_constraints_in_lifting: bool = False
     seed_clauses: Sequence[Clause] = ()
     max_frames: int = 500
-    budget: Optional[ResourceBudget] = None
+    budget: ResourceBudget | None = None
     validate_cex: bool = True
     validate_invariant: bool = True
     generalize_passes: int = 2
@@ -99,14 +99,14 @@ class IC3Options:
     max_ctgs: int = 3
     # SAT backend name resolved through repro.sat.backend; None uses the
     # process default (REPRO_SAT_BACKEND environment, then "cdcl").
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # Persistent incremental solvers (the default).  False rebuilds a
     # fresh solver for every single query — the O(CNF)-setup baseline
     # kept only so benchmarks can quantify the incremental win.
     incremental: bool = True
     # Progress events (frame advances, seed imports, budget checkpoints)
     # are sent here; None keeps the engine silent.
-    emit: Optional[Emit] = None
+    emit: Emit | None = None
 
 
 @dataclass
@@ -114,15 +114,15 @@ class _Obligation:
     """A cube of states at some frame known to reach the bad condition."""
 
     cube: Cube
-    inputs: Dict[int, bool]
-    witness: Tuple[bool, ...]
-    succ: Optional["_Obligation"]
+    inputs: dict[int, bool]
+    witness: tuple[bool, ...]
+    succ: "_Obligation | None"
 
 
 class IC3:
     """One IC3 run for one property of a transition system."""
 
-    def __init__(self, ts: TransitionSystem, prop_name: str, options: Optional[IC3Options] = None) -> None:
+    def __init__(self, ts: TransitionSystem, prop_name: str, options: IC3Options | None = None) -> None:
         self.ts = ts
         self.options = options or IC3Options()
         self.prop = ts.prop_by_name[prop_name]
@@ -130,27 +130,27 @@ class IC3:
             raise ValueError("a property cannot be assumed while checking itself")
         self.assumed_props = [ts.prop_by_name[n] for n in self.options.assumed]
         # frames[k] = cubes blocked at exactly level k (k >= 1).
-        self.frames: List[List[Cube]] = [[], []]
+        self.frames: list[list[Cube]] = [[], []]
         # Persistent incremental solvers (lazily created, never rebuilt):
         # one step solver for every consecution query at every frame,
         # one combinational solver for every bad-state query.  Frame
         # membership is selected per query via activation literals.
-        self._step: Optional[SatBackend] = None
-        self._step_enc: Optional[StepEncoding] = None
-        self._init_act: Optional[int] = None
-        self._frame_acts: List[Optional[int]] = []
-        self._bad: Optional[SatBackend] = None
+        self._step: SatBackend | None = None
+        self._step_enc: StepEncoding | None = None
+        self._init_act: int | None = None
+        self._frame_acts: list[int | None] = []
+        self._bad: SatBackend | None = None
         self._bad_enc = None
-        self._bad_acts: List[Optional[int]] = []
+        self._bad_acts: list[int | None] = []
         # Work accounting across every solver this run ever allocates
         # (live and scrapped), for the incremental-vs-rebuild benchmark.
-        self._live_solvers: List[SatBackend] = []
+        self._live_solvers: list[SatBackend] = []
         self._retired_counters = {"clauses_added": 0, "solves": 0}
-        self._seeds: List[Clause] = [normalize_cube(c) for c in self.options.seed_clauses]
+        self._seeds: list[Clause] = [normalize_cube(c) for c in self.options.seed_clauses]
         for seed in self._seeds:
             if not ts.clause_holds_at_init(seed):
                 raise ValueError(f"seed clause {seed} does not hold at the initial states")
-        self.stats: Dict[str, int] = {
+        self.stats: dict[str, int] = {
             "sat_queries": 0,
             "obligations": 0,
             "cubes_blocked": 0,
@@ -199,7 +199,7 @@ class IC3:
             total += solver.stats().get("clauses_added", 0)
         return total
 
-    def _step_solver(self) -> Tuple[SatBackend, StepEncoding]:
+    def _step_solver(self) -> tuple[SatBackend, StepEncoding]:
         """The persistent consecution solver (one per IC3 run).
 
         The transition relation, assumed-property constraints and seeds
@@ -226,7 +226,7 @@ class IC3:
                     self._insert_frame_clause(negate_cube(cube), level)
         return self._step, self._step_enc
 
-    def _bad_solver(self) -> Tuple[SatBackend, object]:
+    def _bad_solver(self) -> tuple[SatBackend, object]:
         """The persistent bad-state solver (one per IC3 run).
 
         Combinational frame; blocked clauses are guarded per level so a
@@ -246,7 +246,7 @@ class IC3:
 
     @staticmethod
     def _level_act(
-        solver: SatBackend, acts: List[Optional[int]], level: int
+        solver: SatBackend, acts: list[int | None], level: int
     ) -> int:
         """The activation literal guarding a level's clauses (lazily made)."""
         while len(acts) <= level:
@@ -263,7 +263,7 @@ class IC3:
         act = self._level_act(self._bad, self._bad_acts, level)
         self._bad.add_clause([-act] + self._bad_enc.clause_lits_curr(clause))
 
-    def _frame_assumptions(self, k: int) -> List[int]:
+    def _frame_assumptions(self, k: int) -> list[int]:
         """Activation literals selecting ``F_k`` inside the step solver.
 
         ``F_k`` is the conjunction of every clause blocked at level
@@ -271,7 +271,7 @@ class IC3:
         states.  Levels that never received a clause have no activation
         literal and are skipped.
         """
-        assumps: List[int] = []
+        assumps: list[int] = []
         if k == 0:
             assumps.append(self._init_act)
         for level in range(max(k, 1), len(self.frames)):
@@ -280,7 +280,7 @@ class IC3:
         return assumps
 
     # -- rebuild-per-query baseline (benchmarking only) ----------------
-    def _rebuild_step_solver(self, k: int) -> Tuple[SatBackend, StepEncoding]:
+    def _rebuild_step_solver(self, k: int) -> tuple[SatBackend, StepEncoding]:
         """Baseline: encode ``F_k ∧ T`` from scratch for one query."""
         solver = self._new_solver()
         enc = self.ts.encode_step(solver)
@@ -299,7 +299,7 @@ class IC3:
                 solver.add_clause(enc.clause_lits_curr(negate_cube(cube)))
         return solver, enc
 
-    def _rebuild_bad_solver(self) -> Tuple[SatBackend, object]:
+    def _rebuild_bad_solver(self) -> tuple[SatBackend, object]:
         """Baseline: encode ``F_top`` from scratch for one bad query."""
         solver = self._new_solver()
         enc = self.ts.encode_bad_frame(solver)
@@ -336,7 +336,7 @@ class IC3:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _consecution(self, cube: Cube, k: int) -> Tuple[bool, object]:
+    def _consecution(self, cube: Cube, k: int) -> tuple[bool, object]:
         """Is ``F_k ∧ C ∧ ¬cube ∧ T ∧ cube'`` UNSAT?
 
         Returns ``(True, core_cube_lits)`` on UNSAT (the subset of cube
@@ -383,7 +383,7 @@ class IC3:
         release()
         return False, (pred_state, inputs)
 
-    def _query_bad(self) -> Optional[Tuple[Tuple[bool, ...], Dict[int, bool]]]:
+    def _query_bad(self) -> tuple[tuple[bool, ...], dict[int, bool]] | None:
         """SAT(F_top ∧ ¬P): a state (+ input) falsifying the property."""
         if self.options.incremental:
             solver, enc = self._bad_solver()
@@ -414,10 +414,10 @@ class IC3:
     # ------------------------------------------------------------------
     def _lift(
         self,
-        state: Tuple[bool, ...],
-        inputs: Dict[int, bool],
-        require_true: List[int],
-        require_false: List[int],
+        state: tuple[bool, ...],
+        inputs: dict[int, bool],
+        require_true: list[int],
+        require_false: list[int],
     ) -> Cube:
         from .ternary import lift_state
 
@@ -431,7 +431,7 @@ class IC3:
         return self._cube_from_lifted(lifted, state)
 
     def _cube_from_lifted(
-        self, lifted: List[Optional[bool]], state: Tuple[bool, ...]
+        self, lifted: list[bool | None], state: tuple[bool, ...]
     ) -> Cube:
         lits = []
         for i, value in enumerate(lifted):
@@ -446,7 +446,7 @@ class IC3:
         return normalize_cube(lits)
 
     def _lift_predecessor(
-        self, state: Tuple[bool, ...], inputs: Dict[int, bool], succ_cube: Cube
+        self, state: tuple[bool, ...], inputs: dict[int, bool], succ_cube: Cube
     ) -> Cube:
         require_true, require_false = [], []
         for lit in succ_cube:
@@ -457,7 +457,7 @@ class IC3:
                 require_false.append(next_fn)
         return self._lift(state, inputs, require_true, require_false)
 
-    def _lift_bad(self, state: Tuple[bool, ...], inputs: Dict[int, bool]) -> Cube:
+    def _lift_bad(self, state: tuple[bool, ...], inputs: dict[int, bool]) -> Cube:
         # The bad state must keep falsifying the property.  Assumed
         # properties are never required here: the final state of a local
         # counterexample is unconstrained (see module docstring).
@@ -471,7 +471,7 @@ class IC3:
         )
         return self._cube_from_lifted(lifted, state)
 
-    def _init_witness(self, cube: Cube) -> Tuple[bool, ...]:
+    def _init_witness(self, cube: Cube) -> tuple[bool, ...]:
         """A concrete initial state inside ``cube`` (which intersects I)."""
         values = []
         cube_map = {abs(l): l > 0 for l in cube}
@@ -529,7 +529,7 @@ class IC3:
                 break
         return current
 
-    def _try_block_ctgs(self, candidate: Cube, k: int, info) -> Tuple[bool, object]:
+    def _try_block_ctgs(self, candidate: Cube, k: int, info) -> tuple[bool, object]:
         """CTG-aware generalization: block states that keep a literal alive.
 
         When dropping a literal fails, the SAT witness is a predecessor
@@ -564,13 +564,13 @@ class IC3:
                     return True
         return False
 
-    def _block(self, bad_ob: _Obligation) -> Optional[_Obligation]:
+    def _block(self, bad_ob: _Obligation) -> _Obligation | None:
         """Discharge one bad obligation at the top frame.
 
         Returns None when blocked, or the frame-0 obligation heading a
         counterexample chain.
         """
-        queue: List[Tuple[int, int, _Obligation]] = []
+        queue: list[tuple[int, int, _Obligation]] = []
         heapq.heappush(queue, (self.top, next(self._counter), bad_ob))
         budget = self.options.budget
         while queue:
@@ -616,7 +616,7 @@ class IC3:
     # ------------------------------------------------------------------
     # Propagation / convergence
     # ------------------------------------------------------------------
-    def _propagate(self) -> Optional[int]:
+    def _propagate(self) -> int | None:
         """Push blocked cubes forward; returns the convergence level if
         two adjacent frames become equal."""
         for k in range(1, self.top):
@@ -637,8 +637,8 @@ class IC3:
     # Counterexample / invariant construction
     # ------------------------------------------------------------------
     def _build_trace(self, head: _Obligation) -> Trace:
-        inputs: List[Dict[int, bool]] = []
-        node: Optional[_Obligation] = head
+        inputs: list[dict[int, bool]] = []
+        node: _Obligation | None = head
         while node is not None:
             inputs.append(dict(node.inputs))
             node = node.succ
@@ -659,14 +659,14 @@ class IC3:
             trace = trace.truncated(fail_at + 1)
         return trace
 
-    def _invariant_clauses(self, conv_level: int) -> List[Clause]:
-        clauses: List[Clause] = list(self._seeds)
+    def _invariant_clauses(self, conv_level: int) -> list[Clause]:
+        clauses: list[Clause] = list(self._seeds)
         for level in range(conv_level + 1, len(self.frames)):
             for cube in self.frames[level]:
                 clauses.append(negate_cube(cube))
         return clauses
 
-    def _check_certificate(self, clauses: List[Clause]) -> None:
+    def _check_certificate(self, clauses: list[Clause]) -> None:
         """Verify the invariant: I ⊆ F, F ∧ C ∧ T ⊆ F', F ⊆ P.
 
         Raises :class:`SeedCertificateError` on failure (only reachable
@@ -785,8 +785,8 @@ class IC3:
         self,
         status: PropStatus,
         frames: int,
-        cex: Optional[Trace] = None,
-        invariant: Optional[List[Clause]] = None,
+        cex: Trace | None = None,
+        invariant: list[Clause] | None = None,
     ) -> EngineResult:
         self.stats["clause_insertions"] = self.clause_insertions()
         return EngineResult(
@@ -808,7 +808,7 @@ class _BudgetExhausted(Exception):
 def ic3_check(
     ts: TransitionSystem,
     prop_name: str,
-    options: Optional[IC3Options] = None,
+    options: IC3Options | None = None,
 ) -> EngineResult:
     """Convenience wrapper: run IC3 on one property."""
     return IC3(ts, prop_name, options).solve()

@@ -22,12 +22,12 @@ Both modes are implemented via the ``require_true`` argument.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ...circuit.aig import AIG, aig_var, is_negated
 
 # Ternary values: True / False / None (= X, unknown).
-TernaryValue = Optional[bool]
+TernaryValue = bool | None
 
 
 class TernaryEvaluator:
@@ -39,17 +39,17 @@ class TernaryEvaluator:
     def evaluate(
         self,
         roots: Sequence[int],
-        latch_values: Dict[int, TernaryValue],
-        input_values: Dict[int, TernaryValue],
-    ) -> List[TernaryValue]:
+        latch_values: dict[int, TernaryValue],
+        input_values: dict[int, TernaryValue],
+    ) -> list[TernaryValue]:
         """Ternary values of ``roots`` (AIG literals).
 
         Missing latches/inputs default to X.  AND over ternary: False
         dominates, then X, then True.
         """
-        cache: Dict[int, TernaryValue] = {0: False}
+        cache: dict[int, TernaryValue] = {0: False}
         aig = self.aig
-        out: List[TernaryValue] = []
+        out: list[TernaryValue] = []
         for root in roots:
             stack = [aig_var(root)]
             while stack:
@@ -94,10 +94,10 @@ def lift_state(
     aig: AIG,
     latch_order: Sequence[int],
     latch_values: Sequence[bool],
-    input_values: Dict[int, bool],
+    input_values: dict[int, bool],
     require_true: Sequence[int],
     require_false: Sequence[int] = (),
-) -> List[Optional[bool]]:
+) -> list[bool | None]:
     """Greedily X out latches while all requirements stay *definite*.
 
     ``latch_order`` lists latch literals positionally; ``latch_values``
@@ -114,7 +114,7 @@ def lift_state(
     targets = list(require_true) + list(require_false)
     n_true = len(list(require_true))
 
-    def check(assignment: Dict[int, TernaryValue]) -> bool:
+    def check(assignment: dict[int, TernaryValue]) -> bool:
         values = evaluator.evaluate(targets, assignment, input_values)
         for i, value in enumerate(values):
             expected = i < n_true
@@ -122,7 +122,7 @@ def lift_state(
                 return False
         return True
 
-    current: Dict[int, TernaryValue] = {
+    current: dict[int, TernaryValue] = {
         lit: bool(v) for lit, v in zip(latch_order, latch_values)
     }
     if not check(current):

@@ -16,7 +16,7 @@ The implementation uses the standard two queries per bound ``k``:
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..circuit.aig import aig_not
 from ..encode.unroll import Unroller
@@ -31,9 +31,9 @@ def kinduction_check(
     prop_name: str,
     max_k: int = 32,
     assumed: Sequence[str] = (),
-    budget: Optional[ResourceBudget] = None,
+    budget: ResourceBudget | None = None,
     unique_states: bool = True,
-    solver_backend: Optional[str] = None,
+    solver_backend: str | None = None,
 ) -> EngineResult:
     """Prove or refute ``prop_name`` by k-induction up to bound ``max_k``.
 

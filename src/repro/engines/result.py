@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from ..ts.system import Clause
 from ..ts.trace import Trace
@@ -50,12 +49,12 @@ class EngineResult:
 
     status: PropStatus
     prop_name: str
-    cex: Optional[Trace] = None
-    invariant: Optional[List[Clause]] = None
+    cex: Trace | None = None
+    invariant: list[Clause] | None = None
     frames: int = 0
-    assumed: List[str] = field(default_factory=list)
+    assumed: list[str] = field(default_factory=list)
     time_seconds: float = 0.0
-    stats: Dict[str, int] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def holds(self) -> bool:
@@ -86,8 +85,8 @@ class ResourceBudget:
 
     def __init__(
         self,
-        time_limit: Optional[float] = None,
-        conflict_limit: Optional[int] = None,
+        time_limit: float | None = None,
+        conflict_limit: int | None = None,
     ) -> None:
         import time
 

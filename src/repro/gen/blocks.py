@@ -25,7 +25,6 @@ on a large subset of state variables" regime of Section 9-A.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..circuit.aig import AIG, aig_not
 from ..circuit import words
@@ -36,9 +35,9 @@ def guarded_counter_slice(
     prefix: str,
     counter_bits: int,
     guard_depth: int,
-    deep_values: List[int],
+    deep_values: list[int],
     include_true_prop: bool = True,
-) -> List[str]:
+) -> list[str]:
     """A slice with one guard property and ``len(deep_values)`` dependents.
 
     Structure: a request input feeds a shift chain of ``guard_depth``
@@ -96,7 +95,7 @@ def token_ring_slice(
     prefix: str,
     size: int,
     n_props: int | None = None,
-) -> List[str]:
+) -> list[str]:
     """A rotating one-hot token ring with mutual-exclusion properties.
 
     All properties are TRUE but none is inductive alone: IC3 must
@@ -128,7 +127,7 @@ def good_chain_slice(
     prefix: str,
     depth: int,
     expose_every: int = 1,
-) -> List[str]:
+) -> list[str]:
     """A "good flag" pipeline: ``g0`` is stuck at 1 and propagates.
 
     Property ``<prefix>_C<i>`` asserts ``g_i == 1``.  Locally (assuming
@@ -159,7 +158,7 @@ def shared_invariant_slice(
     prefix: str,
     mode_size: int,
     n_props: int,
-) -> List[str]:
+) -> list[str]:
     """Properties that all need one *hidden* shared inductive invariant.
 
     A one-hot mode ring rotates internally but is not mentioned by any
@@ -225,7 +224,7 @@ def lfsr_ballast(
         aig.set_next(reg, aig.xor(acc, stir) if i == 0 else acc)
 
 
-def hold_slice(aig: AIG, prefix: str, count: int) -> List[str]:
+def hold_slice(aig: AIG, prefix: str, count: int) -> list[str]:
     """Trivially inductive filler properties (a zero register stays zero)."""
     names = []
     for i in range(count):

@@ -33,7 +33,6 @@ tens of frames; EXPERIMENTS.md records the mapping row by row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from ..circuit.aig import AIG
 from .blocks import (
@@ -52,12 +51,12 @@ class DesignSpec:
 
     name: str
     # (counter_bits, guard_depth, deep_values) per guarded slice
-    guarded: List[Tuple[int, int, List[int]]] = field(default_factory=list)
-    rings: List[int] = field(default_factory=list)  # ring sizes
-    chains: List[Tuple[int, int]] = field(default_factory=list)  # (depth, expose_every)
+    guarded: list[tuple[int, int, list[int]]] = field(default_factory=list)
+    rings: list[int] = field(default_factory=list)  # ring sizes
+    chains: list[tuple[int, int]] = field(default_factory=list)  # (depth, expose_every)
     filler: int = 0
-    ballast: Tuple[int, int] = (0, 0)  # (lfsr width, taps per bit)
-    shared: List[Tuple[int, int]] = field(default_factory=list)  # (mode size, n props)
+    ballast: tuple[int, int] = (0, 0)  # (lfsr width, taps per bit)
+    shared: list[tuple[int, int]] = field(default_factory=list)  # (mode size, n props)
     description: str = ""
 
     def build(self) -> AIG:
@@ -82,7 +81,7 @@ class DesignSpec:
 # Each entry notes the paper row it mirrors and the expected structure:
 # #props, #locally-false (debugging set), #globally-false.
 # ----------------------------------------------------------------------
-FAILING_SPECS: Dict[str, DesignSpec] = {
+FAILING_SPECS: dict[str, DesignSpec] = {
     # 6s104: 124 props, JA finds 1 false + 123 true.
     "f104": DesignSpec(
         name="f104",
@@ -158,7 +157,7 @@ FAILING_SPECS: Dict[str, DesignSpec] = {
 # ----------------------------------------------------------------------
 # Table IV analogues: all-true designs.
 # ----------------------------------------------------------------------
-ALL_TRUE_SPECS: Dict[str, DesignSpec] = {
+ALL_TRUE_SPECS: dict[str, DesignSpec] = {
     # 6s124: 630 props -> many properties sharing one hidden invariant.
     "t124": DesignSpec(
         name="t124", shared=[(10, 16)], rings=[6], chains=[(8, 1)], filler=6,
@@ -253,17 +252,17 @@ def large_design(name: str) -> AIG:
 LARGE_DESIGN_NAMES = ("r400", "r355", "r289", "r403")
 
 
-def failing_designs() -> Dict[str, AIG]:
+def failing_designs() -> dict[str, AIG]:
     """Build all Table III stand-ins."""
     return {name: spec.build() for name, spec in FAILING_SPECS.items()}
 
 
-def all_true_designs() -> Dict[str, AIG]:
+def all_true_designs() -> dict[str, AIG]:
     """Build all Table IV stand-ins."""
     return {name: spec.build() for name, spec in ALL_TRUE_SPECS.items()}
 
 
-def huge_design(chain_depth: int = 60, rings: Tuple[int, ...] = (5, 5)) -> AIG:
+def huge_design(chain_depth: int = 60, rings: tuple[int, ...] = (5, 5)) -> AIG:
     """The 6s289 stand-in for Table X (one property per pipeline stage).
 
     Locally every chain property is 1-step inductive (its predecessor is

@@ -28,7 +28,7 @@ proof; we keep the optimization and add the check.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 from ..ts.system import Clause, TransitionSystem, normalize_cube
 
@@ -38,7 +38,7 @@ class ClauseDB:
 
     def __init__(self, ts: TransitionSystem) -> None:
         self.ts = ts
-        self._clauses: List[Clause] = []
+        self._clauses: list[Clause] = []
         self._seen = set()
         self.stats = {"added": 0, "duplicates": 0, "rejected": 0}
 
@@ -78,7 +78,7 @@ class ClauseDB:
         """Add many clauses; returns how many were new."""
         return sum(1 for c in clauses if self.add(c))
 
-    def clauses(self) -> List[Clause]:
+    def clauses(self) -> list[Clause]:
         """Snapshot of all collected clauses (ordered by insertion)."""
         return list(self._clauses)
 
@@ -101,7 +101,7 @@ class ClauseDB:
         corrupt proofs.
         """
         db = cls(ts)
-        with open(path, "r", encoding="ascii") as f:
+        with open(path, encoding="ascii") as f:
             header = f.readline().split()
             if header[:1] != ["clausedb"]:
                 raise ValueError(f"{path}: not a clauseDB file")

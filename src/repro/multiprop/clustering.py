@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional
+from collections.abc import Mapping
 
 from ..circuit.coi import coi_signature, reduce_to_cone
 from ..progress import ClusterStarted, Emit
@@ -36,10 +36,10 @@ class ClusterOptions:
     similarity_threshold: float = 0.5  # Jaccard threshold for merging
     use_coi_reduction: bool = True
     inner: str = "joint"  # "joint" or "ja" within each cluster
-    total_time: Optional[float] = None
-    per_property_time: Optional[float] = None
+    total_time: float | None = None
+    per_property_time: float | None = None
     # SAT backend name (repro.sat registry); None = process default.
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # Extra IC3Options fields forwarded to the inner driver's engine runs.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
@@ -54,7 +54,7 @@ def jaccard(a: frozenset, b: frozenset) -> float:
 
 def cluster_properties(
     ts: TransitionSystem, threshold: float = 0.5
-) -> List[List[str]]:
+) -> list[list[str]]:
     """Greedy single-link clustering of properties by cone similarity.
 
     Properties are scanned in design order; each joins the first cluster
@@ -64,8 +64,8 @@ def cluster_properties(
     what the structural-grouping papers use in practice.
     """
     signatures = {p.name: coi_signature(ts.aig, p) for p in ts.properties}
-    clusters: List[List[str]] = []
-    reps: List[frozenset] = []
+    clusters: list[list[str]] = []
+    reps: list[frozenset] = []
     for prop in ts.properties:
         sig = signatures[prop.name]
         placed = False
@@ -82,9 +82,9 @@ def cluster_properties(
 
 def clustered_verify(
     ts: TransitionSystem,
-    options: Optional[ClusterOptions] = None,
+    options: ClusterOptions | None = None,
     design_name: str = "design",
-    emit: Optional[Emit] = None,
+    emit: Emit | None = None,
 ) -> MultiPropReport:
     """Verify property clusters independently (joint or JA per cluster).
 

@@ -9,7 +9,7 @@ machine-checked debugging report).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ..engines.result import PropStatus
 from ..ts.system import TransitionSystem
@@ -21,12 +21,12 @@ from .report import MultiPropReport
 class DebuggingReport:
     """Interpretation of a JA run for the design-debugging workflow."""
 
-    debugging_set: List[str]
-    locally_true: List[str]
-    unsolved: List[str]
-    cex_depths: Dict[str, int] = field(default_factory=dict)
-    etf_confirmed: List[str] = field(default_factory=list)
-    etf_unconfirmed: List[str] = field(default_factory=list)
+    debugging_set: list[str]
+    locally_true: list[str]
+    unsolved: list[str]
+    cex_depths: dict[str, int] = field(default_factory=dict)
+    etf_confirmed: list[str] = field(default_factory=list)
+    etf_unconfirmed: list[str] = field(default_factory=list)
 
     @property
     def all_hold(self) -> bool:
@@ -73,7 +73,7 @@ def debugging_report(report: MultiPropReport) -> DebuggingReport:
     """Distill a JA :class:`MultiPropReport` into a debugging report."""
     debugging_set, locally_true, unsolved = [], [], []
     etf_confirmed, etf_unconfirmed = [], []
-    depths: Dict[str, int] = {}
+    depths: dict[str, int] = {}
     for outcome in report.outcomes.values():
         if outcome.status is PropStatus.FAILS:
             if outcome.cex_depth is not None:

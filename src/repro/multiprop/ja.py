@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..engines.ic3 import IC3Options, SeedCertificateError, ic3_check
 from ..engines.result import EngineResult, PropStatus, ResourceBudget
@@ -54,12 +54,12 @@ class JAOptions:
 
     clause_reuse: bool = True
     respect_constraints_in_lifting: bool = False
-    per_property_time: Optional[float] = None
-    per_property_conflicts: Optional[int] = None
-    total_time: Optional[float] = None
-    order: Optional[Sequence[str]] = None  # default: design order
+    per_property_time: float | None = None
+    per_property_conflicts: int | None = None
+    total_time: float | None = None
+    order: Sequence[str] | None = None  # default: design order
     max_frames: int = 500
-    clause_db_path: Optional[str] = None  # persist the clauseDB like Ja-ver
+    clause_db_path: str | None = None  # persist the clauseDB like Ja-ver
     # Cone-of-influence front end: per property, reduce the design to the
     # joint cone of the target and the (transitively) support-overlapping
     # assumptions.  Assumptions with disjoint support are dropped, which
@@ -70,7 +70,7 @@ class JAOptions:
     coi_reduction: bool = False
     ctg: bool = False  # forwarded to IC3 generalization
     # SAT backend name (repro.sat registry); None = process default.
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # Extra IC3Options fields (validated by the session layer) applied
     # to every engine invocation, e.g. {"generalize_passes": 1}.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
@@ -87,13 +87,13 @@ class JAVerifier:
     def __init__(
         self,
         ts: TransitionSystem,
-        options: Optional[JAOptions] = None,
-        emit: Optional[Emit] = None,
+        options: JAOptions | None = None,
+        emit: Emit | None = None,
     ) -> None:
         self.ts = ts
         self.options = options or JAOptions()
         self.clause_db = ClauseDB(ts)
-        self.results: Dict[str, EngineResult] = {}
+        self.results: dict[str, EngineResult] = {}
         self._emit: Emit = emit_or_null(emit)
 
     # ------------------------------------------------------------------
@@ -120,13 +120,17 @@ class JAVerifier:
                 continue
             outcome, result = self._check_one(name)
             spurious_reruns += outcome.reruns
-            if result is not None and result.status is PropStatus.HOLDS:
-                if opts.clause_reuse and result.invariant is not None:
-                    exported = self.clause_db.add_all(result.invariant)
-                    if exported:
-                        self._emit(ClauseExport(name=name, count=exported))
-                    if opts.clause_db_path:
-                        self.clause_db.save(opts.clause_db_path)
+            if (
+                result is not None
+                and result.status is PropStatus.HOLDS
+                and opts.clause_reuse
+                and result.invariant is not None
+            ):
+                exported = self.clause_db.add_all(result.invariant)
+                if exported:
+                    self._emit(ClauseExport(name=name, count=exported))
+                if opts.clause_db_path:
+                    self.clause_db.save(opts.clause_db_path)
             certificate_retries += outcome_stats_get(result, "certificate_retry")
             report.outcomes[name] = outcome
             if result is not None:
@@ -168,7 +172,7 @@ class JAVerifier:
         respect = opts.respect_constraints_in_lifting
         use_seeds = opts.clause_reuse
         use_coi = opts.coi_reduction
-        result: Optional[EngineResult] = None
+        result: EngineResult | None = None
         while True:
             result = self._run_ic3(name, assumed, respect, use_seeds, use_coi)
             if result is None:  # certificate failure even without seeds: bug
@@ -206,11 +210,11 @@ class JAVerifier:
     def _run_ic3(
         self,
         name: str,
-        assumed: List[str],
+        assumed: list[str],
         respect: bool,
         use_seeds: bool,
         use_coi: bool = False,
-    ) -> Optional[EngineResult]:
+    ) -> EngineResult | None:
         opts = self.options
         budget = ResourceBudget(
             time_limit=opts.per_property_time,
@@ -251,7 +255,7 @@ class JAVerifier:
             result = _translate_result_back(self.ts, run_ts, reduction, result)
         return result
 
-    def _coi_reduce(self, name: str, assumed: List[str]):
+    def _coi_reduce(self, name: str, assumed: list[str]):
         """Reduce the design to the support-connected cone of ``name``.
 
         Grows the kept region to a fixpoint: an assumption is kept iff
@@ -267,7 +271,7 @@ class JAVerifier:
             for n in assumed
         }
         region = set(support_signature(aig, self.ts.prop_by_name[name].lit))
-        kept: List[str] = []
+        kept: list[str] = []
         changed = True
         while changed:
             changed = False
@@ -281,7 +285,7 @@ class JAVerifier:
         return reduction, kept
 
 
-def outcome_stats_get(result: Optional[EngineResult], key: str) -> int:
+def outcome_stats_get(result: EngineResult | None, key: str) -> int:
     if result is None:
         return 0
     return int(result.stats.get(key, 0))
@@ -354,9 +358,9 @@ def _translate_result_back(original, reduced, reduction, result: EngineResult) -
 
 def ja_verify(
     ts: TransitionSystem,
-    options: Optional[JAOptions] = None,
+    options: JAOptions | None = None,
     design_name: str = "design",
-    emit: Optional[Emit] = None,
+    emit: Emit | None = None,
 ) -> MultiPropReport:
     """Convenience wrapper: run JA-verification on all properties.
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional
+from collections.abc import Mapping
 
 from ..circuit.aig import Property
 from ..engines.ic3 import IC3Options, ic3_check
@@ -35,12 +35,12 @@ from .report import MultiPropReport, PropOutcome
 class JointOptions:
     """Configuration of one joint-verification run."""
 
-    total_time: Optional[float] = None
-    total_conflicts: Optional[int] = None
+    total_time: float | None = None
+    total_conflicts: int | None = None
     max_frames: int = 500
     include_etf: bool = True  # the HWMCC sets do not mark ETF properties
     # SAT backend name (repro.sat registry); None = process default.
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # Extra IC3Options fields applied to every engine invocation.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
@@ -50,9 +50,9 @@ _AGGREGATE_PREFIX = "__aggregate"
 
 def joint_verify(
     ts: TransitionSystem,
-    options: Optional[JointOptions] = None,
+    options: JointOptions | None = None,
     design_name: str = "design",
-    emit: Optional[Emit] = None,
+    emit: Emit | None = None,
 ) -> MultiPropReport:
     """Run joint verification; returns per-property global verdicts.
 
@@ -64,7 +64,7 @@ def joint_verify(
     send: Emit = emit_or_null(emit)
     start = time.monotonic()
     report = MultiPropReport(method="joint", design=design_name)
-    remaining: List[Property] = [
+    remaining: list[Property] = [
         p
         for p in ts.properties
         if opts.include_etf or not p.expected_to_fail

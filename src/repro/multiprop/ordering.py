@@ -10,12 +10,11 @@ a different order.  These heuristics make that experiment reproducible.
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..ts.system import TransitionSystem
 
 
-def design_order(ts: TransitionSystem) -> List[str]:
+def design_order(ts: TransitionSystem) -> list[str]:
     """The order properties appear in the design (the paper's default)."""
     return [p.name for p in ts.properties]
 
@@ -32,7 +31,7 @@ def cone_latches(ts: TransitionSystem, name: str) -> int:
     return len(latches)
 
 
-def by_cone_size(ts: TransitionSystem) -> List[str]:
+def by_cone_size(ts: TransitionSystem) -> list[str]:
     """Smallest cone of influence first — a proxy for "easier first".
 
     A property whose cone touches few latches typically has a small
@@ -44,7 +43,7 @@ def by_cone_size(ts: TransitionSystem) -> List[str]:
     )
 
 
-def shuffled(ts: TransitionSystem, seed: int) -> List[str]:
+def shuffled(ts: TransitionSystem, seed: int) -> list[str]:
     """A deterministic random order (for order-sensitivity experiments)."""
     names = [p.name for p in ts.properties]
     random.Random(seed).shuffle(names)

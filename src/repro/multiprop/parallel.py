@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..engines.ic3 import IC3Options, ic3_check
 from ..engines.result import ResourceBudget
@@ -41,10 +41,10 @@ class ParallelSimResult:
     hosts, the same reason budgets can be expressed in conflicts).
     """
 
-    prop_times: Dict[str, float] = field(default_factory=dict)
-    prop_frames: Dict[str, int] = field(default_factory=dict)
-    prop_queries: Dict[str, int] = field(default_factory=dict)
-    statuses: Dict[str, str] = field(default_factory=dict)
+    prop_times: dict[str, float] = field(default_factory=dict)
+    prop_frames: dict[str, int] = field(default_factory=dict)
+    prop_queries: dict[str, int] = field(default_factory=dict)
+    statuses: dict[str, str] = field(default_factory=dict)
 
     def makespan(self, workers: int) -> float:
         """Greedy list-scheduling makespan on ``workers`` processors."""
@@ -67,11 +67,11 @@ class ParallelSimResult:
 
 def measure_local_proofs(
     ts: TransitionSystem,
-    names: Optional[Sequence[str]] = None,
-    per_property_time: Optional[float] = None,
+    names: Sequence[str] | None = None,
+    per_property_time: float | None = None,
     max_frames: int = 500,
-    per_property_conflicts: Optional[int] = None,
-    engine_overrides: Optional[Mapping[str, object]] = None,
+    per_property_conflicts: int | None = None,
+    engine_overrides: Mapping[str, object] | None = None,
 ) -> ParallelSimResult:
     """Prove each named property locally, independently (no clauseDB).
 
@@ -106,11 +106,11 @@ def measure_local_proofs(
 
 def measure_global_proofs(
     ts: TransitionSystem,
-    names: Optional[Sequence[str]] = None,
-    per_property_time: Optional[float] = None,
+    names: Sequence[str] | None = None,
+    per_property_time: float | None = None,
     max_frames: int = 500,
-    per_property_conflicts: Optional[int] = None,
-    engine_overrides: Optional[Mapping[str, object]] = None,
+    per_property_conflicts: int | None = None,
+    engine_overrides: Mapping[str, object] | None = None,
 ) -> ParallelSimResult:
     """Global-proof counterpart for the Table X comparison."""
     result = ParallelSimResult()

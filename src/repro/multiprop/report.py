@@ -8,7 +8,7 @@ in the same row/column layout as the paper's tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..engines.result import PropStatus
 
@@ -22,8 +22,8 @@ class PropOutcome:
     local: bool  # True if the verdict is w.r.t. T^P (local), False if global
     frames: int = 0
     time_seconds: float = 0.0
-    cex_depth: Optional[int] = None
-    assumed: List[str] = field(default_factory=list)
+    cex_depth: int | None = None
+    assumed: list[str] = field(default_factory=list)
     reruns: int = 0  # spurious-CEX re-runs with respecting lifting
     expected_to_fail: bool = False  # ETF properties (Section 5)
 
@@ -34,32 +34,32 @@ class MultiPropReport:
 
     method: str
     design: str
-    outcomes: Dict[str, PropOutcome] = field(default_factory=dict)
+    outcomes: dict[str, PropOutcome] = field(default_factory=dict)
     total_time: float = 0.0
-    stats: Dict[str, float] = field(default_factory=dict)
+    stats: dict[str, float] = field(default_factory=dict)
 
     # -- counters used by the paper's tables ---------------------------
     @property
     def num_props(self) -> int:
         return len(self.outcomes)
 
-    def solved(self) -> List[PropOutcome]:
+    def solved(self) -> list[PropOutcome]:
         return [o for o in self.outcomes.values() if o.status is not PropStatus.UNKNOWN]
 
-    def unsolved(self) -> List[PropOutcome]:
+    def unsolved(self) -> list[PropOutcome]:
         return [o for o in self.outcomes.values() if o.status is PropStatus.UNKNOWN]
 
-    def false_props(self) -> List[str]:
+    def false_props(self) -> list[str]:
         return sorted(
             o.name for o in self.outcomes.values() if o.status is PropStatus.FAILS
         )
 
-    def true_props(self) -> List[str]:
+    def true_props(self) -> list[str]:
         return sorted(
             o.name for o in self.outcomes.values() if o.status is PropStatus.HOLDS
         )
 
-    def debugging_set(self) -> List[str]:
+    def debugging_set(self) -> list[str]:
         """ETH properties proved false *locally* (empty for global methods).
 
         ETF properties are excluded: their failures are expected
@@ -71,7 +71,7 @@ class MultiPropReport:
             if o.status is PropStatus.FAILS and o.local and not o.expected_to_fail
         )
 
-    def etf_confirmed(self) -> List[str]:
+    def etf_confirmed(self) -> list[str]:
         """ETF properties whose expected failure was witnessed."""
         return sorted(
             o.name

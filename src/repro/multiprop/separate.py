@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..engines.ic3 import IC3Options, SeedCertificateError, ic3_check
 from ..engines.result import PropStatus, ResourceBudget
@@ -33,22 +33,22 @@ class SeparateOptions:
     """Configuration of separate-global verification."""
 
     clause_reuse: bool = True
-    per_property_time: Optional[float] = None
-    per_property_conflicts: Optional[int] = None
-    total_time: Optional[float] = None
-    order: Optional[Sequence[str]] = None
+    per_property_time: float | None = None
+    per_property_conflicts: int | None = None
+    total_time: float | None = None
+    order: Sequence[str] | None = None
     max_frames: int = 500
     # SAT backend name (repro.sat registry); None = process default.
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # Extra IC3Options fields applied to every engine invocation.
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
 
 
 def separate_verify(
     ts: TransitionSystem,
-    options: Optional[SeparateOptions] = None,
+    options: SeparateOptions | None = None,
     design_name: str = "design",
-    emit: Optional[Emit] = None,
+    emit: Emit | None = None,
 ) -> MultiPropReport:
     """Check every property separately with global proofs.
 

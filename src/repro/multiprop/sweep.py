@@ -20,7 +20,6 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from ..circuit.simulate import Simulator
 from ..progress import Emit
@@ -34,19 +33,19 @@ from .report import MultiPropReport
 class SweepResult:
     """Outcome of a simulation sweep."""
 
-    failed: Dict[str, Trace] = field(default_factory=dict)  # name -> witness
-    survivors: List[str] = field(default_factory=list)
+    failed: dict[str, Trace] = field(default_factory=dict)  # name -> witness
+    survivors: list[str] = field(default_factory=list)
     runs: int = 0
     frames_simulated: int = 0
 
-    def dominated_preview(self, ts: TransitionSystem) -> Dict[str, List[str]]:
+    def dominated_preview(self, ts: TransitionSystem) -> dict[str, list[str]]:
         """For each witness, which properties fail at its first-failure frame.
 
         Properties co-failing at the earliest frame of some witness are
         debugging-set *candidates*; this is a heuristic preview only
         (simulation cannot establish local verdicts).
         """
-        preview: Dict[str, List[str]] = {}
+        preview: dict[str, list[str]] = {}
         lits = {p.name: p.lit for p in ts.eth_properties()}
         for name, trace in self.failed.items():
             _, first = trace.first_failures(ts.aig, lits)
@@ -82,7 +81,7 @@ def sweep(
             if latch.init is None
         }
         sim.reset(uninit)
-        inputs_so_far: List[Dict[int, bool]] = []
+        inputs_so_far: list[dict[int, bool]] = []
         for _ in range(depth):
             frame_inputs = {
                 inp: rng.random() < input_bias for inp in ts.aig.inputs
@@ -116,9 +115,9 @@ def swept_ja_verify(
     sweep_runs: int = 32,
     sweep_depth: int = 32,
     seed: int = 0,
-    options: Optional[JAOptions] = None,
+    options: JAOptions | None = None,
     design_name: str = "design",
-    emit: Optional[Emit] = None,
+    emit: Emit | None = None,
 ) -> MultiPropReport:
     """Sweep first, then JA-verify everything.
 

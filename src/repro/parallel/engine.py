@@ -78,7 +78,7 @@ from __future__ import annotations
 import queue as queue_mod
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
 
 from ..engines.result import PropStatus
 from ..multiprop.parallel import ParallelSimResult, measure_local_proofs
@@ -109,29 +109,29 @@ class ParallelOptions:
     parallel knobs are new.
     """
 
-    workers: Optional[int] = None  # None: one per CPU (capped by #props)
+    workers: int | None = None  # None: one per CPU (capped by #props)
     exchange: bool = True  # live clause exchange between workers
     schedule_only: bool = False  # legacy simulator instead of processes
     stop_on_failure: bool = False  # cancel the queue on the first FAILS
-    start_method: Optional[str] = None  # fork where available, else spawn
+    start_method: str | None = None  # fork where available, else spawn
     # Queue jobs in descending estimated COI size (LPT heuristic) when
     # no explicit ``order`` is given; an explicit order always wins.
     size_dispatch: bool = True
     # SAT backend name (repro.sat registry); None = process default.
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # A persistent WorkerPool to run on (shared across runs); None
     # creates a private single-run pool sized by ``resolve_workers``.
-    pool: Optional[WorkerPool] = None
+    pool: WorkerPool | None = None
     # Clause-exchange shards: a positive count, or "auto" for one shard
     # per structural property cluster (capped, see repro.parallel.exchange).
-    exchange_shards: Union[int, str] = 1
+    exchange_shards: int | str = 1
     # -- JA-verification knobs (see JAOptions) -------------------------
     clause_reuse: bool = True
     respect_constraints_in_lifting: bool = False
-    per_property_time: Optional[float] = None
-    per_property_conflicts: Optional[int] = None
-    total_time: Optional[float] = None
-    order: Optional[Sequence[str]] = None
+    per_property_time: float | None = None
+    per_property_conflicts: int | None = None
+    total_time: float | None = None
+    order: Sequence[str] | None = None
     max_frames: int = 500
     coi_reduction: bool = False
     ctg: bool = False
@@ -163,12 +163,12 @@ class PooledJob:
         options: ParallelOptions,
         design_name: str,
         emit: Emit,
-        order: List[str],
+        order: list[str],
         *,
         weight: float = 1.0,
         pool_label: str = "persistent",
-        start: Optional[float] = None,
-        job_id: Optional[str] = None,
+        start: float | None = None,
+        job_id: str | None = None,
         on_finish=None,
     ) -> None:
         self.run_id = run_id
@@ -188,23 +188,23 @@ class PooledJob:
             else self.start + options.total_time
         )
         self.pending = set(order)
-        self.outcomes: Dict[str, PropOutcome] = {}
-        self.backlog: List[PropertyJob] = []
+        self.outcomes: dict[str, PropOutcome] = {}
+        self.backlog: list[PropertyJob] = []
         self.ready: set = set()  # seats that acked this run's setup
         self.retried: set = set()
-        self.errors: List[str] = []
-        self.error: Optional[BaseException] = None
+        self.errors: list[str] = []
+        self.error: BaseException | None = None
         self.cancelled = False
         self.cancelled_count = 0
         self.crashes = 0
         self.redispatched = 0
         self.finished = False
         self.total_time = 0.0
-        self.job_time: Optional[float] = None
+        self.job_time: float | None = None
         self.dispatch_mode = "fifo"
         self.use_exchange = False
         self.num_shards = 0
-        self.managers: List[object] = []
+        self.managers: list[object] = []
         self.exchange = None
         self.exchange_stats: dict = {}
 
@@ -222,7 +222,7 @@ class PooledJob:
             )
 
     def record_cancelled(
-        self, name: str, worker_id: Optional[int], checkpoint: bool = True
+        self, name: str, worker_id: int | None, checkpoint: bool = True
     ) -> None:
         if name not in self.pending:  # pragma: no cover - defensive
             return
@@ -289,7 +289,7 @@ class SeatScheduler:
         pool: WorkerPool,
         *,
         revive_seats: bool = False,
-        service_emit: Optional[Emit] = None,
+        service_emit: Emit | None = None,
         shard_host=None,
     ) -> None:
         pool.acquire_messages(self)
@@ -299,9 +299,9 @@ class SeatScheduler:
         # Optional persistent ShardHost: jobs' exchange shards open on
         # pooled manager processes instead of spawning their own.
         self.shard_host = shard_host
-        self.jobs: Dict[int, PooledJob] = {}
+        self.jobs: dict[int, PooledJob] = {}
         # seat -> (run id, property name) it is currently executing
-        self.assignments: Dict[int, Tuple[int, str]] = {}
+        self.assignments: dict[int, tuple[int, str]] = {}
         self.idle: set = set()
         self._revive_budget = 2 * pool.workers if revive_seats else 0
         self._last_reap = time.monotonic()
@@ -314,13 +314,13 @@ class SeatScheduler:
         ts: TransitionSystem,
         options: ParallelOptions,
         design_name: str,
-        emit: Optional[Emit],
-        order: List[str],
+        emit: Emit | None,
+        order: list[str],
         *,
         priority: float = 1.0,
         pool_label: str = "persistent",
-        start: Optional[float] = None,
-        job_id: Optional[str] = None,
+        start: float | None = None,
+        job_id: str | None = None,
         on_finish=None,
     ) -> PooledJob:
         """Open one job on the pool and queue its property backlog."""
@@ -362,7 +362,7 @@ class SeatScheduler:
             dispatch = list(order)
             dispatch_mode = "fifo"
 
-        managers: List[object] = []
+        managers: list[object] = []
         exchange = None
         num_shards = 0
         use_exchange = options.exchange and options.clause_reuse
@@ -434,7 +434,7 @@ class SeatScheduler:
     # Progress
     # ------------------------------------------------------------------
     @property
-    def live_jobs(self) -> List[PooledJob]:
+    def live_jobs(self) -> list[PooledJob]:
         return [job for job in self.jobs.values() if not job.finished]
 
     def drive(self) -> None:
@@ -534,7 +534,7 @@ class SeatScheduler:
         self.idle.discard(worker_id)
         self.pool.assign(worker_id, prop, run_id=job.run_id)
 
-    def _pick_job(self, worker_id: int) -> Optional[PooledJob]:
+    def _pick_job(self, worker_id: int) -> PooledJob | None:
         """Weighted fair share: fewest held seats per unit of priority.
 
         Only jobs whose setup this seat has acked are eligible (the
@@ -542,7 +542,7 @@ class SeatScheduler:
         its run's design), ties go to the oldest run so admission order
         breaks symmetry deterministically.
         """
-        busy: Dict[int, int] = {}
+        busy: dict[int, int] = {}
         for run_id, _ in self.assignments.values():
             busy[run_id] = busy.get(run_id, 0) + 1
         best = None
@@ -684,7 +684,7 @@ class SeatScheduler:
         )
         self._maybe_finish(job)
 
-    def _revive(self, failed: List[int]) -> None:
+    def _revive(self, failed: list[int]) -> None:
         """Respawn dead seats mid-flight and re-attach every open run.
 
         Bounded by the revive budget (``2 * workers`` per scheduler) so
@@ -731,7 +731,7 @@ class SeatScheduler:
 
 
 # ----------------------------------------------------------------------
-def _cone_descending(ts: TransitionSystem, order: List[str]) -> List[str]:
+def _cone_descending(ts: TransitionSystem, order: list[str]) -> list[str]:
     """Jobs sorted by descending estimated COI size (ties keep order).
 
     Uses the same proof-hardness proxy as the ``"cone"`` property order
@@ -750,7 +750,7 @@ def _schedule_only(
     options: ParallelOptions,
     design_name: str,
     emit: Emit,
-    order: List[str],
+    order: list[str],
 ) -> MultiPropReport:
     """The legacy Section 11 simulation, kept as an explicit mode.
 
@@ -819,9 +819,9 @@ def _schedule_only(
 
 def parallel_ja_verify(
     ts: TransitionSystem,
-    options: Optional[ParallelOptions] = None,
+    options: ParallelOptions | None = None,
     design_name: str = "design",
-    emit: Optional[Emit] = None,
+    emit: Emit | None = None,
 ) -> MultiPropReport:
     """Verify every property of ``ts`` with the process-parallel engine.
 
@@ -849,7 +849,7 @@ def _run_pooled(
     opts: ParallelOptions,
     design_name: str,
     emit: Emit,
-    order: List[str],
+    order: list[str],
 ) -> MultiPropReport:
     """One job driven to completion on a single-job seat scheduler.
 

@@ -41,11 +41,11 @@ from __future__ import annotations
 
 from array import array
 from multiprocessing.managers import BaseManager
-from typing import Dict, Iterable, List, Mapping, MutableMapping, Sequence, Tuple, Union
+from collections.abc import Iterable, Mapping, MutableMapping, Sequence
 
 from ..ts.system import TransitionSystem
 
-Clause = Tuple[int, ...]
+Clause = tuple[int, ...]
 
 #: Upper bound on ``shards="auto"`` (one manager process per shard).
 AUTO_SHARD_CAP = 8
@@ -69,11 +69,11 @@ def pack_clauses(clauses: Sequence[Clause]) -> bytes:
     return flat.tobytes()
 
 
-def unpack_clauses(blob: bytes) -> List[Clause]:
+def unpack_clauses(blob: bytes) -> list[Clause]:
     """Inverse of :func:`pack_clauses` (client side of a fetch reply)."""
     flat = array("q")
     flat.frombytes(blob)
-    clauses: List[Clause] = []
+    clauses: list[Clause] = []
     i = 0
     end = len(flat)
     while i < end:
@@ -99,7 +99,7 @@ class ShardMap:
     def shard_of(self, name: str) -> int:
         return self._assignment[name]
 
-    def members(self, shard: int) -> Tuple[str, ...]:
+    def members(self, shard: int) -> tuple[str, ...]:
         return tuple(
             sorted(n for n, s in self._assignment.items() if s == shard)
         )
@@ -115,7 +115,7 @@ class ShardMap:
 def build_shard_map(
     ts: TransitionSystem,
     names: Sequence[str],
-    shards: Union[int, str] = 1,
+    shards: int | str = 1,
     similarity_threshold: float = 0.5,
 ) -> ShardMap:
     """Assign the run's properties to exchange shards, cluster-whole.
@@ -166,7 +166,7 @@ def shard_clusters(clusters: Sequence[Sequence[str]], num_shards: int) -> ShardM
         range(len(clusters)), key=lambda i: (-len(clusters[i]), i)
     )
     loads = [0] * num_shards
-    assignment: Dict[str, int] = {}
+    assignment: dict[str, int] = {}
     for i in order:
         shard = loads.index(min(loads))
         loads[shard] += len(clusters[i])
@@ -189,7 +189,7 @@ class ExchangeShard:
     def __init__(self, index: int = 0, members: Sequence[str] = ()) -> None:
         self.index = index
         self.members = tuple(members)
-        self._log: List[Clause] = []
+        self._log: list[Clause] = []
         self._seen = set()
         self._publishes = 0
         self._fetches = 0
@@ -211,12 +211,12 @@ class ExchangeShard:
         self._publishers.add(name)
         return added
 
-    def fetch(self, name: str, cursor: int) -> Tuple[List[Clause], int]:
+    def fetch(self, name: str, cursor: int) -> tuple[list[Clause], int]:
         """Clauses appended at or after ``cursor``, plus the new cursor."""
         blob, new_cursor = self.fetch_batch(name, cursor)
         return unpack_clauses(blob), new_cursor
 
-    def fetch_batch(self, name: str, cursor: int) -> Tuple[bytes, int]:
+    def fetch_batch(self, name: str, cursor: int) -> tuple[bytes, int]:
         """The cursor gap as **one** packed reply, plus the new cursor.
 
         This is what :class:`ShardedExchange` clients actually call:
@@ -278,7 +278,7 @@ class ShardedExchange:
     def publish(self, name: str, clauses: Iterable[Iterable[int]]) -> int:
         return self._shards[self.shard_of(name)].publish(name, clauses)
 
-    def fetch(self, name: str, cursor: int) -> Tuple[List[Clause], int]:
+    def fetch(self, name: str, cursor: int) -> tuple[list[Clause], int]:
         """One batched round-trip per cursor gap (see ``fetch_batch``)."""
         blob, new_cursor = self._shards[self.shard_of(name)].fetch_batch(
             name, cursor
@@ -287,7 +287,7 @@ class ShardedExchange:
 
     def fetch_fresh(
         self, name: str, cursors: MutableMapping[int, int]
-    ) -> List[Clause]:
+    ) -> list[Clause]:
         """Everything ``name``'s shard published since the last call.
 
         ``cursors`` is the caller's per-shard cursor table (one per
@@ -348,7 +348,7 @@ class ShardHost:
 
     def __init__(self, ctx=None) -> None:
         self._ctx = ctx
-        self._managers: List[ShardManager] = []
+        self._managers: list[ShardManager] = []
         self._closed = False
 
     @property
@@ -384,15 +384,15 @@ class ShardHost:
 
 def start_sharded_exchange(
     shard_map: ShardMap, ctx=None
-) -> Tuple[List[ShardManager], ShardedExchange]:
+) -> tuple[list[ShardManager], ShardedExchange]:
     """One manager process per shard; returns ``(managers, exchange)``.
 
     The caller owns the managers and must ``shutdown()`` each after
     collecting :meth:`ShardedExchange.stats`; the returned exchange is
     picklable and is handed to worker processes per run.
     """
-    managers: List[ShardManager] = []
-    proxies: List[object] = []
+    managers: list[ShardManager] = []
+    proxies: list[object] = []
     try:
         for shard in range(shard_map.num_shards):
             manager = ShardManager(ctx=ctx)

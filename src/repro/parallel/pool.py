@@ -88,7 +88,6 @@ import queue as queue_mod
 import time
 import weakref
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
 
 from ..ts.system import TransitionSystem
 
@@ -140,8 +139,8 @@ class WorkerPool:
 
     def __init__(
         self,
-        workers: Optional[int] = None,
-        start_method: Optional[str] = None,
+        workers: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         resolved = workers if workers is not None else os.cpu_count() or 1
         if resolved < 1:
@@ -155,15 +154,15 @@ class WorkerPool:
         # Highest cancelled run id; workers decline jobs at or below it.
         self._cancel_epoch = self.context.Value("q", -1)
         self._stop = self.context.Event()
-        self._slots: List[_Slot] = []
+        self._slots: list[_Slot] = []
         # content hash -> pickled payload (LRU, DESIGN_CACHE_SIZE deep)
         self._pickled: "OrderedDict[str, bytes]" = OrderedDict()
         self._hash_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
         self._run_ids = itertools.count()
-        self._open: Dict[int, _OpenRun] = {}
+        self._open: dict[int, _OpenRun] = {}
         self._cancelled_runs: set = set()
-        self._active: Optional[int] = None
-        self._consumer: Optional[object] = None  # message-lease holder
+        self._active: int | None = None
+        self._consumer: object | None = None  # message-lease holder
         self._closed = False
         _live_pools.add(self)
         self.stats = {
@@ -209,7 +208,7 @@ class WorkerPool:
         self.stats["workers_spawned"] += 1
         return _Slot(process, ctrl)
 
-    def ensure_workers(self) -> Tuple[List[int], List[int]]:
+    def ensure_workers(self) -> tuple[list[int], list[int]]:
         """Bring the pool to full strength; ``(new_ids, replaced_ids)``.
 
         Called by the engine at the start of every run: missing seats
@@ -219,8 +218,8 @@ class WorkerPool:
         """
         if self._closed:
             raise RuntimeError("WorkerPool is shut down")
-        started: List[int] = []
-        replaced: List[int] = []
+        started: list[int] = []
+        replaced: list[int] = []
         for worker_id in range(self.workers):
             if worker_id < len(self._slots):
                 if self._slots[worker_id].process.is_alive():
@@ -321,7 +320,7 @@ class WorkerPool:
     # Run protocol — seat leasing (many runs may be open at once)
     # ------------------------------------------------------------------
     @property
-    def open_runs(self) -> List[int]:
+    def open_runs(self) -> list[int]:
         """Ids of runs currently open, oldest first."""
         return sorted(self._open)
 
@@ -370,7 +369,7 @@ class WorkerPool:
         )
         _lru_touch(slot.designs, digest, True)
 
-    def assign(self, worker_id: int, job, run_id: Optional[int] = None) -> None:
+    def assign(self, worker_id: int, job, run_id: int | None = None) -> None:
         """Hand one job of a run to a specific worker seat."""
         if run_id is None:
             if self._active is None:
@@ -505,14 +504,14 @@ class WorkerPool:
         process = self._slots[worker_id].process
         return not process.is_alive() and process.exitcode not in (0, None)
 
-    def failed_workers(self) -> List[int]:
+    def failed_workers(self) -> list[int]:
         return [
             worker_id
             for worker_id in range(len(self._slots))
             if self.worker_failed(worker_id)
         ]
 
-    def alive_workers(self) -> List[int]:
+    def alive_workers(self) -> list[int]:
         return [
             worker_id
             for worker_id, slot in enumerate(self._slots)
@@ -526,11 +525,11 @@ class WorkerPool:
 # ----------------------------------------------------------------------
 # Module-level default pool (server-style workloads)
 # ----------------------------------------------------------------------
-_default: Optional[WorkerPool] = None
+_default: WorkerPool | None = None
 
 
 def default_pool(
-    workers: Optional[int] = None, start_method: Optional[str] = None
+    workers: int | None = None, start_method: str | None = None
 ) -> WorkerPool:
     """The process-wide shared pool, created on first use.
 

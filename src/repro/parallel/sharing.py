@@ -25,9 +25,9 @@ import anyway.
 from __future__ import annotations
 
 from multiprocessing.managers import BaseManager
-from typing import Iterable, List, Tuple
+from collections.abc import Iterable
 
-Clause = Tuple[int, ...]
+Clause = tuple[int, ...]
 
 
 class ClauseExchange:
@@ -38,7 +38,7 @@ class ClauseExchange:
     """
 
     def __init__(self) -> None:
-        self._log: List[Clause] = []
+        self._log: list[Clause] = []
         self._seen = set()
         self._published = 0  # publish() calls, including all-duplicate ones
 
@@ -55,7 +55,7 @@ class ClauseExchange:
         self._published += 1
         return added
 
-    def fetch(self, cursor: int) -> Tuple[List[Clause], int]:
+    def fetch(self, cursor: int) -> tuple[list[Clause], int]:
         """Clauses appended at or after ``cursor``, plus the new cursor."""
         if cursor < 0:
             raise ValueError(f"cursor must be non-negative, got {cursor}")

@@ -68,7 +68,7 @@ import pickle
 import queue as queue_mod
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 from ..multiprop.clausedb import ClauseDB
 from ..multiprop.ja import JAOptions, JAVerifier
@@ -85,8 +85,8 @@ class PropertyJob:
     """One unit of work: verify one property locally."""
 
     name: str
-    per_property_time: Optional[float] = None
-    per_property_conflicts: Optional[int] = None
+    per_property_time: float | None = None
+    per_property_conflicts: int | None = None
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,7 @@ class WorkerSettings:
     ctg: bool = False
     max_frames: int = 500
     stop_on_failure: bool = False
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     engine_overrides: Mapping[str, object] = None  # type: ignore[assignment]
 
     def job_options(self, job: PropertyJob) -> JAOptions:
@@ -125,13 +125,13 @@ class _ActiveRun:
     run_id: int
     ts: TransitionSystem
     settings: WorkerSettings
-    exchange: Optional[object]  # ShardedExchange or None
+    exchange: object | None  # ShardedExchange or None
     # One clause database per exchange shard (key -1 without exchange):
     # a worker that serves jobs from several shards must not let one
     # shard's imports seed another shard's proofs, or the cross-shard
     # isolation the exchange enforces would leak back in worker-side.
-    dbs: Dict[int, ClauseDB] = field(default_factory=dict)
-    cursors: Dict[int, int] = field(default_factory=dict)
+    dbs: dict[int, ClauseDB] = field(default_factory=dict)
+    cursors: dict[int, int] = field(default_factory=dict)
 
     def db_for(self, name: str) -> ClauseDB:
         shard = -1 if self.exchange is None else self.exchange.shard_of(name)
@@ -162,7 +162,7 @@ def pool_worker_main(
     # per-slot mirror, applied to the same ordered message stream, so
     # the two sides always agree on which hashes this worker holds.
     designs: "OrderedDict[str, TransitionSystem]" = OrderedDict()
-    runs: Dict[int, _ActiveRun] = {}
+    runs: dict[int, _ActiveRun] = {}
     cancelled: set = set()
     while True:
         try:
@@ -197,7 +197,11 @@ def pool_worker_main(
             runs.pop(message[1], None)
             cancelled.discard(message[1])
             continue
-        # kind == "job"
+        if kind != "job":  # pragma: no cover - defensive: protocol drift
+            # An unknown control tag means the parent and this worker
+            # disagree about the wire protocol; drop it rather than
+            # mis-unpack it as a job.
+            continue
         _, run_id, job = message
         run = runs.get(run_id)
         if run is None:

@@ -43,7 +43,8 @@ re-exported by :mod:`repro.session`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Optional, Tuple
+from collections.abc import Callable
+from typing import ClassVar
 
 __all__ = [
     "ProgressEvent",
@@ -86,7 +87,7 @@ class RunStarted(ProgressEvent):
     kind: ClassVar[str] = "run-started"
     strategy: str
     design: str
-    properties: Tuple[str, ...]
+    properties: tuple[str, ...]
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,7 @@ class PropertyStarted(ProgressEvent):
 
     kind: ClassVar[str] = "property-started"
     name: str
-    assumed: Tuple[str, ...] = ()
+    assumed: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -124,8 +125,8 @@ class PropertySolved(ProgressEvent):
     status: object
     local: bool
     time_seconds: float = 0.0
-    cex_depth: Optional[int] = None
-    assumed: Tuple[str, ...] = ()
+    cex_depth: int | None = None
+    assumed: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -167,7 +168,7 @@ class BudgetCheckpoint(ProgressEvent):
     kind: ClassVar[str] = "budget-checkpoint"
     scope: str
     elapsed: float
-    conflicts: Optional[int] = None
+    conflicts: int | None = None
 
 
 @dataclass(frozen=True)
@@ -175,7 +176,7 @@ class ClusterStarted(ProgressEvent):
     """The clustered driver opened one property group."""
 
     kind: ClassVar[str] = "cluster-started"
-    members: Tuple[str, ...]
+    members: tuple[str, ...]
 
 
 @dataclass(frozen=True)
@@ -227,7 +228,7 @@ class PropertyCancelled(ProgressEvent):
 
     kind: ClassVar[str] = "property-cancelled"
     name: str
-    worker: Optional[int] = None
+    worker: int | None = None
 
 
 @dataclass(frozen=True)
@@ -242,7 +243,7 @@ class PropertyRequeued(ProgressEvent):
 
     kind: ClassVar[str] = "property-requeued"
     name: str
-    worker: Optional[int] = None
+    worker: int | None = None
 
 
 @dataclass(frozen=True)
@@ -313,7 +314,7 @@ def null_emit(event: ProgressEvent) -> None:
     """The no-listener sink: drivers default to this when ``emit`` is None."""
 
 
-def emit_or_null(emit: Optional[Emit]) -> Emit:
+def emit_or_null(emit: Emit | None) -> Emit:
     """Normalize an optional callback to a callable."""
     return emit if emit is not None else null_emit
 

@@ -32,7 +32,8 @@ CLI ``--backend``, engine options) overrides the environment.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, Optional, Protocol, Sequence, runtime_checkable
+from collections.abc import Callable, Iterable, Sequence
+from typing import Protocol, runtime_checkable
 
 from .solver import Solver
 from .types import Status
@@ -82,7 +83,7 @@ class SatBackend(Protocol):
         """Decide satisfiability under the given assumption literals."""
         ...  # pragma: no cover - protocol
 
-    def value(self, lit: int) -> Optional[bool]:
+    def value(self, lit: int) -> bool | None:
         """Model value of a signed literal after a SAT answer."""
         ...  # pragma: no cover - protocol
 
@@ -98,7 +99,7 @@ class SatBackend(Protocol):
         """Permanently disable the clause group guarded by ``act``."""
         ...  # pragma: no cover - protocol
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         """A snapshot of work counters (``clauses_added``, ``conflicts``, ...)."""
         ...  # pragma: no cover - protocol
 
@@ -106,7 +107,7 @@ class SatBackend(Protocol):
 #: A backend factory: a zero-argument callable producing a fresh solver.
 BackendFactory = Callable[[], SatBackend]
 
-_REGISTRY: Dict[str, BackendFactory] = {}
+_REGISTRY: dict[str, BackendFactory] = {}
 
 
 def register_backend(
@@ -143,13 +144,13 @@ def get_backend(name: str) -> BackendFactory:
         raise UnknownBackendError(name, sorted(_REGISTRY)) from None
 
 
-def available_backends() -> Dict[str, str]:
+def available_backends() -> dict[str, str]:
     """Registered names mapped to one-line descriptions.
 
     The description is the first line of the factory's docstring —
     exactly what ``python -m repro --list-backends`` prints.
     """
-    out: Dict[str, str] = {}
+    out: dict[str, str] = {}
     for name in sorted(_REGISTRY):
         doc = (_REGISTRY[name].__doc__ or "").strip()
         out[name] = doc.splitlines()[0] if doc else ""
@@ -167,7 +168,7 @@ def default_backend() -> str:
     return name
 
 
-def create_solver(backend: Optional[str] = None) -> SatBackend:
+def create_solver(backend: str | None = None) -> SatBackend:
     """Instantiate a fresh solver from a backend name.
 
     ``None`` resolves through :func:`default_backend` (environment,

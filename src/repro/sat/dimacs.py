@@ -7,10 +7,10 @@ when one is available.
 
 from __future__ import annotations
 
-from typing import List, TextIO, Tuple
+from typing import TextIO
 
 
-def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
     """Parse DIMACS CNF text into ``(num_vars, clauses)``.
 
     Accepts comment lines (``c ...``), a problem line (``p cnf V C``), and
@@ -19,8 +19,8 @@ def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
     wrong); the variable count is taken as a lower bound.
     """
     num_vars = 0
-    clauses: List[List[int]] = []
-    current: List[int] = []
+    clauses: list[list[int]] = []
+    current: list[int] = []
     saw_problem_line = False
     for raw_line in text.splitlines():
         line = raw_line.strip()
@@ -48,7 +48,7 @@ def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
     return num_vars, clauses
 
 
-def write_dimacs(stream: TextIO, num_vars: int, clauses: List[List[int]], comment: str = "") -> None:
+def write_dimacs(stream: TextIO, num_vars: int, clauses: list[list[int]], comment: str = "") -> None:
     """Write clauses in DIMACS CNF format to a text stream."""
     if comment:
         for line in comment.splitlines():
@@ -59,7 +59,7 @@ def write_dimacs(stream: TextIO, num_vars: int, clauses: List[List[int]], commen
         stream.write(" 0\n")
 
 
-def dimacs_str(num_vars: int, clauses: List[List[int]], comment: str = "") -> str:
+def dimacs_str(num_vars: int, clauses: list[list[int]], comment: str = "") -> str:
     """Render clauses as a DIMACS CNF string."""
     import io
 

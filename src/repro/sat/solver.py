@@ -21,7 +21,7 @@ which the test-suite and the experiment harness rely on.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from .types import FALSE, TRUE, UNASSIGNED, Status, from_dimacs, to_dimacs
 
@@ -76,18 +76,18 @@ class Solver:
     def __init__(self) -> None:
         self.num_vars = 0
         # Per-variable state (index = internal var).
-        self._assign: List[int] = []  # TRUE / FALSE / UNASSIGNED
-        self._level: List[int] = []
-        self._reason: List[Optional[list]] = []
-        self._activity: List[float] = []
-        self._polarity: List[bool] = []  # saved phase; True = last was negative
-        self._seen: List[bool] = []
+        self._assign: list[int] = []  # TRUE / FALSE / UNASSIGNED
+        self._level: list[int] = []
+        self._reason: list[list | None] = []
+        self._activity: list[float] = []
+        self._polarity: list[bool] = []  # saved phase; True = last was negative
+        self._seen: list[bool] = []
         # Watches indexed by internal literal -> list of clauses.
-        self._watches: List[List[list]] = []
+        self._watches: list[list[list]] = []
         # Clause store. A clause is a plain list of internal lits; learned
         # clauses carry their activity in a parallel dict keyed by id().
-        self._clauses: List[list] = []
-        self._learnts: List[list] = []
+        self._clauses: list[list] = []
+        self._learnts: list[list] = []
         # Live-clause id sets: deletion (activation retirement) detaches
         # a clause and discards its id; the stale reference stays in the
         # store list until the next lazy compaction, which also keeps
@@ -102,19 +102,19 @@ class Solver:
         # long incremental runs.
         self._act_groups: dict = {}
         self._act_learnts: dict = {}
-        self._act_free: List[int] = []
+        self._act_free: list[int] = []
         self._cla_activity: dict = {}
         self._cla_inc = 1.0
         self._var_inc = 1.0
-        self._trail: List[int] = []
-        self._trail_lim: List[int] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
         self._qhead = 0
-        self._order_heap: List[tuple] = []  # lazy (-activity, var) heap
-        self._in_heap: List[bool] = []
+        self._order_heap: list[tuple] = []  # lazy (-activity, var) heap
+        self._in_heap: list[bool] = []
         self._ok = True
-        self._model: List[int] = []
+        self._model: list[int] = []
         self._conflict_core: frozenset = frozenset()
-        self._assumptions: List[int] = []
+        self._assumptions: list[int] = []
         # Counters & budgets.  ``counters`` is the live dict; the
         # :class:`~repro.sat.backend.SatBackend` protocol reads a
         # snapshot through :meth:`stats`.
@@ -131,9 +131,9 @@ class Solver:
             "activations_retired": 0,
             "activations_recycled": 0,
         }
-        self._conflict_budget: Optional[int] = None
-        self._propagation_budget: Optional[int] = None
-        self._minimize_touched: List[int] = []
+        self._conflict_budget: int | None = None
+        self._propagation_budget: int | None = None
+        self._minimize_touched: list[int] = []
         self._budget_conflict_mark = 0
         self._budget_prop_mark = 0
 
@@ -223,7 +223,7 @@ class Solver:
             return UNASSIGNED
         return val ^ (lit & 1)
 
-    def _enqueue(self, lit: int, reason: Optional[list]) -> bool:
+    def _enqueue(self, lit: int, reason: list | None) -> bool:
         val = self._lit_value(lit)
         if val != UNASSIGNED:
             return val == TRUE
@@ -240,7 +240,7 @@ class Solver:
     # ------------------------------------------------------------------
     # Unit propagation
     # ------------------------------------------------------------------
-    def _propagate(self) -> Optional[list]:
+    def _propagate(self) -> list | None:
         """Propagate all enqueued facts; return a conflicting clause or None."""
         watches = self._watches
         assign = self._assign
@@ -521,7 +521,7 @@ class Solver:
     # Budgets
     # ------------------------------------------------------------------
     def set_budget(
-        self, conflicts: Optional[int] = None, propagations: Optional[int] = None
+        self, conflicts: int | None = None, propagations: int | None = None
     ) -> None:
         """Limit the next ``solve`` call; it returns UNKNOWN when exceeded."""
         self._conflict_budget = conflicts
@@ -574,7 +574,7 @@ class Solver:
                 self._cancel_until(0)
                 return Status.UNKNOWN
 
-    def _search(self, conflict_budget: int) -> Optional[Status]:
+    def _search(self, conflict_budget: int) -> Status | None:
         conflicts_here = 0
         while True:
             conflict = self._propagate()
@@ -826,7 +826,7 @@ class Solver:
         """A snapshot of the solver's work counters (SatBackend API)."""
         return dict(self.counters)
 
-    def value(self, lit: int) -> Optional[bool]:
+    def value(self, lit: int) -> bool | None:
         """Model value of a signed literal after a SAT answer."""
         if not self._model:
             return None
@@ -839,7 +839,7 @@ class Solver:
         truth = val == TRUE
         return truth if lit > 0 else not truth
 
-    def model(self) -> List[int]:
+    def model(self) -> list[int]:
         """The model as a list of signed literals (one per variable)."""
         out = []
         for var, val in enumerate(self._model):

@@ -48,7 +48,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, List, Optional, Set
+from typing import Deque
 
 import queue as queue_mod
 
@@ -96,13 +96,13 @@ class _JobRecord:
         self.kind = kind  # "pool" | "thread"
         self.submitted_at = time.monotonic()
         self.cancel_requested = False
-        self.thread: Optional[threading.Thread] = None
+        self.thread: threading.Thread | None = None
         self.pooled_job = None  # PooledJob while executing on seats
         # First exception a subscriber raised while consuming this
         # job's events (e.g. BrokenPipeError from a print callback);
         # surfaced through the handle's future, never allowed to kill
         # the dispatcher or leave the future unresolved.
-        self.emit_failure: Optional[BaseException] = None
+        self.emit_failure: BaseException | None = None
         # The dispatcher may not admit this record until its JobQueued
         # has been emitted (on the submitting thread) — otherwise a
         # fast job could stream JobStarted before its own JobQueued.
@@ -114,13 +114,13 @@ class VerificationService:
 
     def __init__(
         self,
-        pool: Optional[WorkerPool] = None,
+        pool: WorkerPool | None = None,
         *,
-        workers: Optional[int] = None,
-        start_method: Optional[str] = None,
+        workers: int | None = None,
+        start_method: str | None = None,
         max_concurrent_jobs: int = 8,
         max_pending: int = 64,
-        on_event: Optional[Emit] = None,
+        on_event: Emit | None = None,
     ) -> None:
         if max_concurrent_jobs < 1:
             raise ValueError(
@@ -136,18 +136,18 @@ class VerificationService:
         self._owns_pool = pool is None
         self._workers = workers
         self._start_method = start_method
-        self._scheduler: Optional[SeatScheduler] = None
+        self._scheduler: SeatScheduler | None = None
         self._shard_host = None  # persistent exchange managers (pooled jobs)
         self._inline = False  # private Session mode: no pooled jobs
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._pending: Deque[_JobRecord] = deque()
-        self._running: Set[_JobRecord] = set()
-        self._records: List[_JobRecord] = []
+        self._running: set[_JobRecord] = set()
+        self._records: list[_JobRecord] = []
         self._commands: "queue_mod.Queue" = queue_mod.Queue()
         self._wake = threading.Event()
-        self._dispatcher: Optional[threading.Thread] = None
-        self._subscribers: List[Emit] = []
+        self._dispatcher: threading.Thread | None = None
+        self._subscribers: list[Emit] = []
         self._job_ids = 0
         self._closed = False
         self._stopping = False
@@ -176,7 +176,7 @@ class VerificationService:
     # Introspection and events
     # ------------------------------------------------------------------
     @property
-    def pool(self) -> Optional[WorkerPool]:
+    def pool(self) -> WorkerPool | None:
         """The shared pool (None until the first pooled job creates it)."""
         return self._pool
 
@@ -184,7 +184,7 @@ class VerificationService:
     def closed(self) -> bool:
         return self._closed
 
-    def jobs(self) -> List[JobHandle]:
+    def jobs(self) -> list[JobHandle]:
         """Handles of every job ever submitted, in submission order."""
         with self._lock:
             return [record.handle for record in self._records]
@@ -254,12 +254,12 @@ class VerificationService:
     def submit(
         self,
         design,
-        config: Optional[VerificationConfig] = None,
+        config: VerificationConfig | None = None,
         *,
-        priority: Optional[float] = None,
+        priority: float | None = None,
         block: bool = True,
-        timeout: Optional[float] = None,
-        on_event: Optional[Emit] = None,
+        timeout: float | None = None,
+        on_event: Emit | None = None,
         **overrides: object,
     ) -> JobHandle:
         """Queue one verification job; returns its handle immediately.
@@ -629,7 +629,7 @@ class VerificationService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def drain(self, timeout: Optional[float] = None) -> None:
+    def drain(self, timeout: float | None = None) -> None:
         """Block until every submitted job is terminal."""
         deadline = None if timeout is None else time.monotonic() + timeout
         for handle in self.jobs():
@@ -641,7 +641,7 @@ class VerificationService:
                     f"jobs still running after {timeout} seconds"
                 )
 
-    def close(self, timeout: Optional[float] = 30.0) -> None:
+    def close(self, timeout: float | None = 30.0) -> None:
         """Stop admission, cancel queued jobs, wait for running ones.
 
         Running jobs finish normally (pooled jobs keep their seats

@@ -30,10 +30,14 @@ import enum
 import queue
 import threading
 from concurrent.futures import Future
-from typing import Iterator, List, Optional
+from collections.abc import Iterator
 
 from ..multiprop.report import MultiPropReport
 from ..progress import Emit, JobFinished, ProgressEvent
+
+#: How often event streams wake to re-check for a terminally-ended job
+#: whose final event never arrived (dispatcher death).
+_EVENT_POLL_TIMEOUT = 0.5
 
 
 class JobStatus(enum.Enum):
@@ -76,8 +80,8 @@ class JobHandle:
         self.done.set_running_or_notify_cancel()  # never Future-cancelled
         self._status = JobStatus.QUEUED
         self._lock = threading.Lock()
-        self._subscribers: List[Emit] = []
-        self._event_queues: List["queue.Queue"] = []
+        self._subscribers: list[Emit] = []
+        self._event_queues: list["queue.Queue"] = []
         # set by the service: called on cancel() to request cancellation
         self._cancel_request = None
 
@@ -88,11 +92,11 @@ class JobHandle:
     def status(self) -> JobStatus:
         return self._status
 
-    def result(self, timeout: Optional[float] = None) -> MultiPropReport:
+    def result(self, timeout: float | None = None) -> MultiPropReport:
         """The job's report; blocks, re-raises strategy exceptions."""
         return self.done.result(timeout=timeout)
 
-    def wait(self, timeout: Optional[float] = None) -> bool:
+    def wait(self, timeout: float | None = None) -> bool:
         """Block until the job is terminal; True if it finished in time."""
         try:
             self.done.exception(timeout=timeout)
@@ -137,7 +141,15 @@ class JobHandle:
             self._event_queues.append(events)
         try:
             while True:
-                event = events.get()
+                try:
+                    event = events.get(timeout=_EVENT_POLL_TIMEOUT)
+                except queue.Empty:
+                    # No event and the job already ended: the dispatcher
+                    # died between the terminal transition and the
+                    # JobFinished emit — bail out instead of hanging.
+                    if self._status.terminal:
+                        return
+                    continue
                 yield event
                 if isinstance(event, JobFinished):
                     return

@@ -12,7 +12,7 @@ independently usable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 from ..ts.system import TransitionSystem
 
@@ -49,17 +49,17 @@ class VerificationConfig:
 
     strategy: str = "ja"
     # -- budgets -------------------------------------------------------
-    total_time: Optional[float] = None
-    per_property_time: Optional[float] = None
-    per_property_conflicts: Optional[int] = None
-    total_conflicts: Optional[int] = None
+    total_time: float | None = None
+    per_property_time: float | None = None
+    per_property_conflicts: int | None = None
+    total_conflicts: int | None = None
     # -- property ordering ---------------------------------------------
     #: ``None`` (design order), ``"design"``, ``"cone"``,
     #: ``"shuffled:<seed>"``, or an explicit sequence of property names.
-    order: Union[None, str, Sequence[str]] = None
+    order: None | str | Sequence[str] = None
     # -- clause re-use (Section 6) -------------------------------------
     clause_reuse: bool = True
-    clause_db_path: Optional[str] = None
+    clause_db_path: str | None = None
     # -- local-proof details (Sections 6-C, 7-A) -----------------------
     respect_constraints_in_lifting: bool = False
     coi_reduction: bool = False
@@ -69,14 +69,14 @@ class VerificationConfig:
     # -- SAT backend (repro.sat registry) ------------------------------
     #: ``None`` uses the process default (``REPRO_SAT_BACKEND`` env var,
     #: then ``"cdcl"``); any registered backend name selects explicitly.
-    solver_backend: Optional[str] = None
+    solver_backend: str | None = None
     # -- joint/clustered specifics -------------------------------------
     include_etf: bool = True
     cluster_inner: str = "joint"
     similarity_threshold: float = 0.5
     # -- parallel-ja specifics (Section 11) ----------------------------
     #: Worker processes; ``None`` means one per CPU (capped by #props).
-    workers: Optional[int] = None
+    workers: int | None = None
     #: Live clause exchange between workers (requires ``clause_reuse``).
     exchange: bool = True
     #: Fall back to the legacy list-scheduling simulator (no processes).
@@ -85,10 +85,10 @@ class VerificationConfig:
     stop_on_failure: bool = False
     #: Clause-exchange shards: a positive count, or ``"auto"`` for one
     #: shard per structural property cluster (see repro.parallel.exchange).
-    exchange_shards: Union[int, str] = 1
+    exchange_shards: int | str = 1
     #: A persistent :class:`repro.parallel.WorkerPool` shared across
     #: ``Session.run()`` calls; ``None`` uses a private single-run pool.
-    pool: Optional[object] = None
+    pool: object | None = None
     # -- service specifics (repro.service) -----------------------------
     #: Default fair-share weight when this config is ``submit()``-ed to
     #: a :class:`repro.service.VerificationService` (> 0; a job holding
@@ -96,9 +96,9 @@ class VerificationConfig:
     priority: float = 1.0
     #: Jobs a service built from this config runs concurrently (``repro
     #: serve``); ``None`` defers to the service's own default.
-    max_concurrent_jobs: Optional[int] = None
+    max_concurrent_jobs: int | None = None
     # -- escape hatch: validated IC3Options overrides ------------------
-    engine: Dict[str, object] = field(default_factory=dict)
+    engine: dict[str, object] = field(default_factory=dict)
     # -- reporting -----------------------------------------------------
     design_name: str = "design"
 
@@ -209,8 +209,8 @@ class VerificationConfig:
 
 
 def resolve_order(
-    ts: TransitionSystem, order: Union[None, str, Sequence[str]]
-) -> Optional[List[str]]:
+    ts: TransitionSystem, order: None | str | Sequence[str]
+) -> list[str] | None:
     """Turn a config order spec into an explicit property-name list.
 
     ``None`` stays ``None`` (drivers default to design order); unknown

@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
-from typing import Iterator, List, Optional, Union
+from collections.abc import Iterator
 
 from ..circuit.aig import AIG
 from ..multiprop.report import MultiPropReport
@@ -27,10 +27,14 @@ from ..ts.system import TransitionSystem
 from .config import ConfigError, VerificationConfig, resolve_order
 from .registry import get_strategy
 
-DesignLike = Union[str, "os.PathLike[str]", AIG, TransitionSystem]
+DesignLike = str | os.PathLike | AIG | TransitionSystem
+
+#: How often :meth:`Session.stream` wakes to notice a dead worker
+#: thread that never delivered its end-of-stream sentinel.
+_STREAM_POLL_TIMEOUT = 0.5
 
 
-def load_design(path: Union[str, "os.PathLike[str]"]) -> AIG:
+def load_design(path: "str | os.PathLike[str]") -> AIG:
     """Load an AIGER design, dispatching on the ``.aig``/``.aag`` suffix."""
     from ..circuit.aiger import load_aag
     from ..circuit.aiger_binary import load_aig
@@ -54,9 +58,9 @@ class Session:
     def __init__(
         self,
         design: DesignLike,
-        config: Optional[VerificationConfig] = None,
+        config: VerificationConfig | None = None,
         *,
-        on_event: Optional[Emit] = None,
+        on_event: Emit | None = None,
         **overrides: object,
     ) -> None:
         base = config if config is not None else VerificationConfig()
@@ -69,8 +73,8 @@ class Session:
         get_strategy(base.strategy)  # fail fast on unknown strategies
         resolve_order(self.ts, base.order)  # ... and on unknown property names
         self.config = base
-        self.report: Optional[MultiPropReport] = None
-        self._subscribers: List[Emit] = []
+        self.report: MultiPropReport | None = None
+        self._subscribers: list[Emit] = []
         if on_event is not None:
             self.subscribe(on_event)
 
@@ -133,7 +137,7 @@ class Session:
                 properties=tuple(p.name for p in self.ts.properties),
             )
         )
-        report: Optional[MultiPropReport] = None
+        report: MultiPropReport | None = None
         try:
             service = VerificationService._private()
             try:
@@ -171,7 +175,7 @@ class Session:
         """
         events: "queue.Queue[object]" = queue.Queue()
         done = object()
-        failure: List[BaseException] = []
+        failure: list[BaseException] = []
 
         def pump(event: ProgressEvent) -> None:
             events.put(event)
@@ -192,7 +196,16 @@ class Session:
         finished = False
         try:
             while True:
-                item = events.get()
+                try:
+                    item = events.get(timeout=_STREAM_POLL_TIMEOUT)
+                except queue.Empty:
+                    if not thread.is_alive():
+                        # The worker died without its sentinel (killed
+                        # thread, interpreter teardown): stop streaming
+                        # rather than wait forever.
+                        finished = True
+                        break
+                    continue
                 if item is done:
                     finished = True
                     break

@@ -27,7 +27,8 @@ the simulation-assisted ``sweep-ja`` pipeline, and the process-parallel
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Protocol, runtime_checkable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..multiprop.report import MultiPropReport
@@ -67,7 +68,7 @@ class Strategy(Protocol):
         ...  # pragma: no cover - protocol
 
 
-_REGISTRY: Dict[str, Strategy] = {}
+_REGISTRY: dict[str, Strategy] = {}
 
 
 def register_strategy(
@@ -106,13 +107,13 @@ def get_strategy(name: str) -> Strategy:
         raise UnknownStrategyError(name, sorted(_REGISTRY)) from None
 
 
-def available_strategies() -> Dict[str, str]:
+def available_strategies() -> dict[str, str]:
     """Registered names mapped to one-line descriptions.
 
     The description is the first line of the strategy's docstring —
     exactly what ``python -m repro --list-strategies`` prints.
     """
-    out: Dict[str, str] = {}
+    out: dict[str, str] = {}
     for name in sorted(_REGISTRY):
         doc = (type(_REGISTRY[name]).__doc__ or "").strip()
         out[name] = doc.splitlines()[0] if doc else ""

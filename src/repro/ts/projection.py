@@ -18,7 +18,7 @@ the transition's source frame does — yields the same traces.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from collections.abc import Sequence
 
 from .system import TransitionSystem
 
@@ -27,7 +27,7 @@ def assumption_names(
     ts: TransitionSystem,
     target: str,
     extra_excluded: Sequence[str] = (),
-) -> List[str]:
+) -> list[str]:
     """Names of the properties assumed while proving ``target`` locally.
 
     Per Section 4 the assumption set is every other property; per
@@ -48,7 +48,7 @@ def assumption_names(
     ]
 
 
-def assumption_lits(ts: TransitionSystem, names: Sequence[str]) -> List[int]:
+def assumption_lits(ts: TransitionSystem, names: Sequence[str]) -> list[int]:
     """AIG literals of the named assumed properties."""
     return [ts.prop_by_name[n].lit for n in names]
 
@@ -94,14 +94,14 @@ class ProjectedReachability:
         n_latch, n_input = self.n_latch, self.n_input
         self.prop_names = [p.name for p in ts.properties]
         # successor[s][x] -> s' ; prop_ok[s][x] -> frozenset of TRUE props
-        self.successor: List[List[int]] = []
-        self.prop_true: List[List[FrozenSet[str]]] = []
+        self.successor: list[list[int]] = []
+        self.prop_true: list[list[frozenset[str]]] = []
         for s in range(1 << n_latch):
             sim.state = {
                 latch.lit: bool((s >> i) & 1) for i, latch in enumerate(ts.latches)
             }
-            succ_row: List[int] = []
-            prop_row: List[FrozenSet[str]] = []
+            succ_row: list[int] = []
+            prop_row: list[frozenset[str]] = []
             for x in range(1 << n_input):
                 inputs = {
                     inp: bool((x >> i) & 1) for i, inp in enumerate(aig.inputs)
@@ -163,18 +163,18 @@ class ProjectedReachability:
         assumed = assumption_names(self.ts, prop_name)
         return self.fails(prop_name, assumed)
 
-    def debugging_set(self) -> List[str]:
+    def debugging_set(self) -> list[str]:
         """Names of properties that fail locally (Section 4)."""
         return [p.name for p in self.ts.properties if self.fails_locally(p.name)]
 
-    def min_cex_depth(self, prop_name: str, assumed: Sequence[str] = ()) -> Optional[int]:
+    def min_cex_depth(self, prop_name: str, assumed: Sequence[str] = ()) -> int | None:
         """Length (in frames) of a shortest CEX, or None if the property holds.
 
         Depth 1 means the property already fails at the initial state
         under some input.
         """
         assumed_set = set(assumed)
-        dist: Dict[int, int] = {s: 0 for s in self.initial_states}
+        dist: dict[int, int] = {s: 0 for s in self.initial_states}
         frontier = sorted(self.initial_states)
         while True:
             for s in frontier:

@@ -18,13 +18,13 @@ is then a (latch valuation, input valuation) pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..circuit.aig import AIG, Property
 from ..encode.tseitin import ClauseSink, ConeEncoder
 
-Cube = Tuple[int, ...]
-Clause = Tuple[int, ...]
+Cube = tuple[int, ...]
+Clause = tuple[int, ...]
 
 
 def normalize_cube(lits: Iterable[int]) -> Cube:
@@ -33,7 +33,7 @@ def normalize_cube(lits: Iterable[int]) -> Cube:
     Raises on contradictory literals — a cube containing ``v`` and ``-v``
     denotes the empty set of states and always indicates a caller bug.
     """
-    seen: Dict[int, int] = {}
+    seen: dict[int, int] = {}
     for lit in lits:
         if lit == 0:
             raise ValueError("0 is not a state literal")
@@ -68,20 +68,20 @@ class StepEncoding:
     evaluated over the *present* frame (latches + inputs).
     """
 
-    curr: List[int]
-    next: List[int]
-    inputs: Dict[int, int]
-    prop_curr: Dict[str, int]
-    constraint_curr: List[int]
+    curr: list[int]
+    next: list[int]
+    inputs: dict[int, int]
+    prop_curr: dict[str, int]
+    constraint_curr: list[int]
     encoder: ConeEncoder
 
-    def cube_lits_curr(self, cube: Cube) -> List[int]:
+    def cube_lits_curr(self, cube: Cube) -> list[int]:
         return [self.curr[abs(l) - 1] * (1 if l > 0 else -1) for l in cube]
 
-    def cube_lits_next(self, cube: Cube) -> List[int]:
+    def cube_lits_next(self, cube: Cube) -> list[int]:
         return [self.next[abs(l) - 1] * (1 if l > 0 else -1) for l in cube]
 
-    def clause_lits_curr(self, clause: Clause) -> List[int]:
+    def clause_lits_curr(self, clause: Clause) -> list[int]:
         return self.cube_lits_curr(clause)  # same literal-wise mapping
 
 
@@ -89,13 +89,13 @@ class StepEncoding:
 class FrameEncoding:
     """A single combinational frame (no transition): used for init/bad queries."""
 
-    curr: List[int]
-    inputs: Dict[int, int]
-    prop_curr: Dict[str, int]
-    constraint_curr: List[int]
+    curr: list[int]
+    inputs: dict[int, int]
+    prop_curr: dict[str, int]
+    constraint_curr: list[int]
     encoder: ConeEncoder
 
-    def cube_lits_curr(self, cube: Cube) -> List[int]:
+    def cube_lits_curr(self, cube: Cube) -> list[int]:
         return [self.curr[abs(l) - 1] * (1 if l > 0 else -1) for l in cube]
 
     clause_lits_curr = cube_lits_curr
@@ -104,19 +104,19 @@ class FrameEncoding:
 class TransitionSystem:
     """An ``(I, T)``-system with a set of named safety properties."""
 
-    def __init__(self, aig: AIG, properties: Optional[Sequence[Property]] = None) -> None:
+    def __init__(self, aig: AIG, properties: Sequence[Property] | None = None) -> None:
         self.aig = aig
         self.latches = list(aig.latches)
-        self.properties: List[Property] = list(
+        self.properties: list[Property] = list(
             properties if properties is not None else aig.properties
         )
         names = [p.name for p in self.properties]
         if len(set(names)) != len(names):
             raise ValueError("property names must be unique")
-        self.prop_by_name: Dict[str, Property] = {p.name: p for p in self.properties}
+        self.prop_by_name: dict[str, Property] = {p.name: p for p in self.properties}
         self.num_state_vars = len(self.latches)
         # Initial-state pattern: +1/-1/None per latch position (I is a cube).
-        self.init_pattern: List[Optional[int]] = []
+        self.init_pattern: list[int | None] = []
         for i, latch in enumerate(self.latches):
             if latch.init is None:
                 self.init_pattern.append(None)
@@ -219,11 +219,11 @@ class TransitionSystem:
         return frame
 
     # ------------------------------------------------------------------
-    def eth_properties(self) -> List[Property]:
+    def eth_properties(self) -> list[Property]:
         """Properties Expected To Hold (the assumption pool of Sec. 5)."""
         return [p for p in self.properties if not p.expected_to_fail]
 
-    def aggregate_property_lit(self, names: Optional[Iterable[str]] = None) -> int:
+    def aggregate_property_lit(self, names: Iterable[str] | None = None) -> int:
         """AIG literal of ``P1 & ... & Pk`` (over the named subset)."""
         if names is None:
             props: Iterable[Property] = self.properties

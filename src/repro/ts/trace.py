@@ -11,7 +11,6 @@ reports a counterexample that has not been replayed successfully
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..circuit.aig import AIG
 from ..circuit.simulate import Simulator
@@ -25,8 +24,8 @@ class Trace:
     ``len(inputs) - 1`` evaluated under ``inputs[-1]``.
     """
 
-    inputs: List[Dict[int, bool]]
-    uninit: Dict[int, bool] = field(default_factory=dict)
+    inputs: list[dict[int, bool]]
+    uninit: dict[int, bool] = field(default_factory=dict)
     property_name: str = ""
 
     def __len__(self) -> int:
@@ -44,14 +43,14 @@ class Trace:
         t = sim.check_property_failure(self.inputs, prop_lit, self.uninit)
         return t == len(self.inputs) - 1
 
-    def failure_frame(self, aig: AIG, prop_lit: int) -> Optional[int]:
+    def failure_frame(self, aig: AIG, prop_lit: int) -> int | None:
         """First frame at which ``prop_lit`` is FALSE along the trace."""
         sim = Simulator(aig)
         return sim.check_property_failure(self.inputs, prop_lit, self.uninit)
 
     def first_failures(
-        self, aig: AIG, prop_lits: Dict[str, int]
-    ) -> Tuple[Optional[int], List[str]]:
+        self, aig: AIG, prop_lits: dict[str, int]
+    ) -> tuple[int | None, list[str]]:
         """Earliest frame where *any* of ``prop_lits`` fails, and who fails there.
 
         Returns ``(frame, names)``; ``(None, [])`` when nothing fails.
@@ -80,7 +79,7 @@ class Trace:
             property_name=self.property_name,
         )
 
-    def states(self, aig: AIG) -> List[Dict[int, bool]]:
+    def states(self, aig: AIG) -> list[dict[int, bool]]:
         """Latch valuations visited, one per frame (before each clock edge)."""
         sim = Simulator(aig)
         sim.reset(self.uninit)

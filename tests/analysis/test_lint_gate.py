@@ -1,0 +1,155 @@
+"""The lint gate over the real tree: meta-tests and the CLI surface.
+
+These tests pin the property the whole subsystem exists for: the
+shipped source passes its own analysis, and *breaking* a real protocol
+(deleting a dispatch arm in ``parallel/worker.py``) makes the analysis
+fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_sources, get_checker
+from repro.cli import main
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+
+
+@pytest.fixture()
+def repo_root(monkeypatch):
+    """Run from the repo root, like CI does."""
+    monkeypatch.chdir(ROOT)
+    return ROOT
+
+
+def test_shipped_source_passes_its_own_lint(repo_root):
+    result = analyze_paths(
+        ["src"], jobs=1, baseline_path="analysis_baseline.toml"
+    )
+    assert result.ok, "\n".join(f.render() for f in result.errors())
+    assert result.stale_baseline == []
+    assert result.files_analyzed > 50
+
+
+def test_deleting_a_dispatch_arm_fails_the_lint():
+    sources = {
+        str(path.relative_to(ROOT)): path.read_text(encoding="utf-8")
+        for path in sorted((SRC / "repro" / "parallel").glob("*.py"))
+    }
+    worker = "src/repro/parallel/worker.py"
+    assert 'if kind == "cancel":' in sources[worker]
+    sources[worker] = sources[worker].replace(
+        'if kind == "cancel":', 'if kind == "cancel-deleted":'
+    )
+    result = analyze_sources(
+        sources, checkers=[get_checker("wire-protocol")]
+    )
+    texts = [f.message for f in result.findings]
+    assert any(
+        "'cancel'" in m and "no dispatch arm" in m for m in texts
+    ), texts
+    assert any(
+        "'cancel-deleted'" in m and "matches no send site" in m for m in texts
+    ), texts
+
+
+def test_parallel_and_serial_runs_agree():
+    paths = [str(SRC / "repro" / "analysis")]
+    serial = analyze_paths(paths, jobs=1)
+    parallel = analyze_paths(paths, jobs=2)
+    assert serial.findings == parallel.findings
+    assert serial.files_analyzed == parallel.files_analyzed > 8
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+def test_cli_lint_clean_exit_zero(repo_root, capsys):
+    assert main(["lint", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("clean:")
+
+
+def test_cli_lint_findings_exit_one_with_json(tmp_path, capsys):
+    bad = tmp_path / "drain.py"
+    bad.write_text(
+        "def loop(q):\n    while True:\n        item = q.get()\n",
+        encoding="utf-8",
+    )
+    code = main(["lint", str(tmp_path), "--format=json", "--jobs", "1"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is False
+    assert document["findings"][0]["checker"] == "queue-discipline"
+
+
+def test_cli_lint_bad_baseline_exit_two(tmp_path, capsys):
+    baseline = tmp_path / "baseline.toml"
+    baseline.write_text(
+        '[[suppression]]\nchecker = "x"\nfile = "y"\n'
+        'message = "z"\njustification = "TODO"\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    code = main(
+        ["lint", str(tmp_path), "--baseline", str(baseline), "--jobs", "1"]
+    )
+    assert code == 2
+    assert "justification" in capsys.readouterr().err
+
+
+def test_cli_lint_write_baseline_round_trip(tmp_path, capsys):
+    bad = tmp_path / "drain.py"
+    bad.write_text(
+        "def loop(q):\n    while True:\n        item = q.get()\n",
+        encoding="utf-8",
+    )
+    baseline = tmp_path / "baseline.toml"
+    assert (
+        main(
+            [
+                "lint",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                "--jobs",
+                "1",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # The generated TODO justification must be rejected as-is ...
+    assert (
+        main(["lint", str(tmp_path), "--baseline", str(baseline), "--jobs", "1"])
+        == 2
+    )
+    # ... and accepted once a human justifies it.
+    baseline.write_text(
+        baseline.read_text(encoding="utf-8").replace(
+            '"TODO"', '"fixture: exercised by the gate test"'
+        ),
+        encoding="utf-8",
+    )
+    assert (
+        main(["lint", str(tmp_path), "--baseline", str(baseline), "--jobs", "1"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_cli_list_checkers(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--list-checkers"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "wire-protocol" in out and "pickle-safety" in out

@@ -12,7 +12,7 @@ from repro.gen.counter import buggy_counter
 from repro.gen.random_designs import random_design
 
 
-def _behaviours_equal(a: AIG, b: AIG, n_frames: int = 8, seeds=range(5)) -> bool:
+def _behaviours_equal(a: AIG, b: AIG, n_frames: int = 8, seeds=(0, 1, 2, 3, 4)) -> bool:
     """Compare property traces of two AIGs under common random stimuli."""
     import random
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import pytest
 
@@ -25,7 +25,7 @@ def brute_force_sat(num_vars: int, clauses: Sequence[Sequence[int]]) -> bool:
 
 def random_cnf(
     rng: random.Random, max_vars: int = 8, max_clauses: int = 35, max_width: int = 3
-) -> Tuple[int, List[List[int]]]:
+) -> tuple[int, list[list[int]]]:
     """A random small CNF instance."""
     num_vars = rng.randint(2, max_vars)
     num_clauses = rng.randint(1, max_clauses)
