@@ -14,9 +14,12 @@ The demo:
 2. shows the handles' ``status``/``result()``/``done`` API and that
    verdicts match what a serial ``Session.run()`` produces;
 3. cancels a queued job and shows its siblings are untouched;
-4. demonstrates back-pressure: a bounded admission queue refusing a
+4. reads the structured ``ServiceStats`` surface — job latency
+   percentiles, per-seat occupancy/crash/backoff state — that
+   ``repro serve --stats-interval`` polls in production;
+5. demonstrates back-pressure: a bounded admission queue refusing a
    non-blocking submit with ``QueueFull``;
-5. prints the shared pool's amortization counters (designs pickled
+6. prints the shared pool's amortization counters (designs pickled
    once, seats spawned once, exchange managers pooled).
 
 Run:  python examples/service_concurrent.py
@@ -92,9 +95,28 @@ def main() -> None:
             f"{len(report.true_props())}T/{len(report.false_props())}F"
         )
 
-        pool_stats = service.stats()["pool"]
+        # -- 4. the structured stats surface ----------------------------
+        stats = service.stats()  # ServiceStats dataclass
+        print(
+            f"service stats: {stats.submitted} submitted, "
+            f"{stats.finished} finished, {stats.running} running, "
+            f"{stats.pending} pending"
+        )
+        print(
+            f"  job latency: wait p50 {stats.latency['wait_p50_s']:.3f}s, "
+            f"run p50 {stats.latency['run_p50_s']:.3f}s, "
+            f"run max {stats.latency['run_max_s']:.3f}s"
+        )
+        for seat in stats.pool.seats:  # per-seat crash/backoff state
+            print(
+                f"  seat {seat.worker}: alive={seat.alive} "
+                f"served={seat.properties_served} crashes={seat.crashes} "
+                f"backoff={seat.backoff_s:.1f}s"
+            )
+        # Legacy dict-style reads still work for pre-stats callers.
+        pool_stats = stats["pool"]
 
-    # -- 4. back-pressure on a tiny service -----------------------------
+    # -- 5. back-pressure on a tiny service -----------------------------
     with VerificationService(workers=1, max_concurrent_jobs=1,
                              max_pending=1) as tiny:
         # A long job plus a full queue: the next submit must bounce.
@@ -105,7 +127,7 @@ def main() -> None:
         except QueueFull as exc:
             print(f"back-pressure: {exc}")
 
-    # -- 5. amortization across all jobs --------------------------------
+    # -- 6. amortization across all jobs --------------------------------
     print(
         render_table(
             "shared pool after 6 jobs",

@@ -37,7 +37,12 @@ shape::
        {"design": "dma.aag", "strategy": "ja", "order": ["P3", "P1"]}
      ]}
 
-(a bare JSON list of job objects is also accepted).
+(a bare JSON list of job objects is also accepted).  ``--stats-interval
+S`` polls the service's live stats surface every S seconds and prints a
+one-line occupancy/queue digest per tick (the same
+:class:`~repro.progress.StatsSnapshot` events reach ``--progress``
+subscribers); ``--max-seats`` on ``check`` caps how many pool seats the
+job may hold.
 """
 
 from __future__ import annotations
@@ -164,6 +169,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         exchange_shards=args.exchange_shards,
         schedule_only=args.schedule_only,
         stop_on_failure=args.stop_on_failure,
+        max_seats=args.max_seats,
         solver_backend=args.backend,
         engine=dict(args.engine or []),
         # The "design" sentinel lets Session derive the name from the
@@ -279,6 +285,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import VerificationService
 
+    if args.stats_interval is not None and args.stats_interval <= 0:
+        print(
+            f"--stats-interval must be > 0, got {args.stats_interval!r}",
+            file=sys.stderr,
+        )
+        return 2
     with open(args.manifest) as f:
         manifest = json.load(f)
     if isinstance(manifest, list):
@@ -301,6 +313,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.progress:
         service.subscribe(lambda event: print(format_event(event)))
+
+    # --stats-interval: a poller thread broadcasts StatsSnapshot events
+    # (pool occupancy, seat backoff, queue depth, latencies) every N
+    # seconds; without --progress a filtered printer renders just them.
+    stop_stats = None
+    stats_thread = None
+    if args.stats_interval is not None:
+        import threading
+
+        from .progress import StatsSnapshot
+
+        if not args.progress:
+            service.subscribe(
+                lambda event: (
+                    print(format_event(event))
+                    if isinstance(event, StatsSnapshot)
+                    else None
+                )
+            )
+        stop_stats = threading.Event()
+
+        def _poll_stats() -> None:
+            while not stop_stats.wait(args.stats_interval):
+                service.emit_stats()
+
+        stats_thread = threading.Thread(
+            target=_poll_stats, name="repro-serve-stats", daemon=True
+        )
+        stats_thread.start()
 
     handles = []
     failures = unsolved = broken = 0
@@ -344,6 +385,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             failures += bool(report.false_props())
             unsolved += bool(report.unsolved())
     finally:
+        if stop_stats is not None:
+            stop_stats.set()
+            stats_thread.join(timeout=5.0)
         service.close()
 
     if args.json:
@@ -554,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel-ja: cancel queued properties after the first failure",
     )
     p_check.add_argument(
+        "--max-seats", type=int, default=None, metavar="N",
+        help="cap on pool seats this job may hold at once when submitted "
+        "to a service (default: no cap, fair share governs)",
+    )
+    p_check.add_argument(
         "--progress",
         action="store_true",
         help="print progress events (frames, verdicts, clauseDB traffic) live",
@@ -612,6 +661,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--progress", action="store_true",
         help="print every job's progress events live",
+    )
+    p_serve.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SECONDS",
+        help="broadcast a stats-snapshot event (seat occupancy, backoff, "
+        "queue depth, latencies) every SECONDS; printed even without "
+        "--progress",
     )
     p_serve.add_argument(
         "--json", default=None, help="write the per-job JSON reports here"

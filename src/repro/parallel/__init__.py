@@ -59,12 +59,15 @@ from .pool import (
     shutdown_default_pool,
 )
 from .sharing import ClauseExchange, ExchangeManager, start_exchange
+from .stats import PoolStats, SeatStats
 
 __all__ = [
     "ParallelOptions",
     "parallel_ja_verify",
     "PooledJob",
     "SeatScheduler",
+    "PoolStats",
+    "SeatStats",
     "WorkerPool",
     "default_pool",
     "shutdown_default_pool",

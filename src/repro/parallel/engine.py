@@ -98,6 +98,7 @@ from ..progress import (
 from ..ts.system import TransitionSystem
 from .exchange import build_shard_map, start_sharded_exchange
 from .pool import WorkerPool
+from .stats import PoolStats, SeatStats
 from .worker import PropertyJob, WorkerSettings
 
 
@@ -125,6 +126,10 @@ class ParallelOptions:
     # Clause-exchange shards: a positive count, or "auto" for one shard
     # per structural property cluster (capped, see repro.parallel.exchange).
     exchange_shards: int | str = 1
+    # Ceiling on pool seats this job may hold at once; None = no cap
+    # (weighted fair share alone governs).  A narrow quota keeps one
+    # big job from monopolizing a shared service pool.
+    max_seats: int | None = None
     # -- JA-verification knobs (see JAOptions) -------------------------
     clause_reuse: bool = True
     respect_constraints_in_lifting: bool = False
@@ -178,6 +183,7 @@ class PooledJob:
         self.emit = emit
         self.order = list(order)
         self.weight = weight
+        self.max_seats = options.max_seats
         self.pool_label = pool_label
         self.job_id = job_id
         self.on_finish = on_finish
@@ -252,12 +258,33 @@ class PooledJob:
             "cancelled": self.cancelled_count,
             "worker_crashes": self.crashes,
             "dispatch": self.dispatch_mode,
+            "max_seats": self.max_seats,
             "redispatched": self.redispatched,
             "pool": self.pool_label,
             "pool_runs": pool.stats["runs"],
             "design_pickles": pool.stats["design_pickles"],
         }
         return report
+
+
+@dataclass
+class _SeatHealth:
+    """Crash/backoff bookkeeping of one seat, as one scheduler sees it.
+
+    ``consecutive`` counts crashes since the seat last served a full
+    property (a ``result`` message resets it); the backoff schedule is
+    keyed on it: the first crash respawns immediately, every further
+    consecutive crash doubles the delay from ``backoff_base`` up to
+    ``backoff_cap``.  ``down`` marks a crash already accounted, so
+    repeated reaps of the same corpse cannot inflate the counters.
+    """
+
+    crashes: int = 0  # lifetime crashes attributed to this seat
+    consecutive: int = 0  # crashes since the seat last served a property
+    served: int = 0  # properties this seat completed (result messages)
+    down: bool = False  # dead and accounted, respawn still owed
+    delay: float = 0.0  # backoff delay the current crash earned
+    not_before: float = 0.0  # monotonic instant the respawn unlocks
 
 
 class SeatScheduler:
@@ -279,9 +306,16 @@ class SeatScheduler:
     exchanges, exact crash attribution with one bounded re-dispatch,
     and per-job cancellation that never touches sibling jobs.  With
     ``revive_seats=True`` (service mode) a crashed seat is respawned
-    *mid-flight* and re-attached to every open run, up to a bounded
-    revive budget; without it (single-run engine mode) dead seats stay
-    down until the next run, exactly as before.
+    *mid-flight* and re-attached to every open run, under per-seat
+    exponential backoff: the first crash respawns immediately, each
+    further crash without a served property in between doubles the
+    delay (``backoff_base`` up to ``backoff_cap``), and a seat that
+    completes a property resets its schedule.  A crash-looping seat
+    therefore costs a bounded respawn rate — never a hot loop — while
+    a long-lived service is never *permanently* degraded the way the
+    old global revive budget could leave it.  Without ``revive_seats``
+    (single-run engine mode) dead seats stay down until the next run,
+    exactly as before.
     """
 
     def __init__(
@@ -291,11 +325,20 @@ class SeatScheduler:
         revive_seats: bool = False,
         service_emit: Emit | None = None,
         shard_host=None,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
     ) -> None:
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"{backoff_base!r}/{backoff_cap!r}"
+            )
         pool.acquire_messages(self)
         self.pool = pool
         self.revive_seats = revive_seats
         self.service_emit = service_emit
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         # Optional persistent ShardHost: jobs' exchange shards open on
         # pooled manager processes instead of spawning their own.
         self.shard_host = shard_host
@@ -303,8 +346,22 @@ class SeatScheduler:
         # seat -> (run id, property name) it is currently executing
         self.assignments: dict[int, tuple[int, str]] = {}
         self.idle: set = set()
-        self._revive_budget = 2 * pool.workers if revive_seats else 0
+        # seat -> crash/backoff record (created lazily, kept forever)
+        self.seat_health: dict[int, _SeatHealth] = {}
+        # clause-exchange totals of finished jobs (stats surface)
+        self._exchange_totals = {
+            "clauses": 0,
+            "publishes": 0,
+            "fetches": 0,
+            "fetch_batches": 0,
+        }
         self._last_reap = time.monotonic()
+
+    def _seat_health(self, worker_id: int) -> _SeatHealth:
+        health = self.seat_health.get(worker_id)
+        if health is None:
+            health = self.seat_health[worker_id] = _SeatHealth()
+        return health
 
     # ------------------------------------------------------------------
     # Admission
@@ -326,14 +383,28 @@ class SeatScheduler:
         """Open one job on the pool and queue its property backlog."""
         if priority <= 0:
             raise ValueError(f"priority must be > 0, got {priority!r}")
+        if options.max_seats is not None and options.max_seats < 1:
+            raise ValueError(
+                f"max_seats must be >= 1, got {options.max_seats!r}"
+            )
         pool = self.pool
         emit = emit_or_null(emit)
-        if self.jobs:
-            # Settle any crashed seat BEFORE ensure_workers respawns it:
-            # a respawn would erase the crash evidence and the property
-            # that seat held would never be re-dispatched.
+        if self.revive_seats:
+            # Service mode: fill never-started seats, then run a full
+            # reap — even with no jobs registered — so a seat that died
+            # between jobs is *accounted* before it is revived.  An
+            # admission must never hot-respawn a seat that is waiting
+            # out its backoff delay.
+            started = pool.start_missing_workers()
+            replaced: list[int] = []
             self._reap_crashed()
-        started, replaced = pool.ensure_workers()
+        else:
+            if self.jobs:
+                # Settle any crashed seat BEFORE the respawn erases the
+                # crash evidence — otherwise the property that seat
+                # held would never be re-dispatched.
+                self._reap_crashed()
+            started, replaced = pool.ensure_workers()
         for worker_id in sorted(started + replaced):
             emit(WorkerStarted(worker=worker_id))
         emit(
@@ -491,6 +562,12 @@ class SeatScheduler:
         elif kind == "result":
             outcome = message[3]
             self.assignments.pop(worker_id, None)
+            # A seat that served a full property is healthy: its crash
+            # streak — and therefore its backoff schedule — resets.
+            health = self._seat_health(worker_id)
+            health.served += 1
+            health.consecutive = 0
+            health.delay = 0.0
             job.record(outcome)
             if (
                 job.options.stop_on_failure
@@ -539,8 +616,9 @@ class SeatScheduler:
 
         Only jobs whose setup this seat has acked are eligible (the
         FIFO control queue guarantees a worker never sees a job before
-        its run's design), ties go to the oldest run so admission order
-        breaks symmetry deterministically.
+        its run's design), a job already holding its ``max_seats``
+        quota is skipped outright, and ties go to the oldest run so
+        admission order breaks symmetry deterministically.
         """
         busy: dict[int, int] = {}
         for run_id, _ in self.assignments.values():
@@ -552,7 +630,10 @@ class SeatScheduler:
                 continue
             if worker_id not in job.ready:
                 continue
-            key = ((busy.get(job.run_id, 0) + 1) / job.weight, job.run_id)
+            held = busy.get(job.run_id, 0)
+            if job.max_seats is not None and held >= job.max_seats:
+                continue
+            key = ((held + 1) / job.weight, job.run_id)
             if best_key is None or key < best_key:
                 best, best_key = job, key
         return best
@@ -590,6 +671,8 @@ class SeatScheduler:
                 job.exchange_stats = job.exchange.stats()
             except Exception:  # pragma: no cover - managers died
                 job.exchange_stats = {}
+            for key in self._exchange_totals:
+                self._exchange_totals[key] += job.exchange_stats.get(key, 0)
             # Dropping the proxies releases host-pooled shard objects;
             # private managers are shut down outright.
             job.exchange = None
@@ -626,9 +709,29 @@ class SeatScheduler:
         self._last_reap = time.monotonic()
         failed = self.pool.failed_workers()
         for worker_id in failed:
+            health = self._seat_health(worker_id)
+            if not health.down:
+                # Transition alive -> crashed: account exactly once per
+                # crash (a corpse reaped again must not inflate the
+                # streak) and price the respawn by the backoff schedule.
+                health.down = True
+                health.crashes += 1
+                health.consecutive += 1
+                health.delay = (
+                    0.0
+                    if health.consecutive <= 1
+                    else min(
+                        self.backoff_cap,
+                        self.backoff_base * 2 ** (health.consecutive - 2),
+                    )
+                )
+                health.not_before = self._last_reap + health.delay
             self.idle.discard(worker_id)
             for job in self.jobs.values():
-                job.ready.discard(worker_id)
+                # A finished job's state is sealed: a crash arriving
+                # between _maybe_finish and forget must not touch it.
+                if not job.finished:
+                    job.ready.discard(worker_id)
             held = self.assignments.pop(worker_id, None)
             if held is None:
                 continue
@@ -637,10 +740,38 @@ class SeatScheduler:
             if job is not None and not job.finished and name in job.pending:
                 job.crashes += 1
                 self._retry_or_give_up(job, name, worker_id)
-        if failed and self.revive_seats and not self.pool.closed:
-            self._revive(failed)
-        if not self.pool.any_alive():
+        if self.revive_seats and not self.pool.closed:
+            self._revive()
+        if not self.pool.any_alive() and not self._revival_pending():
             self._degrade_all()
+
+    def maintain(self) -> None:
+        """Idle-time upkeep: account crashes and fire due respawns.
+
+        The service dispatcher calls this between jobs so a seat whose
+        backoff expires while the pool sits idle is revived promptly —
+        returning to full strength must not wait for the next
+        admission.  Throttled to a few liveness sweeps per second; a
+        no-op outside revive mode or once the pool is closed.
+        """
+        if not self.revive_seats or self.pool.closed:
+            return
+        if time.monotonic() - self._last_reap < 0.2:
+            return
+        self._reap_crashed()
+
+    def _revival_pending(self) -> bool:
+        """True while a crashed seat will eventually respawn.
+
+        Keeps :meth:`_degrade_all` honest under delayed revival: with
+        every seat dead but a respawn merely waiting out its backoff,
+        jobs must wait for the revived seat, not degrade to UNKNOWN.
+        """
+        return (
+            self.revive_seats
+            and not self.pool.closed
+            and bool(self.pool.failed_workers())
+        )
 
     def _retry_or_give_up(
         self, job: PooledJob, name: str, worker_id: int
@@ -649,11 +780,13 @@ class SeatScheduler:
 
         The property goes to its job's backlog *front* (it already
         waited its turn once) and straight to an idle live seat when
-        one is parked; without a live seat — or a revive budget that
-        could produce one — it degrades to UNKNOWN here, never claiming
-        a re-dispatch that could not execute.
+        one is parked; with no live seat, a revivable scheduler keeps
+        it queued — the next revived seat's ``ready`` ack drains the
+        seatless backlog — while a non-revivable one degrades it to
+        UNKNOWN here, never claiming a re-dispatch that could not
+        execute.
         """
-        revivable = self.revive_seats and self._revive_budget > 0
+        revivable = self.revive_seats and not self.pool.closed
         if (
             name not in job.retried
             and not job.cancelled
@@ -684,22 +817,102 @@ class SeatScheduler:
         )
         self._maybe_finish(job)
 
-    def _revive(self, failed: list[int]) -> None:
-        """Respawn dead seats mid-flight and re-attach every open run.
+    def _revive(self) -> None:
+        """Respawn dead seats whose backoff has elapsed; re-attach runs.
 
-        Bounded by the revive budget (``2 * workers`` per scheduler) so
-        a seat that dies instantly on spawn cannot respawn forever.
+        Only seats the scheduler actually lost are touched (and hence
+        accounted), via :meth:`WorkerPool.respawn_workers` — never seats
+        another path happened to start.  A crash-looping seat is throttled
+        by its own exponential schedule while healthy seats respawn
+        immediately, so a long-lived service recovers full strength the
+        moment the faulty environment heals.  Revived seats drain the
+        backlogs of seatless jobs through their ``ready`` acks.
         """
-        if self._revive_budget <= 0:
+        now = time.monotonic()
+        due = [
+            worker_id
+            for worker_id in self.pool.failed_workers()
+            if self._seat_health(worker_id).not_before <= now
+        ]
+        if not due:
             return
-        started, replaced = self.pool.ensure_workers()
-        fresh = sorted(started + replaced)
-        self._revive_budget -= len(fresh)
+        fresh = self.pool.respawn_workers(due)
         for worker_id in fresh:
+            self._seat_health(worker_id).down = False
             for job in self.live_jobs:
                 self.pool.attach_worker(job.run_id, worker_id)
             if self.service_emit is not None:
                 self.service_emit(WorkerStarted(worker=worker_id))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> PoolStats:
+        """Snapshot pool occupancy and per-seat crash/backoff state."""
+        pool = self.pool
+        now = time.monotonic()
+        job_ids = {
+            job.run_id: (job.job_id or f"run-{job.run_id}")
+            for job in self.jobs.values()
+        }
+        seats = []
+        for worker_id in range(pool.workers):
+            held = self.assignments.get(worker_id)
+            health = self.seat_health.get(worker_id)
+            down = health is not None and health.down
+            seats.append(
+                SeatStats(
+                    worker=worker_id,
+                    alive=pool.worker_alive(worker_id),
+                    busy=held is not None,
+                    job=job_ids.get(held[0]) if held else None,
+                    prop=held[1] if held else None,
+                    crashes=health.crashes if health else 0,
+                    consecutive_crashes=health.consecutive if health else 0,
+                    backoff_s=health.delay if down else 0.0,
+                    respawn_in_s=(
+                        max(0.0, health.not_before - now) if down else 0.0
+                    ),
+                    properties_served=health.served if health else 0,
+                )
+            )
+        alive = sum(1 for seat in seats if seat.alive)
+        return PoolStats(
+            workers=pool.workers,
+            alive=alive,
+            busy=len(self.assignments),
+            idle=max(0, alive - len(self.assignments)),
+            open_runs=len(pool.open_runs),
+            seats=tuple(seats),
+            counters=dict(pool.stats),
+        )
+
+    def exchange_traffic(self) -> dict:
+        """Clause-exchange totals: finished jobs plus live shard reads.
+
+        Live jobs' shard managers can die mid-read; those are skipped
+        rather than failing the snapshot.
+        """
+        totals = dict(self._exchange_totals)
+        live = []
+        for job in self.live_jobs:
+            if job.exchange is None:
+                continue
+            try:
+                stats = job.exchange.stats()
+            except Exception:  # pragma: no cover - managers died
+                continue
+            live.append(
+                {
+                    "job": job.job_id or f"run-{job.run_id}",
+                    "clauses": stats.get("clauses", 0),
+                    "fetch_batches": stats.get("fetch_batches", 0),
+                    "shards": stats.get("shards", []),
+                }
+            )
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        return {**totals, "live": live}
 
     def _degrade_all(self) -> None:
         """No seat left alive: every live job's remainder goes UNKNOWN."""

@@ -215,22 +215,50 @@ class WorkerPool:
         are filled, and a seat whose process died (crash in a previous
         run) gets a fresh process — with a fresh control queue and an
         empty design cache, since whatever the dead worker held is gone.
+        Service-mode schedulers do NOT use this blanket respawn: a
+        crashed seat's respawn timing is governed by the scheduler's
+        per-seat backoff, through :meth:`respawn_workers`.
+        """
+        replaced = self.respawn_workers(range(len(self._slots)))
+        started = self.start_missing_workers()
+        return started, replaced
+
+    def start_missing_workers(self) -> list[int]:
+        """Spawn seats that have never been started; ids, no respawns.
+
+        The service-mode admission path: brings a fresh pool to
+        strength without touching dead seats, whose (possibly
+        backoff-delayed) respawn belongs to the scheduler.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is shut down")
         started: list[int] = []
-        replaced: list[int] = []
-        for worker_id in range(self.workers):
-            if worker_id < len(self._slots):
-                if self._slots[worker_id].process.is_alive():
-                    continue
-                self._slots[worker_id] = self._spawn(worker_id)
-                self.stats["workers_replaced"] += 1
-                replaced.append(worker_id)
-            else:
-                self._slots.append(self._spawn(worker_id))
-                started.append(worker_id)
-        return started, replaced
+        while len(self._slots) < self.workers:
+            worker_id = len(self._slots)
+            self._slots.append(self._spawn(worker_id))
+            started.append(worker_id)
+        return started
+
+    def respawn_workers(self, worker_ids) -> list[int]:
+        """Respawn exactly the given seats, where dead; respawned ids.
+
+        Seats still alive (or never spawned) are left untouched, so a
+        backoff-aware scheduler can revive precisely the seats whose
+        delay has elapsed — and is only ever charged for those
+        (``stats["workers_replaced"]``).
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is shut down")
+        fresh: list[int] = []
+        for worker_id in sorted(set(worker_ids)):
+            if not 0 <= worker_id < len(self._slots):
+                continue
+            if self._slots[worker_id].process.is_alive():
+                continue
+            self._slots[worker_id] = self._spawn(worker_id)
+            self.stats["workers_replaced"] += 1
+            fresh.append(worker_id)
+        return fresh
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop every worker and release the queues (idempotent)."""
@@ -497,10 +525,16 @@ class WorkerPool:
     # Liveness (consumed by the engine's crash handling)
     # ------------------------------------------------------------------
     def worker_alive(self, worker_id: int) -> bool:
-        return self._slots[worker_id].process.is_alive()
+        """True for a live seat (False for one not yet spawned)."""
+        return (
+            0 <= worker_id < len(self._slots)
+            and self._slots[worker_id].process.is_alive()
+        )
 
     def worker_failed(self, worker_id: int) -> bool:
         """True if the seat's process died with a nonzero exit code."""
+        if not 0 <= worker_id < len(self._slots):
+            return False
         process = self._slots[worker_id].process
         return not process.is_alive() and process.exitcode not in (0, None)
 

@@ -33,7 +33,10 @@ The event vocabulary mirrors what the paper's tables measure:
   :class:`ServiceSaturated` — the job-oriented
   :class:`~repro.service.VerificationService` admitted, started or
   finished one submitted job, or refused admission because its bounded
-  queue is full (back-pressure made observable).
+  queue is full (back-pressure made observable);
+* :class:`StatsSnapshot` — a periodic sample of the service's
+  introspection surface (pool occupancy, seat backoff state, queue
+  depth, latencies), emitted by ``VerificationService.emit_stats``.
 
 This module deliberately has no imports from the rest of the package so
 that every layer can use it without import cycles; the classes are
@@ -66,6 +69,7 @@ __all__ = [
     "JobStarted",
     "JobFinished",
     "ServiceSaturated",
+    "StatsSnapshot",
     "Emit",
     "null_emit",
     "emit_or_null",
@@ -307,6 +311,23 @@ class ServiceSaturated(ProgressEvent):
     limit: int
 
 
+@dataclass(frozen=True)
+class StatsSnapshot(ProgressEvent):
+    """A periodic service introspection sample.
+
+    ``stats`` is the ``as_dict()`` form of
+    :class:`~repro.service.ServiceStats` (typed loosely to keep this
+    module dependency-free): pool occupancy, per-seat crash/backoff
+    state, admission-queue depth, per-shard exchange traffic and
+    per-job wait/run latency.  Emitted by
+    :meth:`~repro.service.VerificationService.emit_stats` — e.g. on the
+    ``repro serve --stats-interval`` polling loop.
+    """
+
+    kind: ClassVar[str] = "stats-snapshot"
+    stats: dict
+
+
 Emit = Callable[[ProgressEvent], None]
 
 
@@ -386,4 +407,19 @@ def format_event(event: ProgressEvent) -> str:
         )
     if isinstance(event, ServiceSaturated):
         return f"[{event.kind}] {event.pending}/{event.limit} jobs pending"
+    if isinstance(event, StatsSnapshot):
+        stats = event.stats
+        pool = stats.get("pool") or {}
+        jobs = stats.get("jobs") or {}
+        occupancy = (
+            f"{pool.get('busy', 0)}/{pool.get('alive', 0)} seats busy"
+            if pool
+            else "no pool"
+        )
+        return (
+            f"[{event.kind}] {occupancy}, "
+            f"{jobs.get('pending', 0)} pending / "
+            f"{jobs.get('running', 0)} running / "
+            f"{jobs.get('finished', 0)} finished jobs"
+        )
     return f"[{event.kind}] {event!r}"

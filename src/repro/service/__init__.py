@@ -30,10 +30,13 @@ the same machinery.
 
 from .core import VerificationService
 from .jobs import JobHandle, JobStatus, QueueFull
+from .stats import JobStats, ServiceStats
 
 __all__ = [
     "VerificationService",
     "JobHandle",
     "JobStatus",
     "QueueFull",
+    "ServiceStats",
+    "JobStats",
 ]

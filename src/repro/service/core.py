@@ -56,6 +56,7 @@ from ..multiprop.report import MultiPropReport, PropOutcome
 from ..engines.result import PropStatus
 from ..parallel.engine import SeatScheduler
 from ..parallel.pool import WorkerPool
+from ..parallel.stats import PoolStats
 from ..progress import (
     Emit,
     JobFinished,
@@ -63,10 +64,12 @@ from ..progress import (
     JobStarted,
     ProgressEvent,
     ServiceSaturated,
+    StatsSnapshot,
 )
 from ..session.config import VerificationConfig, resolve_order
 from ..session.registry import get_strategy
 from .jobs import JobHandle, JobStatus, QueueFull
+from .stats import JobStats, ServiceStats, latency_summary
 
 
 class _JobRecord:
@@ -80,6 +83,8 @@ class _JobRecord:
         "priority",
         "kind",
         "submitted_at",
+        "started_at",
+        "finished_at",
         "cancel_requested",
         "thread",
         "pooled_job",
@@ -95,6 +100,8 @@ class _JobRecord:
         self.priority = priority
         self.kind = kind  # "pool" | "thread"
         self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
         self.cancel_requested = False
         self.thread: threading.Thread | None = None
         self.pooled_job = None  # PooledJob while executing on seats
@@ -109,6 +116,21 @@ class _JobRecord:
         self.announced = False
 
 
+class _StatsRequest:
+    """A ``stats()`` call parked on the command queue.
+
+    The dispatcher thread owns the scheduler, so seat assignments and
+    backoff timers can only be read race-free between its steps; user
+    threads post one of these and wait for :attr:`ready`.
+    """
+
+    __slots__ = ("ready", "result")
+
+    def __init__(self) -> None:
+        self.ready = threading.Event()
+        self.result: ServiceStats | None = None
+
+
 class VerificationService:
     """Concurrent multi-job verification over one shared worker pool."""
 
@@ -120,6 +142,8 @@ class VerificationService:
         start_method: str | None = None,
         max_concurrent_jobs: int = 8,
         max_pending: int = 64,
+        seat_backoff_base: float = 0.5,
+        seat_backoff_cap: float = 30.0,
         on_event: Emit | None = None,
     ) -> None:
         if max_concurrent_jobs < 1:
@@ -128,10 +152,17 @@ class VerificationService:
             )
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if not 0 < seat_backoff_base <= seat_backoff_cap:
+            raise ValueError(
+                "need 0 < seat_backoff_base <= seat_backoff_cap, got "
+                f"base={seat_backoff_base!r} cap={seat_backoff_cap!r}"
+            )
         if pool is not None and pool.closed:
             raise ValueError("pool has been shut down")
         self.max_concurrent_jobs = max_concurrent_jobs
         self.max_pending = max_pending
+        self.seat_backoff_base = seat_backoff_base
+        self.seat_backoff_cap = seat_backoff_cap
         self._pool = pool
         self._owns_pool = pool is None
         self._workers = workers
@@ -189,22 +220,93 @@ class VerificationService:
         with self._lock:
             return [record.handle for record in self._records]
 
-    def stats(self) -> dict:
-        """Queue/slot occupancy plus the shared pool's counters."""
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of queue, seats, latencies and traffic.
+
+        When the dispatcher thread is alive the snapshot is taken *on*
+        it (via the command queue) so seat assignments and backoff
+        timers are read between scheduler steps, never mid-mutation; a
+        dead or absent dispatcher — or a subscriber calling back in
+        from dispatcher-delivered events — falls back to a best-effort
+        direct read.  Dict-style access (``stats()["pool"]["runs"]``)
+        keeps working via :class:`ServiceStats` subscripting.
+        """
+        dispatcher = self._dispatcher
+        if (
+            self._scheduler is not None
+            and dispatcher is not None
+            and dispatcher.is_alive()
+            and dispatcher is not threading.current_thread()
+        ):
+            request = _StatsRequest()
+            self._commands.put(("stats", request))
+            self._wake.set()
+            if request.ready.wait(timeout=2.0) and request.result is not None:
+                return request.result
+        return self._build_stats()
+
+    def emit_stats(self) -> ServiceStats:
+        """Snapshot and broadcast a :class:`StatsSnapshot` event."""
+        stats = self.stats()
+        self._emit_service(StatsSnapshot(stats=stats.as_dict()))
+        return stats
+
+    def _build_stats(self) -> ServiceStats:
+        now = time.monotonic()
         with self._lock:
             pending = len(self._pending)
             running = len(self._running)
-            total = len(self._records)
-        out = {
-            "pending": pending,
-            "running": running,
-            "submitted": total,
-            "max_concurrent_jobs": self.max_concurrent_jobs,
-            "max_pending": self.max_pending,
-        }
-        if self._pool is not None:
-            out["pool"] = dict(self._pool.stats)
-        return out
+            records = list(self._records)
+        scheduler = self._scheduler
+        if scheduler is not None:
+            pool_stats = scheduler.stats()
+            exchange = scheduler.exchange_traffic()
+        elif self._pool is not None:
+            pool_stats = PoolStats.from_pool(self._pool)
+            exchange = None
+        else:
+            pool_stats, exchange = None, None
+        jobs = tuple(self._job_stats(record, now) for record in records)
+        finished = len(
+            [job for job in jobs if job.status not in ("queued", "running")]
+        )
+        return ServiceStats(
+            pending=pending,
+            running=running,
+            finished=finished,
+            submitted=len(records),
+            max_concurrent_jobs=self.max_concurrent_jobs,
+            max_pending=self.max_pending,
+            jobs=jobs,
+            latency=latency_summary(jobs),
+            pool=pool_stats,
+            exchange=exchange,
+        )
+
+    @staticmethod
+    def _job_stats(record: _JobRecord, now: float) -> JobStats:
+        handle = record.handle
+        started = record.started_at
+        finished_at = record.finished_at
+        if started is None:
+            # Never started: its whole life (so far) was queue wait.
+            wait = (finished_at if finished_at is not None else now)
+            wait -= record.submitted_at
+            run = 0.0
+        else:
+            wait = started - record.submitted_at
+            run = (finished_at if finished_at is not None else now) - started
+        return JobStats(
+            job=handle.job_id,
+            design=handle.design_name,
+            strategy=handle.strategy,
+            status=handle.status.value,
+            kind=record.kind,
+            priority=record.priority,
+            started=started is not None,
+            wait_s=max(0.0, wait),
+            run_s=max(0.0, run),
+        )
 
     def subscribe(self, callback: Emit) -> Emit:
         """Register a callback for every job's events; returns it."""
@@ -426,6 +528,10 @@ class VerificationService:
             if scheduler is not None and scheduler.live_jobs:
                 scheduler.step(timeout=0.05)
                 continue
+            if scheduler is not None:
+                # Idle upkeep: a crashed seat whose backoff expires
+                # between jobs is revived now, not at the next admission.
+                scheduler.maintain()
             with self._lock:
                 threaded_running = any(
                     r.kind == "thread" for r in self._running
@@ -455,6 +561,12 @@ class VerificationService:
                     and not job.finished
                 ):
                     self._scheduler.cancel_job(job)
+            elif command[0] == "stats":
+                request = command[1]
+                try:
+                    request.result = self._build_stats()
+                finally:
+                    request.ready.set()
 
     def _admit_ready(self) -> None:
         while True:
@@ -472,6 +584,7 @@ class VerificationService:
 
     def _start_job(self, record: _JobRecord) -> None:
         handle = record.handle
+        record.started_at = time.monotonic()
         handle._transition(JobStatus.RUNNING)
         try:
             if record.kind == "pool":
@@ -555,6 +668,8 @@ class VerificationService:
             revive_seats=True,
             service_emit=safe_service_emit,
             shard_host=self._shard_host,
+            backoff_base=self.seat_backoff_base,
+            backoff_cap=self.seat_backoff_cap,
         )
 
     def _pooled_finished(self, record: _JobRecord, job) -> None:
@@ -584,6 +699,7 @@ class VerificationService:
     # ------------------------------------------------------------------
     def _finalize(self, record: _JobRecord, report, error) -> None:
         handle = record.handle
+        record.finished_at = time.monotonic()
         failure = error if error is not None else record.emit_failure
         if failure is not None:
             status = JobStatus.FAILED

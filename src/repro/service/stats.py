@@ -1,0 +1,137 @@
+"""Structured introspection for :class:`VerificationService`.
+
+:class:`ServiceStats` is the one-call answer to "what is the service
+doing right now": admission-queue depth and slot occupancy, the shared
+pool's :class:`~repro.parallel.PoolStats` (per-seat liveness, crash
+streaks and backoff timers), clause-exchange traffic, and one
+:class:`JobStats` per submitted job with its queue-wait and run
+latency.  Snapshots are taken on the dispatcher thread (so seat
+assignments are read race-free) and returned as frozen records.
+
+``ServiceStats`` also answers ``stats["pool"]["runs"]``-style
+subscripting with the dict form, so callers written against the old
+plain-dict ``service.stats()`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.stats import PoolStats
+
+__all__ = ["JobStats", "ServiceStats", "latency_summary"]
+
+_TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def latency_summary(jobs: tuple["JobStats", ...]) -> dict:
+    """Median/max queue-wait and run latency across ``jobs``.
+
+    Waits count every job (a queued job's wait is still growing); run
+    latency counts only jobs that actually started.
+    """
+    waits = [job.wait_s for job in jobs]
+    runs = [job.run_s for job in jobs if job.started]
+    return {
+        "wait_p50_s": _percentile(waits, 0.5) if waits else 0.0,
+        "wait_max_s": max(waits) if waits else 0.0,
+        "run_p50_s": _percentile(runs, 0.5) if runs else 0.0,
+        "run_max_s": max(runs) if runs else 0.0,
+    }
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """One submitted job's lifecycle timing at one instant.
+
+    ``wait_s`` is submission-to-start (still growing while queued);
+    ``run_s`` is start-to-finish (still growing while running, ``0.0``
+    for a job that never started, e.g. cancelled in the queue).
+    """
+
+    job: str
+    design: str
+    strategy: str
+    status: str  # JobStatus value: queued/running/done/failed/cancelled
+    kind: str  # "pool" | "thread"
+    priority: float
+    started: bool
+    wait_s: float
+    run_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "job": self.job,
+            "design": self.design,
+            "strategy": self.strategy,
+            "status": self.status,
+            "kind": self.kind,
+            "priority": self.priority,
+            "started": self.started,
+            "wait_s": self.wait_s,
+            "run_s": self.run_s,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """The whole service at one instant.
+
+    ``pool`` is ``None`` until the first pooled job creates the shared
+    pool; ``exchange`` is ``None`` until a scheduler exists (totals
+    cover finished jobs plus every live job's shards).
+    """
+
+    pending: int
+    running: int
+    finished: int
+    submitted: int
+    max_concurrent_jobs: int
+    max_pending: int
+    jobs: tuple[JobStats, ...]
+    latency: dict
+    pool: PoolStats | None = None
+    exchange: dict | None = None
+
+    def as_dict(self) -> dict:
+        # Top-level queue keys and a pool dict that splices the pool
+        # counters keep the pre-stats plain-dict shape as a subset.
+        out = {
+            "pending": self.pending,
+            "running": self.running,
+            "submitted": self.submitted,
+            "max_concurrent_jobs": self.max_concurrent_jobs,
+            "max_pending": self.max_pending,
+            "jobs": {
+                "pending": self.pending,
+                "running": self.running,
+                "finished": self.finished,
+                "submitted": self.submitted,
+                "records": [job.as_dict() for job in self.jobs],
+            },
+            "latency": dict(self.latency),
+            "exchange": self.exchange,
+        }
+        if self.pool is not None:
+            out["pool"] = self.pool.as_dict()
+        return out
+
+    # Dict-compatible reads for callers of the legacy plain-dict API.
+    def __getitem__(self, key: str):
+        return self.as_dict()[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.as_dict()
+
+    def get(self, key: str, default=None):
+        return self.as_dict().get(key, default)
+
+    @property
+    def terminal_jobs(self) -> tuple[JobStats, ...]:
+        return tuple(job for job in self.jobs if job.status in _TERMINAL)

@@ -97,6 +97,11 @@ class VerificationConfig:
     #: Jobs a service built from this config runs concurrently (``repro
     #: serve``); ``None`` defers to the service's own default.
     max_concurrent_jobs: int | None = None
+    #: Ceiling on shared-pool seats this job may hold at once when
+    #: ``submit()``-ed to a service; ``None`` leaves fair share alone
+    #: to govern.  A narrow quota keeps one big job from monopolizing
+    #: the pool regardless of its priority.
+    max_seats: int | None = None
     # -- escape hatch: validated IC3Options overrides ------------------
     engine: dict[str, object] = field(default_factory=dict)
     # -- reporting -----------------------------------------------------
@@ -139,6 +144,14 @@ class VerificationConfig:
             raise ConfigError(
                 f"max_concurrent_jobs must be >= 1, "
                 f"got {self.max_concurrent_jobs!r}"
+            )
+        if self.max_seats is not None and (
+            isinstance(self.max_seats, bool)
+            or not isinstance(self.max_seats, int)
+            or self.max_seats < 1
+        ):
+            raise ConfigError(
+                f"max_seats must be >= 1 or None, got {self.max_seats!r}"
             )
         if isinstance(self.exchange_shards, bool) or not (
             self.exchange_shards == "auto"

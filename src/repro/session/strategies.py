@@ -131,6 +131,7 @@ def parallel_options(ts: "TransitionSystem", config: VerificationConfig):
         pool=config.pool,
         schedule_only=config.schedule_only,
         stop_on_failure=config.stop_on_failure,
+        max_seats=config.max_seats,
         clause_reuse=config.clause_reuse,
         respect_constraints_in_lifting=config.respect_constraints_in_lifting,
         per_property_time=config.per_property_time,

@@ -58,6 +58,62 @@ def test_deleting_a_dispatch_arm_fails_the_lint():
     ), texts
 
 
+def test_service_stats_command_is_gated():
+    # The ("stats", request) control message added for the stats
+    # surface must stay paired: deleting its dispatch arm in the
+    # service dispatcher is a wire-protocol error.
+    sources = {
+        str(path.relative_to(ROOT)): path.read_text(encoding="utf-8")
+        for path in sorted((SRC / "repro" / "service").glob("*.py"))
+    }
+    core = "src/repro/service/core.py"
+    assert 'elif command[0] == "stats":' in sources[core]
+    sources[core] = sources[core].replace(
+        'elif command[0] == "stats":', 'elif command[0] == "stats-deleted":'
+    )
+    result = analyze_sources(sources, checkers=[get_checker("wire-protocol")])
+    texts = [f.message for f in result.findings]
+    assert any(
+        "'stats'" in m and "no dispatch arm" in m for m in texts
+    ), texts
+    assert any(
+        "'stats-deleted'" in m and "matches no send site" in m for m in texts
+    ), texts
+
+
+def test_stats_snapshot_event_rendering_is_gated():
+    # StatsSnapshot must keep its format_event arm and __all__ entry;
+    # losing either is an event-hygiene error.
+    progress = SRC / "repro" / "progress.py"
+    source = progress.read_text(encoding="utf-8")
+    assert "isinstance(event, StatsSnapshot)" in source
+    unrendered = source.replace(
+        "isinstance(event, StatsSnapshot)",
+        "isinstance(event, ServiceSaturated)",
+    )
+    result = analyze_sources(
+        {"src/repro/progress.py": unrendered},
+        checkers=[get_checker("event-hygiene")],
+    )
+    texts = [f.message for f in result.findings]
+    assert any(
+        "'StatsSnapshot'" in m and "no" in m and "rendering arm" in m
+        for m in texts
+    ), texts
+
+    unexported = source.replace('    "StatsSnapshot",\n', "")
+    assert unexported != source
+    result = analyze_sources(
+        {"src/repro/progress.py": unexported},
+        checkers=[get_checker("event-hygiene")],
+    )
+    texts = [f.message for f in result.findings]
+    assert any(
+        "'StatsSnapshot'" in m and "missing" in m and "__all__" in m
+        for m in texts
+    ), texts
+
+
 def test_parallel_and_serial_runs_agree():
     paths = [str(SRC / "repro" / "analysis")]
     serial = analyze_paths(paths, jobs=1)
