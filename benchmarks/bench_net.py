@@ -1,0 +1,261 @@
+"""What the wire costs (PR 8 acceptance).
+
+The remote front end is only worth having if the HTTP/SSE layer adds
+negligible cost next to the proofs themselves.  ``BENCH_net.json``
+answers with numbers from one live server (``BackgroundServer`` over a
+2-seat ``VerificationService``, real sockets on 127.0.0.1):
+
+- **codec**: encode+decode round trips per second for a representative
+  event mix (the per-event CPU floor of every stream);
+- **request latency**: p50/p95 milliseconds for ``GET /stats`` and job
+  status probes — the interactive feel of the endpoints;
+- **streaming**: events/s delivered over one SSE connection for a
+  high-event job, plus the resume cost of re-reading the same log;
+- **end to end**: wall clock for a 4-job batch submitted over HTTP
+  (inline AIGER text, results long-polled) vs the identical batch on
+  the same service in-process — the headline overhead ratio.
+
+Invariants are always asserted: remote verdicts identical to
+in-process, SSE ids contiguous from 1 with no drops or duplicates,
+zero seat crashes.
+
+Run:  PYTHONPATH=src python benchmarks/bench_net.py
+or:   PYTHONPATH=src python -m pytest benchmarks/bench_net.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.circuit.aig import AIG, aig_not
+from repro.circuit.aiger import parse_aag, write_aag
+from repro.engines.result import PropStatus
+from repro.gen import buggy_counter
+from repro.net import BackgroundServer, ServiceClient
+from repro.net.codec import decode_event, encode_event
+from repro.progress import (
+    ClauseExport,
+    FrameAdvanced,
+    JobFinished,
+    PropertySolved,
+    RunStarted,
+)
+from repro.service import VerificationService
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import publish_table
+
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_net.json")
+
+CODEC_ROUNDS = 2000
+PROBE_REQUESTS = 50
+STREAM_PROPS = 60
+BATCH_JOBS = 4
+
+
+def _stuck(count: int) -> str:
+    """``count`` stuck-at-zero latches: cheap proofs, many events."""
+    aig = AIG()
+    for index in range(count):
+        latch = aig.add_latch(f"s{index}", init=0)
+        aig.set_next(latch, latch)
+        aig.add_property(f"never_s{index}", aig_not(latch))
+    return write_aag(aig)
+
+
+def _event_mix() -> list:
+    return [
+        RunStarted(strategy="ja", design="d", properties=("p0", "p1")),
+        PropertySolved(name="p0", status=PropStatus.HOLDS, local=True,
+                       time_seconds=0.25, assumed=("p1",)),
+        FrameAdvanced(name="p0", frame=3),
+        ClauseExport(name="p0", count=7),
+        JobFinished(job="job-0", status="done", total_time=1.5,
+                    num_true=2, num_false=0, num_unknown=0),
+    ]
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def bench_codec() -> dict:
+    mix = _event_mix()
+    start = time.monotonic()
+    for _ in range(CODEC_ROUNDS):
+        for event in mix:
+            decode_event(json.loads(json.dumps(encode_event(event))))
+    elapsed = time.monotonic() - start
+    total = CODEC_ROUNDS * len(mix)
+    return {
+        "events": total,
+        "wall_s": round(elapsed, 4),
+        "events_per_s": round(total / max(elapsed, 1e-9)),
+    }
+
+
+def bench_requests(client: ServiceClient, job_id: str) -> dict:
+    def probe(fn) -> dict:
+        times = []
+        for _ in range(PROBE_REQUESTS):
+            start = time.monotonic()
+            fn()
+            times.append((time.monotonic() - start) * 1000.0)
+        return {
+            "requests": PROBE_REQUESTS,
+            "p50_ms": round(percentile(times, 0.50), 2),
+            "p95_ms": round(percentile(times, 0.95), 2),
+        }
+
+    return {
+        "stats": probe(client.stats),
+        "job_status": probe(lambda: client.job(job_id).status()),
+    }
+
+
+def bench_stream(client: ServiceClient) -> dict:
+    job = client.submit(design_text=_stuck(STREAM_PROPS), strategy="ja",
+                        design_name="stuck")
+    start = time.monotonic()
+    events = list(job.events())
+    live_s = time.monotonic() - start
+    job.result(timeout=300)
+    # Re-read the settled log: pure wire throughput, no proof time.
+    raw = list(client.job(job.job_id)._stream_once(0))
+    start = time.monotonic()
+    replay = list(client.job(job.job_id).events())
+    replay_s = time.monotonic() - start
+    ids = [seq for seq, _ in raw]
+    assert ids == list(range(1, len(raw) + 1)), "SSE ids must be 1..N"
+    assert isinstance(replay[-1], JobFinished)
+    return {
+        "job": job.job_id,
+        "events_logged": len(raw),
+        "live_events": len(events),
+        "live_wall_s": round(live_s, 4),
+        "replay_wall_s": round(replay_s, 4),
+        "replay_events_per_s": round(len(replay) / max(replay_s, 1e-9)),
+    }
+
+
+def _verdicts(report) -> dict[str, str]:
+    return {n: o.status.value for n, o in report.outcomes.items()}
+
+
+def bench_batch(client: ServiceClient, service: VerificationService) -> dict:
+    designs = [
+        ("counter4", write_aag(buggy_counter(bits=4))),
+        ("stuck20", _stuck(20)),
+    ] * (BATCH_JOBS // 2)
+
+    start = time.monotonic()
+    local = [
+        service.submit(TransitionSystem(parse_aag(text)), strategy="ja",
+                       design_name=name)
+        for name, text in designs
+    ]
+    local_verdicts = [_verdicts(h.result(timeout=300)) for h in local]
+    local_s = time.monotonic() - start
+
+    start = time.monotonic()
+    remote = [
+        client.submit(design_text=text, strategy="ja", design_name=name)
+        for name, text in designs
+    ]
+    remote_verdicts = [_verdicts(j.result(timeout=300)) for j in remote]
+    remote_s = time.monotonic() - start
+
+    return {
+        "jobs": len(designs),
+        "in_process_wall_s": round(local_s, 4),
+        "remote_wall_s": round(remote_s, 4),
+        "overhead_ratio": round(remote_s / max(local_s, 1e-9), 2),
+        "identical_verdicts": remote_verdicts == local_verdicts,
+    }
+
+
+def build_report() -> dict:
+    service = VerificationService(workers=2, max_concurrent_jobs=4)
+    with BackgroundServer(service) as server:
+        client = ServiceClient(server.address)
+        codec = bench_codec()
+        stream = bench_stream(client)
+        requests = bench_requests(client, stream["job"])
+        batch = bench_batch(client, service)
+        stats = client.stats()
+        crashes = sum(
+            seat["crashes"] for seat in (stats.get("pool") or {}).get("seats", [])
+        )
+
+    report = {
+        "benchmark": "net-overhead",
+        "host_cpus": os.cpu_count() or 1,
+        "codec": codec,
+        "requests": requests,
+        "stream": stream,
+        "batch": batch,
+        "seat_crashes": crashes,
+        "summary": {
+            "codec_events_per_s": codec["events_per_s"],
+            "stats_p50_ms": requests["stats"]["p50_ms"],
+            "replay_events_per_s": stream["replay_events_per_s"],
+            "remote_overhead_ratio": batch["overhead_ratio"],
+            "identical_verdicts": batch["identical_verdicts"],
+            "seat_crashes": crashes,
+        },
+    }
+    publish_table(
+        "bench_net",
+        "Remote service overhead: HTTP/SSE front end vs in-process",
+        ["measure", "value"],
+        [
+            ["codec round trips", f"{codec['events_per_s']}/s"],
+            ["GET /stats p50 / p95",
+             f"{requests['stats']['p50_ms']}ms / "
+             f"{requests['stats']['p95_ms']}ms"],
+            ["SSE replay throughput",
+             f"{stream['replay_events_per_s']} events/s"],
+            [f"{batch['jobs']}-job batch in-process",
+             f"{batch['in_process_wall_s']}s"],
+            [f"{batch['jobs']}-job batch over HTTP",
+             f"{batch['remote_wall_s']}s"],
+            ["remote overhead", f"{batch['overhead_ratio']}x"],
+        ],
+        note="verdict parity and SSE id contiguity asserted",
+    )
+    return report
+
+
+def write_report() -> dict:
+    report = build_report()
+    path = os.path.abspath(OUTPUT)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {path}")
+    return report
+
+
+def test_net_benchmark():
+    """Benchmark-as-test: the wire must not change answers.
+
+    Correctness bars hold on any machine: identical verdicts through
+    the HTTP path, contiguous SSE ids (asserted inside the stream
+    probe), zero seat crashes.  The overhead ratio is recorded, not
+    gated — wall clock on shared CI is noise — but a runaway wire
+    layer (> 5x a 4-job batch) fails loudly.
+    """
+    report = write_report()
+    assert report["summary"]["identical_verdicts"], report["batch"]
+    assert report["summary"]["seat_crashes"] == 0
+    assert report["summary"]["remote_overhead_ratio"] < 5.0, report["batch"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_report()["summary"], indent=2))

@@ -8,11 +8,19 @@ checker by dropping a module here and importing it below.
 
 from __future__ import annotations
 
-from . import hygiene, locks, pickle_safety, queue_discipline, wire_protocol
+from . import (
+    hygiene,
+    locks,
+    net_protocol,
+    pickle_safety,
+    queue_discipline,
+    wire_protocol,
+)
 
 __all__ = [
     "hygiene",
     "locks",
+    "net_protocol",
     "pickle_safety",
     "queue_discipline",
     "wire_protocol",

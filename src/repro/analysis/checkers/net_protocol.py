@@ -1,0 +1,204 @@
+"""Wire-boundary hygiene for the remote service (``repro/net``).
+
+One project-scope checker, ``net-protocol``, keeping the two
+declarative registries of the HTTP front end in lock-step with the
+code they describe:
+
+*Event codec exhaustiveness.*  Every ``ProgressEvent`` subclass
+declared in ``progress.py`` must appear in the ``EVENT_TYPES`` literal
+of ``net/codec.py`` — an event without a codec entry streams to remote
+clients as an opaque blob, silently (``encode_event`` falls back rather
+than failing the job).  The reverse holds too: a codec entry naming a
+class that is no longer a ``ProgressEvent`` subclass is a stale row
+that would shadow a real kind.
+
+*Route/handler pairing.*  Every ``Route(method, pattern, handler)`` row
+of the ``ROUTES`` literal in ``net/server.py`` must have a matching
+``_handle_<handler>`` coroutine on ``VerificationServer`` (a missing
+one is a guaranteed ``AttributeError`` at request time), and every
+``_handle_*`` method must be reachable through some route (an
+unreferenced handler is dead endpoint code that tests exercise or —
+worse — don't).
+
+Like the other registry checkers, this one locates its subject modules
+by path suffix and stays inert when the analyzed set does not include
+them, so linting a fixture tree fabricates nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext, ProjectContext, terminal_name
+from ..findings import Finding
+from ..registry import Checker, register_checker
+
+
+def _registry_literal(
+    ctx: FileContext, name: str
+) -> tuple[ast.AST, list[ast.expr]] | None:
+    """The ``name = (...)`` / ``name: T = (...)`` tuple literal, if any."""
+    for node in ctx.walk():
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == name for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return node, list(value.elts)
+    return None
+
+
+def _event_classes(ctx: FileContext) -> dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in ctx.walk()
+        if isinstance(node, ast.ClassDef)
+        and any(terminal_name(base) == "ProgressEvent" for base in node.bases)
+    }
+
+
+@register_checker("net-protocol")
+class NetProtocolChecker(Checker):
+    """Codec entries and HTTP routes must match the code they index."""
+
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        yield from self._check_codec(project)
+        yield from self._check_routes(project)
+
+    # ------------------------------------------------------------------
+    # EVENT_TYPES <-> ProgressEvent subclasses
+    # ------------------------------------------------------------------
+    def _check_codec(self, project: ProjectContext) -> Iterable[Finding]:
+        codec_ctx = project.find("net/codec.py")
+        progress_ctx = project.find("repro/progress.py") or project.find(
+            "progress.py"
+        )
+        if (
+            codec_ctx is None
+            or codec_ctx.tree is None
+            or progress_ctx is None
+            or progress_ctx.tree is None
+        ):
+            return
+        registry = _registry_literal(codec_ctx, "EVENT_TYPES")
+        events = _event_classes(progress_ctx)
+        if registry is None:
+            if events:
+                yield codec_ctx.finding(
+                    codec_ctx.tree,
+                    self.id,
+                    "net/codec.py has no EVENT_TYPES tuple literal; the "
+                    "event codec registry cannot be checked (or used)",
+                )
+            return
+        anchor, elements = registry
+        registered: dict[str, ast.expr] = {}
+        for element in elements:
+            name = terminal_name(element)
+            if name is not None:
+                registered[name] = element
+        for name, node in sorted(events.items()):
+            if name not in registered:
+                yield codec_ctx.finding(
+                    anchor,
+                    self.id,
+                    f"ProgressEvent subclass {name!r} has no codec entry "
+                    f"in EVENT_TYPES; it would cross the wire as an "
+                    f"opaque blob",
+                )
+        for name, element in sorted(registered.items()):
+            if name not in events:
+                yield codec_ctx.finding(
+                    element,
+                    self.id,
+                    f"EVENT_TYPES names {name!r}, which is not a "
+                    f"ProgressEvent subclass in progress.py (stale "
+                    f"codec entry)",
+                )
+
+    # ------------------------------------------------------------------
+    # ROUTES <-> _handle_* methods
+    # ------------------------------------------------------------------
+    def _check_routes(self, project: ProjectContext) -> Iterable[Finding]:
+        server_ctx = project.find("net/server.py")
+        if server_ctx is None or server_ctx.tree is None:
+            return
+        registry = _registry_literal(server_ctx, "ROUTES")
+        server_class = next(
+            (
+                node
+                for node in server_ctx.walk()
+                if isinstance(node, ast.ClassDef)
+                and node.name == "VerificationServer"
+            ),
+            None,
+        )
+        if registry is None or server_class is None:
+            if registry is not None or server_class is not None:
+                yield server_ctx.finding(
+                    server_ctx.tree,
+                    self.id,
+                    "net/server.py must declare both the ROUTES tuple "
+                    "literal and the VerificationServer class",
+                )
+            return
+        _, elements = registry
+        handlers: dict[str, ast.AST] = {
+            stmt.name[len("_handle_"):]: stmt
+            for stmt in server_class.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name.startswith("_handle_")
+        }
+        routed: set[str] = set()
+        for element in elements:
+            if not (
+                isinstance(element, ast.Call)
+                and terminal_name(element.func) == "Route"
+            ):
+                yield server_ctx.finding(
+                    element,
+                    self.id,
+                    "ROUTES entries must be literal Route(...) calls so "
+                    "the table stays statically checkable",
+                )
+                continue
+            strings = [
+                arg.value
+                for arg in element.args
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+            ]
+            if len(strings) != 3:
+                yield server_ctx.finding(
+                    element,
+                    self.id,
+                    "Route(...) needs three string literals "
+                    "(method, pattern, handler)",
+                )
+                continue
+            method, pattern, handler = strings
+            routed.add(handler)
+            if handler not in handlers:
+                yield server_ctx.finding(
+                    element,
+                    self.id,
+                    f"route {method} {pattern} names handler "
+                    f"{handler!r} but VerificationServer defines no "
+                    f"_handle_{handler}",
+                )
+        for handler, node in sorted(handlers.items()):
+            if handler not in routed:
+                yield server_ctx.finding(
+                    node,
+                    self.id,
+                    f"_handle_{handler} is not reachable from any ROUTES "
+                    f"entry (dead endpoint)",
+                )

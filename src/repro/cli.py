@@ -7,7 +7,10 @@ Commands
 ``gen``       generate a named benchmark design as an AIGER file
 ``sweep``     random-simulation property sweep (no SAT)
 ``check``     multi-property verification through the session API
-``serve``     verify many designs concurrently from a job manifest
+``serve``     verify a job manifest, or run the HTTP server (``--listen``)
+``submit``    submit a design or manifest to a remote ``serve --listen``
+``watch``     re-attach to a remote job's live event stream
+``stats``     print a remote server's live ServiceStats surface
 ``lint``      the project's own static-analysis pass (repro.analysis)
 
 The ``check`` command reads a (multi-property) AIGER file, resolves the
@@ -42,13 +45,22 @@ S`` polls the service's live stats surface every S seconds and prints a
 one-line occupancy/queue digest per tick (the same
 :class:`~repro.progress.StatsSnapshot` events reach ``--progress``
 subscribers); ``--max-seats`` on ``check`` caps how many pool seats the
-job may hold.
+job may hold.  Both serve modes shut down gracefully on SIGINT/SIGTERM:
+batch mode cancels in-flight jobs, drains the pool and reports what
+finished; ``--listen`` stops admission (503), drains, then exits 0.
+
+``serve --listen HOST:PORT`` runs the :mod:`repro.net` HTTP server over
+the same service instead of reading a manifest; remote clients then
+drive it with ``submit --host`` (a design file or the same manifest
+shape — local ``.aag`` designs are inlined over the wire), ``watch``
+(resumable event streams) and ``stats --host``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import __version__
@@ -282,7 +294,81 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _start_stats_poller(service, interval: float | None, progress: bool):
+    """A poller thread broadcasting StatsSnapshot events every N seconds.
+
+    Without ``--progress`` a filtered printer renders just the
+    snapshots (pool occupancy, seat backoff, queue depth, latencies).
+    Returns ``(stop_event, thread)`` — both None when disabled.
+    """
+    if interval is None:
+        return None, None
+    import threading
+
+    from .progress import StatsSnapshot
+
+    if not progress:
+        service.subscribe(
+            lambda event: (
+                print(format_event(event))
+                if isinstance(event, StatsSnapshot)
+                else None
+            )
+        )
+    stop = threading.Event()
+
+    def _poll_stats() -> None:
+        while not stop.wait(interval):
+            service.emit_stats()
+
+    thread = threading.Thread(
+        target=_poll_stats, name="repro-serve-stats", daemon=True
+    )
+    thread.start()
+    return stop, thread
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """``serve --listen HOST:PORT``: the repro.net HTTP server mode."""
+    from .net.client import _parse_address
+    from .net.server import VerificationServer
+    from .service import VerificationService
+
+    try:
+        host, port = _parse_address(args.listen)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    service = VerificationService(
+        workers=args.workers,
+        max_concurrent_jobs=args.max_concurrent_jobs or 4,
+        max_pending=args.max_pending,
+    )
+    if args.progress:
+        service.subscribe(lambda event: print(format_event(event)))
+    stop_stats, stats_thread = _start_stats_poller(
+        service, args.stats_interval, args.progress
+    )
+    server = VerificationServer(
+        service, host, port, drain_grace=args.drain_grace
+    )
+    try:
+        # on_ready prints the *bound* address (port 0 picks a free one)
+        # so wrapper scripts and CI can discover where to connect.
+        server.run(
+            on_ready=lambda h, p: print(f"listening on {h}:{p}", flush=True)
+        )
+    finally:
+        if stop_stats is not None:
+            stop_stats.set()
+            stats_thread.join(timeout=5.0)
+    print("drained; all jobs settled", flush=True)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .service import VerificationService
 
     if args.stats_interval is not None and args.stats_interval <= 0:
@@ -290,6 +376,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"--stats-interval must be > 0, got {args.stats_interval!r}",
             file=sys.stderr,
         )
+        return 2
+    if args.listen is not None:
+        if args.manifest is not None:
+            print(
+                "--listen serves remote clients; submit the manifest with "
+                "'repro submit --host' instead",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_listen(args)
+    if args.manifest is None:
+        print("serve needs a manifest (or --listen HOST:PORT)", file=sys.stderr)
         return 2
     with open(args.manifest) as f:
         manifest = json.load(f)
@@ -313,78 +411,106 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.progress:
         service.subscribe(lambda event: print(format_event(event)))
+    stop_stats, stats_thread = _start_stats_poller(
+        service, args.stats_interval, args.progress
+    )
 
-    # --stats-interval: a poller thread broadcasts StatsSnapshot events
-    # (pool occupancy, seat backoff, queue depth, latencies) every N
-    # seconds; without --progress a filtered printer renders just them.
-    stop_stats = None
-    stats_thread = None
-    if args.stats_interval is not None:
-        import threading
+    # SIGTERM drains like Ctrl-C: cancel in-flight jobs, join the pool,
+    # report what finished — never a traceback through the dispatcher.
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
 
-        from .progress import StatsSnapshot
-
-        if not args.progress:
-            service.subscribe(
-                lambda event: (
-                    print(format_event(event))
-                    if isinstance(event, StatsSnapshot)
-                    else None
-                )
-            )
-        stop_stats = threading.Event()
-
-        def _poll_stats() -> None:
-            while not stop_stats.wait(args.stats_interval):
-                service.emit_stats()
-
-        stats_thread = threading.Thread(
-            target=_poll_stats, name="repro-serve-stats", daemon=True
-        )
-        stats_thread.start()
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _interrupt)
+    except ValueError:  # not the main thread (e.g. tests)
+        previous_term = None
 
     handles = []
     failures = unsolved = broken = 0
+    interrupted = False
     results: dict = {}
-    try:
-        for index, spec in enumerate(jobs):
-            spec = dict(spec)
-            try:
-                design = spec.pop("design")
-            except KeyError:
-                print(f"job #{index} names no design", file=sys.stderr)
-                return 2
-            priority = spec.pop("priority", None)
-            spec.setdefault("strategy", defaults.get("strategy", "parallel-ja"))
-            try:
-                config = VerificationConfig().with_overrides(**spec)
-                handles.append(
-                    service.submit(design, config, priority=priority)
-                )
-            except (
-                ConfigError,
-                UnknownStrategyError,
-                OSError,
-                ValueError,
-            ) as exc:
-                print(f"job #{index} ({design}): {exc}", file=sys.stderr)
-                return 2
+    collected: set[str] = set()
 
-        for handle in handles:
-            try:
-                report = handle.result()
-            except Exception as exc:  # noqa: BLE001 - reported per job
-                print(f"{handle.job_id} ({handle.design_name}): {exc}",
-                      file=sys.stderr)
-                broken += 1
-                continue
-            print(f"\n== {handle.job_id}: {handle.design_name} "
-                  f"[{handle.status.value}] ==")
-            _print_report(report)
-            results[handle.job_id] = _report_to_json(report)
-            failures += bool(report.false_props())
-            unsolved += bool(report.unsolved())
+    def _collect(handle) -> None:
+        """Print and tally one terminal job (idempotent)."""
+        nonlocal failures, unsolved, broken
+        if handle.job_id in collected:
+            return
+        collected.add(handle.job_id)
+        try:
+            report = handle.result(timeout=0)
+        except TimeoutError:
+            print(
+                f"{handle.job_id} ({handle.design_name}): did not settle "
+                f"before shutdown",
+                file=sys.stderr,
+            )
+            broken += 1
+            return
+        except Exception as exc:  # noqa: BLE001 - reported per job
+            print(f"{handle.job_id} ({handle.design_name}): {exc}",
+                  file=sys.stderr)
+            broken += 1
+            return
+        print(f"\n== {handle.job_id}: {handle.design_name} "
+              f"[{handle.status.value}] ==")
+        _print_report(report)
+        results[handle.job_id] = _report_to_json(report)
+        failures += bool(report.false_props())
+        unsolved += bool(report.unsolved())
+
+    try:
+        try:
+            for index, spec in enumerate(jobs):
+                spec = dict(spec)
+                try:
+                    design = spec.pop("design")
+                except KeyError:
+                    print(f"job #{index} names no design", file=sys.stderr)
+                    return 2
+                priority = spec.pop("priority", None)
+                spec.setdefault(
+                    "strategy", defaults.get("strategy", "parallel-ja")
+                )
+                try:
+                    config = VerificationConfig().with_overrides(**spec)
+                    handles.append(
+                        service.submit(design, config, priority=priority)
+                    )
+                except (
+                    ConfigError,
+                    UnknownStrategyError,
+                    OSError,
+                    ValueError,
+                ) as exc:
+                    print(f"job #{index} ({design}): {exc}", file=sys.stderr)
+                    return 2
+
+            for handle in handles:
+                try:
+                    handle.result()
+                except KeyboardInterrupt:
+                    raise
+                except Exception:  # noqa: BLE001,S110 - reported by _collect
+                    pass
+                _collect(handle)
+        except KeyboardInterrupt:
+            interrupted = True
+            print(
+                "\ninterrupted: cancelling in-flight jobs and draining",
+                file=sys.stderr,
+            )
+            for handle in handles:
+                if not handle.status.terminal:
+                    handle.cancel()
+            # In-flight properties run to completion (cancellation is
+            # cooperative), so give each job a real settling window.
+            for handle in handles:
+                handle.wait(timeout=60.0)
+                _collect(handle)
     finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
         if stop_stats is not None:
             stop_stats.set()
             stats_thread.join(timeout=5.0)
@@ -394,13 +520,160 @@ def cmd_serve(args: argparse.Namespace) -> int:
         with open(args.json, "w") as f:
             json.dump(results, f, indent=2)
         print(f"wrote {args.json}")
-    # Exit status mirrors check, aggregated over all jobs.
+    # Exit status mirrors check, aggregated over all jobs; a drained
+    # interrupt exits like a SIGINT'd process so wrappers see it.
+    if interrupted:
+        return 130
     if broken:
         return 2
     if failures:
         return 1
     if unsolved:
         return 3
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Remote client commands (repro.net)
+# ----------------------------------------------------------------------
+def _load_remote_specs(target: str, args: argparse.Namespace) -> list[dict]:
+    """Job specs for ``submit``: a manifest file or one design file.
+
+    Local ``.aag`` designs are inlined as ``design_text`` so the job is
+    self-contained on the wire (the server need not share a
+    filesystem); anything else is passed through as a server-side
+    ``design`` path.
+    """
+
+    def _inline(spec: dict) -> dict:
+        design = spec.get("design")
+        if (
+            isinstance(design, str)
+            and design.endswith(".aag")
+            and os.path.exists(design)
+        ):
+            with open(design) as f:
+                spec = dict(spec, design_text=f.read())
+            del spec["design"]
+            spec.setdefault("design_name", _design_name(design))
+        return spec
+
+    if target.endswith(".json"):
+        with open(target) as f:
+            manifest = json.load(f)
+        if isinstance(manifest, list):
+            defaults, jobs = {}, manifest
+        else:
+            defaults = {
+                k: v
+                for k, v in manifest.items()
+                # Service sizing is the server's business, not the job's.
+                if k not in ("jobs", "workers", "max_concurrent_jobs")
+            }
+            jobs = manifest.get("jobs", [])
+        if not jobs:
+            raise ValueError(f"manifest {target!r} names no jobs")
+        specs = []
+        for spec in jobs:
+            spec = dict(defaults, **spec)
+            spec.setdefault("strategy", args.strategy or "parallel-ja")
+            specs.append(_inline(spec))
+        return specs
+    spec: dict = {"design": target}
+    if args.strategy:
+        spec["strategy"] = args.strategy
+    if args.priority is not None:
+        spec["priority"] = args.priority
+    return [_inline(spec)]
+
+
+def _design_name(path: str) -> str:
+    base = os.path.basename(path)
+    return base.rsplit(".", 1)[0] or base
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .net.client import RemoteError, ServiceClient, submit_manifest
+
+    client = ServiceClient(args.host)
+    try:
+        specs = _load_remote_specs(args.target, args)
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        jobs = submit_manifest(client, specs)
+    except RemoteError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for job in jobs:
+        print(
+            f"submitted {job.job_id}: {job.info.get('design')} "
+            f"[{job.info.get('strategy')}]"
+        )
+    if args.no_wait:
+        return 0
+
+    failures = unsolved = broken = 0
+    results: dict = {}
+    for job in jobs:
+        if args.progress:
+            try:
+                for event in job.events():
+                    print(format_event(event))
+            except RemoteError as exc:
+                print(f"{job.job_id}: event stream failed: {exc}",
+                      file=sys.stderr)
+        try:
+            report = job.result(timeout=args.timeout)
+        except (RemoteError, TimeoutError) as exc:
+            print(f"{job.job_id}: {exc}", file=sys.stderr)
+            broken += 1
+            continue
+        status = job.status().get("status", "done")
+        print(f"\n== {job.job_id}: {report.design} [{status}] ==")
+        _print_report(report)
+        results[job.job_id] = _report_to_json(report)
+        failures += bool(report.false_props())
+        unsolved += bool(report.unsolved())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"wrote {args.json}")
+    if broken:
+        return 2
+    if failures:
+        return 1
+    if unsolved:
+        return 3
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from .net.client import RemoteError, ServiceClient
+
+    client = ServiceClient(args.host)
+    job = client.job(args.job)
+    job.cursor = args.after
+    try:
+        for event in job.events():
+            print(format_event(event), flush=True)
+    except RemoteError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .net.client import RemoteError, ServiceClient
+
+    client = ServiceClient(args.host)
+    try:
+        stats = client.stats()
+    except RemoteError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
 
@@ -644,11 +917,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(func=cmd_lint)
 
     p_serve = sub.add_parser(
-        "serve", help="verify many designs concurrently from a manifest"
+        "serve",
+        help="verify a manifest of jobs, or run the HTTP server (--listen)",
     )
     p_serve.add_argument(
-        "manifest",
-        help="JSON job manifest ({'jobs': [{'design': ..., ...}]} or a list)",
+        "manifest", nargs="?", default=None,
+        help="JSON job manifest ({'jobs': [{'design': ..., ...}]} or a "
+        "list); omitted with --listen",
+    )
+    p_serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve remote clients over HTTP instead of running a "
+        "manifest (port 0 picks a free port; the bound address is "
+        "printed as 'listening on HOST:PORT')",
     )
     p_serve.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -656,7 +937,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--max-concurrent-jobs", type=int, default=None, metavar="M",
-        help="jobs in flight at once (default: manifest, then min(4, #jobs))",
+        help="jobs in flight at once (default: manifest, then min(4, #jobs); "
+        "4 with --listen)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="--listen: admission-queue bound; a full queue answers "
+        "HTTP 429 (default: 64)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="--listen: how long a SIGINT/SIGTERM drain lets running "
+        "jobs finish before cancelling them (default: 10)",
     )
     p_serve.add_argument(
         "--progress", action="store_true",
@@ -672,6 +964,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the per-job JSON reports here"
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit jobs to a remote 'serve --listen' server"
+    )
+    p_submit.add_argument(
+        "target",
+        help="a design file or a .json job manifest (local .aag designs "
+        "are inlined over the wire)",
+    )
+    p_submit.add_argument(
+        "--host", required=True, metavar="HOST:PORT",
+        help="the remote server's address",
+    )
+    p_submit.add_argument(
+        "--strategy", default=None, metavar="NAME",
+        help="strategy for jobs that do not name one (default: parallel-ja "
+        "for manifests, the server default for single designs)",
+    )
+    p_submit.add_argument(
+        "--priority", type=float, default=None,
+        help="single-design submits: the job's fair-share weight",
+    )
+    p_submit.add_argument(
+        "--progress", action="store_true",
+        help="stream each job's events (resumable) while waiting",
+    )
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job ids and exit without waiting for results",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job result wait (default: wait forever)",
+    )
+    p_submit.add_argument(
+        "--json", default=None, help="write the per-job JSON reports here"
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch", help="re-attach to a remote job's live event stream"
+    )
+    p_watch.add_argument("job", help="the job id a submit printed")
+    p_watch.add_argument(
+        "--host", required=True, metavar="HOST:PORT",
+        help="the remote server's address",
+    )
+    p_watch.add_argument(
+        "--after", type=int, default=0, metavar="N",
+        help="resume after event id N (default: 0 = replay from the start)",
+    )
+    p_watch.set_defaults(func=cmd_watch)
+
+    p_stats = sub.add_parser(
+        "stats", help="print a remote server's live stats surface as JSON"
+    )
+    p_stats.add_argument(
+        "--host", required=True, metavar="HOST:PORT",
+        help="the remote server's address",
+    )
+    p_stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -114,6 +114,78 @@ def test_stats_snapshot_event_rendering_is_gated():
     ), texts
 
 
+def _net_sources() -> dict[str, str]:
+    paths = [
+        SRC / "repro" / "progress.py",
+        *sorted((SRC / "repro" / "net").glob("*.py")),
+    ]
+    return {
+        str(path.relative_to(ROOT)): path.read_text(encoding="utf-8")
+        for path in paths
+    }
+
+
+def test_deleting_a_codec_entry_fails_the_lint():
+    # Every ProgressEvent subclass needs an EVENT_TYPES row in the wire
+    # codec; dropping one must be a net-protocol error, or new events
+    # would silently cross the wire as opaque blobs.
+    sources = _net_sources()
+    codec = "src/repro/net/codec.py"
+    head, sep, registry = sources[codec].partition("EVENT_TYPES: tuple")
+    assert sep and "    JobFinished,\n" in registry
+    sources[codec] = head + sep + registry.replace("    JobFinished,\n", "", 1)
+    result = analyze_sources(sources, checkers=[get_checker("net-protocol")])
+    texts = [f.message for f in result.findings]
+    assert any(
+        "'JobFinished'" in m and "no codec entry" in m for m in texts
+    ), texts
+
+
+def test_stale_codec_entry_fails_the_lint():
+    # The reverse direction: an EVENT_TYPES row naming a class that is
+    # no longer a ProgressEvent subclass is a stale registry entry.
+    sources = _net_sources()
+    progress = "src/repro/progress.py"
+    assert "class ShardOpened(ProgressEvent):" in sources[progress]
+    sources[progress] = sources[progress].replace(
+        "class ShardOpened(ProgressEvent):", "class ShardOpened:"
+    )
+    result = analyze_sources(sources, checkers=[get_checker("net-protocol")])
+    texts = [f.message for f in result.findings]
+    assert any(
+        "'ShardOpened'" in m and "stale" in m for m in texts
+    ), texts
+
+
+def test_route_without_handler_fails_the_lint():
+    sources = _net_sources()
+    server = "src/repro/net/server.py"
+    assert 'Route("GET", "/stats", "stats"),' in sources[server]
+    sources[server] = sources[server].replace(
+        'Route("GET", "/stats", "stats"),',
+        'Route("GET", "/stats", "stats_gone"),',
+    )
+    result = analyze_sources(sources, checkers=[get_checker("net-protocol")])
+    texts = [f.message for f in result.findings]
+    assert any(
+        "GET /stats" in m and "_handle_stats_gone" in m for m in texts
+    ), texts
+    # The orphaned real handler is flagged from the other direction too.
+    assert any(
+        "_handle_stats" in m and "dead endpoint" in m for m in texts
+    ), texts
+
+
+def test_net_lint_is_inert_without_net_sources():
+    # Fixture trees without the net package must produce no findings.
+    progress = SRC / "repro" / "progress.py"
+    result = analyze_sources(
+        {"src/repro/progress.py": progress.read_text(encoding="utf-8")},
+        checkers=[get_checker("net-protocol")],
+    )
+    assert result.findings == []
+
+
 def test_parallel_and_serial_runs_agree():
     paths = [str(SRC / "repro" / "analysis")]
     serial = analyze_paths(paths, jobs=1)
