@@ -1,0 +1,244 @@
+"""Portfolio racing vs the best single engine (PR 9 acceptance).
+
+Two questions, answered with numbers in ``BENCH_portfolio.json``:
+
+1. **Race overhead.**  Per property of the Table III-style failing
+   families, how does the full-slate race's wall clock compare to the
+   best single engine for that property?  Each (property, engine) cell
+   is measured through the same scheduler machinery (a one-engine
+   slate on the same persistent pool), so the comparison isolates the
+   cost of *racing* — admission of the extra attempts, arbitration,
+   loser cancellation — from constant pool overhead.  The acceptance
+   bar: race wall <= 1.2x the best single engine, plus a small
+   absolute slack, because sub-second cells are dispatch-jitter
+   dominated (a 2 ms race losing to a 1 ms solo run is not a finding).
+2. **Verdict parity.**  A full-design portfolio run must report
+   exactly the verdicts sequential JA-verification reports, and name a
+   winning engine for every property.
+
+Run:  PYTHONPATH=src python benchmarks/bench_portfolio.py
+or:   PYTHONPATH=src python -m pytest benchmarks/bench_portfolio.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.gen.families import failing_designs
+from repro.multiprop.ja import JAOptions, ja_verify
+from repro.parallel import ENGINE_NAMES, ParallelOptions, WorkerPool, portfolio_verify
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import publish_table, timed
+
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_portfolio.json")
+
+DEFAULT_FAMILIES = ("f175", "f260", "f258")
+WORKERS = len(ENGINE_NAMES)  # every attempt of one race gets a seat
+PER_PROP_S = 3.0
+RACE_BAR = 1.2
+#: Absolute jitter allowance on top of the 1.2x bar: scheduler
+#: dispatch and queue latency dominate cells that finish in
+#: milliseconds, and they do not shrink with the engine's work.
+SLACK_S = 0.5
+SEED = 0
+
+
+def families() -> dict:
+    """Selected failing families (``REPRO_PORTFOLIO_FAMILIES=f175,...``)."""
+    designs = failing_designs()
+    raw = os.environ.get("REPRO_PORTFOLIO_FAMILIES")
+    names = (
+        [part.strip() for part in raw.split(",") if part.strip()]
+        if raw
+        else list(DEFAULT_FAMILIES)
+    )
+    unknown = sorted(set(names) - set(designs))
+    if unknown:
+        raise ValueError(f"unknown families {unknown}; have {sorted(designs)}")
+    return {name: designs[name] for name in names}
+
+
+def _options(pool: WorkerPool, engines, order) -> ParallelOptions:
+    return ParallelOptions(
+        workers=WORKERS,
+        pool=pool,
+        exchange=False,
+        portfolio_engines=tuple(engines),
+        order=list(order),
+        per_property_time=PER_PROP_S,
+        seed=SEED,
+    )
+
+
+def _race_once(ts, pool, engines, prop, design_name):
+    report = portfolio_verify(
+        ts, _options(pool, engines, [prop]), design_name=design_name
+    )
+    race = report.stats["portfolio"][prop]
+    return race["status"], race["wall_s"], race["winner"]
+
+
+def bench_design(name: str, aig, pool: WorkerPool) -> dict:
+    ts = TransitionSystem(aig)
+    sequential, seq_wall = timed(
+        lambda: ja_verify(
+            ts, JAOptions(per_property_time=PER_PROP_S), design_name=name
+        )
+    )
+    seq_verdicts = {
+        prop: outcome.status.value
+        for prop, outcome in sequential.outcomes.items()
+    }
+
+    # Full-design race: parity and named winners.
+    full_report, full_wall = timed(
+        lambda: portfolio_verify(
+            ts,
+            _options(pool, ENGINE_NAMES, [p.name for p in ts.properties]),
+            design_name=name,
+        )
+    )
+    full_verdicts = {
+        prop: outcome.status.value
+        for prop, outcome in full_report.outcomes.items()
+    }
+    winners = {
+        prop: race["winner"]
+        for prop, race in full_report.stats["portfolio"].items()
+    }
+
+    # Per-property: full-slate race vs each engine solo, same machinery.
+    properties = {}
+    for prop in seq_verdicts:
+        singles = {}
+        for engine in ENGINE_NAMES:
+            status, wall, _ = _race_once(ts, pool, (engine,), prop, name)
+            singles[engine] = {"status": status, "wall_s": round(wall, 4)}
+        race_status, race_wall, race_winner = _race_once(
+            ts, pool, ENGINE_NAMES, prop, name
+        )
+        solvers = {
+            engine: cell["wall_s"]
+            for engine, cell in singles.items()
+            if cell["status"] == race_status
+        }
+        best_engine = min(solvers, key=solvers.get)
+        best_wall = solvers[best_engine]
+        properties[prop] = {
+            "verdict": race_status,
+            "winner": race_winner,
+            "race_wall_s": round(race_wall, 4),
+            "best_single": best_engine,
+            "best_single_wall_s": best_wall,
+            "ratio": round(race_wall / best_wall, 3) if best_wall else None,
+            "within_bar": race_wall <= RACE_BAR * best_wall + SLACK_S,
+            "singles": singles,
+        }
+
+    return {
+        "properties": properties,
+        "sequential_ja_wall_s": round(seq_wall, 4),
+        "race_full_design_wall_s": round(full_wall, 4),
+        "verdict_parity": full_verdicts == seq_verdicts,
+        "verdicts": full_verdicts,
+        "winners": winners,
+        "all_winners_named": all(w is not None for w in winners.values()),
+    }
+
+
+def build_report() -> dict:
+    designs = families()
+    pool = WorkerPool(workers=WORKERS)
+    try:
+        cells = {
+            name: bench_design(name, aig, pool)
+            for name, aig in designs.items()
+        }
+    finally:
+        pool.shutdown()
+    worst = max(
+        (
+            (entry["ratio"], f"{name}:{prop}")
+            for name, cell in cells.items()
+            for prop, entry in cell["properties"].items()
+            if entry["ratio"] is not None
+        ),
+    )
+    report = {
+        "v": 1,
+        "workers": WORKERS,
+        "engines": list(ENGINE_NAMES),
+        "seed": SEED,
+        "per_property_time_s": PER_PROP_S,
+        "race_bar": RACE_BAR,
+        "slack_s": SLACK_S,
+        "designs": cells,
+        "summary": {
+            "parity_ok": all(c["verdict_parity"] for c in cells.values()),
+            "winners_named": all(
+                c["all_winners_named"] for c in cells.values()
+            ),
+            "all_within_bar": all(
+                entry["within_bar"]
+                for cell in cells.values()
+                for entry in cell["properties"].values()
+            ),
+            "worst_ratio": worst[0],
+            "worst_cell": worst[1],
+        },
+    }
+    publish_table(
+        "bench_portfolio",
+        "Portfolio race vs best single engine (failing families)",
+        ["design", "#prop", "parity", "winners", "worst ratio"],
+        [
+            [
+                name,
+                len(cell["properties"]),
+                "yes" if cell["verdict_parity"] else "NO",
+                ",".join(sorted(set(cell["winners"].values()))),
+                max(
+                    entry["ratio"]
+                    for entry in cell["properties"].values()
+                    if entry["ratio"] is not None
+                ),
+            ]
+            for name, cell in cells.items()
+        ],
+        note=(
+            f"ratio = race wall / best single-engine wall per property; "
+            f"bar {RACE_BAR}x + {SLACK_S}s jitter slack"
+        ),
+    )
+    return report
+
+
+def write_report() -> dict:
+    report = build_report()
+    path = os.path.abspath(OUTPUT)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {path}")
+    return report
+
+
+def test_portfolio_benchmark():
+    """Benchmark-as-test: the PR 9 acceptance bars must hold."""
+    report = write_report()
+    assert report["summary"]["parity_ok"], report["summary"]
+    assert report["summary"]["winners_named"], report["summary"]
+    assert report["summary"]["all_within_bar"], {
+        f"{name}:{prop}": entry
+        for name, cell in report["designs"].items()
+        for prop, entry in cell["properties"].items()
+        if not entry["within_bar"]
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_report()["summary"], indent=2))

@@ -182,6 +182,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         schedule_only=args.schedule_only,
         stop_on_failure=args.stop_on_failure,
         max_seats=args.max_seats,
+        seed=args.seed,
+        portfolio_engines=args.portfolio_engines,
         solver_backend=args.backend,
         engine=dict(args.engine or []),
         # The "design" sentinel lets Session derive the name from the
@@ -229,7 +231,15 @@ def _print_report(report: MultiPropReport) -> None:
             rows,
         )
     )
-    if report.method.startswith(("ja", "sweep", "parallel")):
+    if report.method == "portfolio":
+        races = report.stats.get("portfolio", {})
+        winners = ", ".join(
+            f"{name}: {race.get('winner') or 'exhausted'}"
+            for name, race in races.items()
+        )
+        if winners:
+            print(f"\nwinning engines — {winners}")
+    if report.method.startswith(("ja", "sweep", "parallel", "portfolio")):
         print()
         print(debugging_report(report).narrative())
 
@@ -250,6 +260,7 @@ def _report_to_json(report: MultiPropReport) -> dict:
                 "cex_depth": o.cex_depth,
                 "time_seconds": o.time_seconds,
                 "assumed": o.assumed,
+                "engine": o.engine,
             }
             for name, o in report.outcomes.items()
         },
@@ -874,6 +885,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-seats", type=int, default=None, metavar="N",
         help="cap on pool seats this job may hold at once when submitted "
         "to a service (default: no cap, fair share governs)",
+    )
+    p_check.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="run-level seed for stochastic engines (portfolio random "
+        "walk); per-property sub-seeds derive from it deterministically",
+    )
+    p_check.add_argument(
+        "--portfolio-engines", default=None, metavar="E1,E2,...",
+        help="engine slate the portfolio strategy races per property, a "
+        "comma-separated subset of rw,bmc,kind,ic3 (default: all four)",
     )
     p_check.add_argument(
         "--progress",

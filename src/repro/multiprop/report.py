@@ -26,6 +26,7 @@ class PropOutcome:
     assumed: list[str] = field(default_factory=list)
     reruns: int = 0  # spurious-CEX re-runs with respecting lifting
     expected_to_fail: bool = False  # ETF properties (Section 5)
+    engine: str | None = None  # which engine produced the verdict (portfolio)
 
 
 @dataclass

@@ -34,6 +34,8 @@ from dataclasses import fields
 from ..engines.result import PropStatus
 from ..multiprop.report import MultiPropReport, PropOutcome
 from ..progress import (
+    AttemptCancelled,
+    AttemptStarted,
     BudgetCheckpoint,
     ClauseExport,
     ClauseImport,
@@ -43,6 +45,7 @@ from ..progress import (
     JobQueued,
     JobStarted,
     PoolAttached,
+    PortfolioDecided,
     ProgressEvent,
     PropertyCancelled,
     PropertyRequeued,
@@ -92,6 +95,9 @@ EVENT_TYPES: tuple[type[ProgressEvent], ...] = (
     ShardOpened,
     PropertyCancelled,
     PropertyRequeued,
+    AttemptStarted,
+    AttemptCancelled,
+    PortfolioDecided,
     JobQueued,
     JobStarted,
     JobFinished,
@@ -107,6 +113,7 @@ _BY_KIND: dict[str, type[ProgressEvent]] = {cls.kind: cls for cls in EVENT_TYPES
 #: practice; it travels as its value string.
 _FIELD_DECODERS: dict[tuple[str, str], typing.Callable] = {
     ("property-solved", "status"): PropStatus,
+    ("portfolio-decided", "status"): PropStatus,
 }
 
 
@@ -224,6 +231,7 @@ def _encode_outcome(outcome: PropOutcome) -> dict:
         "assumed": list(outcome.assumed),
         "reruns": outcome.reruns,
         "expected_to_fail": outcome.expected_to_fail,
+        "engine": outcome.engine,
     }
 
 
@@ -275,6 +283,7 @@ def decode_report(payload: dict) -> MultiPropReport:
                 assumed=list(raw.get("assumed", [])),
                 reruns=raw.get("reruns", 0),
                 expected_to_fail=raw.get("expected_to_fail", False),
+                engine=raw.get("engine"),
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise CodecError(f"bad report payload: {exc!r}") from None

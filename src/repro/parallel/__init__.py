@@ -41,6 +41,13 @@ Entry points: ``Session(design, strategy="parallel-ja", workers=4)`` or
 """
 
 from .engine import ParallelOptions, PooledJob, SeatScheduler, parallel_ja_verify
+from .portfolio import (
+    ENGINE_NAMES,
+    PortfolioController,
+    admit_portfolio,
+    parse_engine_slate,
+    portfolio_verify,
+)
 from .exchange import (
     ExchangeShard,
     ShardedExchange,
@@ -66,6 +73,11 @@ __all__ = [
     "parallel_ja_verify",
     "PooledJob",
     "SeatScheduler",
+    "ENGINE_NAMES",
+    "PortfolioController",
+    "admit_portfolio",
+    "parse_engine_slate",
+    "portfolio_verify",
     "PoolStats",
     "SeatStats",
     "WorkerPool",

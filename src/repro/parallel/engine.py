@@ -141,6 +141,13 @@ class ParallelOptions:
     coi_reduction: bool = False
     ctg: bool = False
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
+    # -- portfolio knobs ----------------------------------------------
+    # Run-level seed for stochastic engines; per-property sub-seeds are
+    # derived deterministically (repro.engines.randomwalk.derive_seed).
+    seed: int | None = None
+    # Engine slate raced per property by the portfolio strategy; None
+    # means the default slate (see repro.parallel.portfolio).
+    portfolio_engines: tuple[str, ...] | None = None
 
     def resolve_workers(self, num_jobs: int) -> int:
         import os
@@ -207,6 +214,8 @@ class PooledJob:
         self.finished = False
         self.total_time = 0.0
         self.job_time: float | None = None
+        self.engine: str | None = None  # attempt engine tag (portfolio)
+        self.seed: int | None = None  # attempt sub-seed (portfolio)
         self.dispatch_mode = "fifo"
         self.use_exchange = False
         self.num_shards = 0
@@ -379,8 +388,15 @@ class SeatScheduler:
         start: float | None = None,
         job_id: str | None = None,
         on_finish=None,
+        engine: str | None = None,
+        seed: int | None = None,
     ) -> PooledJob:
-        """Open one job on the pool and queue its property backlog."""
+        """Open one job on the pool and queue its property backlog.
+
+        ``engine``/``seed`` tag every backlog job (portfolio attempts:
+        one admitted job per property-engine pair); ``None`` keeps the
+        default JAVerifier path.
+        """
         if priority <= 0:
             raise ValueError(f"priority must be > 0, got {priority!r}")
         if options.max_seats is not None and options.max_seats < 1:
@@ -490,11 +506,15 @@ class SeatScheduler:
         job.num_shards = num_shards
         job.managers = managers
         job.exchange = exchange
+        job.engine = engine
+        job.seed = seed
         job.backlog = [
             PropertyJob(
                 name=name,
                 per_property_time=job_time,
                 per_property_conflicts=options.per_property_conflicts,
+                engine=engine,
+                seed=seed,
             )
             for name in dispatch
         ]
@@ -800,6 +820,8 @@ class SeatScheduler:
                     name=name,
                     per_property_time=job.job_time,
                     per_property_conflicts=job.options.per_property_conflicts,
+                    engine=job.engine,
+                    seed=job.seed,
                 ),
             )
             job.emit(PropertyRequeued(name=name, worker=worker_id))

@@ -23,7 +23,12 @@ Control messages (private queue, parent -> worker):
 ``("job", run_id, PropertyJob)``
     one property to verify.  Scheduling is parent-side: the scheduler
     assigns the next backlog job to whichever worker reported idle, so
-    the queue is FIFO and a setup always precedes the run's jobs;
+    the queue is FIFO and a setup always precedes the run's jobs.  The
+    job's ``engine`` selects the checker: ``None``/``"ic3"`` run the
+    full :class:`~repro.multiprop.ja.JAVerifier` ladder; ``"bmc"``,
+    ``"kind"`` and ``"rw"`` run the matching single engine under the
+    same local (``T^P``) semantics — that is what lets the portfolio
+    race heterogeneous engines through one seat protocol;
 ``("cancel", run_id)``
     decline (report ``cancelled``) any later job of that run — the
     per-run complement of the pool-wide cancel epoch;
@@ -70,9 +75,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from collections.abc import Mapping
 
+from ..engines.bmc import bmc_check
+from ..engines.kinduction import kinduction_check
+from ..engines.randomwalk import randomwalk_check
+from ..engines.result import EngineResult, ResourceBudget
 from ..multiprop.clausedb import ClauseDB
 from ..multiprop.ja import JAOptions, JAVerifier
-from ..progress import BudgetCheckpoint, ProgressEvent
+from ..multiprop.report import PropOutcome
+from ..progress import BudgetCheckpoint, ProgressEvent, PropertyStarted
+from ..ts.projection import assumption_names
 from ..ts.system import TransitionSystem
 from .pool import _lru_touch
 
@@ -87,6 +98,12 @@ class PropertyJob:
     name: str
     per_property_time: float | None = None
     per_property_conflicts: int | None = None
+    #: Which checker to run: ``None``/``"ic3"`` -> the full JAVerifier
+    #: ladder; ``"bmc"``/``"kind"``/``"rw"`` -> that single engine under
+    #: local semantics (portfolio attempts).
+    engine: str | None = None
+    #: Sub-seed for stochastic engines (``"rw"``); ignored otherwise.
+    seed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -228,6 +245,10 @@ def _execute(worker_id, run: _ActiveRun, job: PropertyJob, out_queue) -> None:
         out_queue.put(("event", run_id, worker_id, event))
 
     try:
+        if job.engine not in (None, "ic3"):
+            attempt_outcome = _run_attempt(run, job, forward)
+            out_queue.put(("result", run_id, worker_id, attempt_outcome))
+            return
         db = run.db_for(job.name)
         if run.exchange is not None and settings.clause_reuse:
             db.add_all(run.exchange.fetch_fresh(job.name, run.cursors))
@@ -236,6 +257,7 @@ def _execute(worker_id, run: _ActiveRun, job: PropertyJob, out_queue) -> None:
             verifier.clause_db = db  # accumulate across this worker's jobs
         report = verifier.run(settings.design_name)
         outcome = report.outcomes[job.name]
+        outcome.engine = job.engine
         result = verifier.results.get(job.name)
         if (
             run.exchange is not None
@@ -254,3 +276,63 @@ def _execute(worker_id, run: _ActiveRun, job: PropertyJob, out_queue) -> None:
         out_queue.put(
             ("error", run_id, worker_id, job.name, f"{type(exc).__name__}: {exc}")
         )
+
+
+def _run_attempt(run: _ActiveRun, job: PropertyJob, emit) -> PropOutcome:
+    """Run one non-IC3 engine attempt under local (``T^P``) semantics.
+
+    BMC and k-induction pin the assumed properties on every frame
+    strictly before the frame under test, and the random walk abandons
+    any trace where an assumed property fails before the target — so a
+    FAILS from any of them is a *local* counterexample by construction,
+    exactly the verdict the JAVerifier ladder would certify.
+    """
+    settings = run.settings
+    assumed = assumption_names(run.ts, job.name)
+    budget = ResourceBudget(
+        time_limit=job.per_property_time,
+        conflict_limit=job.per_property_conflicts,
+    )
+    emit(PropertyStarted(name=job.name, assumed=tuple(assumed)))
+    result: EngineResult
+    if job.engine == "bmc":
+        result = bmc_check(
+            run.ts,
+            job.name,
+            max_depth=min(settings.max_frames, 256),
+            assumed=assumed,
+            budget=budget,
+            emit=emit,
+            solver_backend=settings.solver_backend,
+        )
+    elif job.engine == "kind":
+        result = kinduction_check(
+            run.ts,
+            job.name,
+            max_k=min(settings.max_frames, 64),
+            assumed=assumed,
+            budget=budget,
+            solver_backend=settings.solver_backend,
+        )
+    elif job.engine == "rw":
+        result = randomwalk_check(
+            run.ts,
+            job.name,
+            seed=job.seed if job.seed is not None else 0,
+            assumed=assumed,
+            budget=budget,
+            emit=emit,
+        )
+    else:
+        raise ValueError(f"unknown attempt engine {job.engine!r}")
+    return PropOutcome(
+        name=job.name,
+        status=result.status,
+        local=True,
+        frames=result.frames,
+        time_seconds=result.time_seconds,
+        cex_depth=len(result.cex) if result.cex is not None else None,
+        assumed=list(result.assumed),
+        expected_to_fail=run.ts.prop_by_name[job.name].expected_to_fail,
+        engine=job.engine,
+    )

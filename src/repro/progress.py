@@ -29,6 +29,11 @@ The event vocabulary mirrors what the paper's tables measure:
   :class:`PropertySolved`, preserving the one-verdict-per-property
   invariant);
 * :class:`RunStarted` / :class:`RunFinished` — session bracketing;
+* :class:`AttemptStarted` / :class:`AttemptCancelled` /
+  :class:`PortfolioDecided` — the portfolio strategy launched one
+  engine attempt in a per-property race, cancelled a losing attempt
+  after the race was decided, or recorded the race verdict (winning
+  engine + wall-clock) for one property;
 * :class:`JobQueued` / :class:`JobStarted` / :class:`JobFinished` /
   :class:`ServiceSaturated` — the job-oriented
   :class:`~repro.service.VerificationService` admitted, started or
@@ -65,6 +70,9 @@ __all__ = [
     "ShardOpened",
     "PropertyCancelled",
     "PropertyRequeued",
+    "AttemptStarted",
+    "AttemptCancelled",
+    "PortfolioDecided",
     "JobQueued",
     "JobStarted",
     "JobFinished",
@@ -251,6 +259,59 @@ class PropertyRequeued(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class AttemptStarted(ProgressEvent):
+    """The portfolio launched one engine attempt on one property.
+
+    A property race emits one ``AttemptStarted`` per engine in the
+    slate; the canonical :class:`PropertyStarted` still brackets the
+    race as a whole, so the one-started-one-solved invariant per
+    property is preserved.
+    """
+
+    kind: ClassVar[str] = "attempt-started"
+    name: str
+    engine: str
+    worker: int | None = None
+
+
+@dataclass(frozen=True)
+class AttemptCancelled(ProgressEvent):
+    """A losing portfolio attempt was cancelled (or its verdict dropped).
+
+    ``latency_s`` is the time from the race decision to the loser's
+    acknowledgement — ``None`` while the cancel is still in flight.  A
+    stale loser whose verdict arrived *after* the decision is reported
+    with this event too (the verdict itself is rejected by the attempt
+    epoch check).
+    """
+
+    kind: ClassVar[str] = "attempt-cancelled"
+    name: str
+    engine: str
+    worker: int | None = None
+    latency_s: float | None = None
+
+
+@dataclass(frozen=True)
+class PortfolioDecided(ProgressEvent):
+    """A per-property engine race reached its verdict.
+
+    ``winner`` names the engine whose verdict was kept (``None`` when
+    every attempt returned UNKNOWN and the race was decided by
+    exhaustion); ``status`` is the ``PropStatus`` value, typed loosely
+    to keep this module dependency-free; ``wall_s`` is race wall-clock
+    from the first attempt's admission to the decision.
+    """
+
+    kind: ClassVar[str] = "portfolio-decided"
+    name: str
+    winner: str | None
+    status: object
+    wall_s: float = 0.0
+    losers: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class JobQueued(ProgressEvent):
     """A submitted job was admitted to the service's pending queue."""
 
@@ -389,6 +450,23 @@ def format_event(event: ProgressEvent) -> str:
     if isinstance(event, PropertyRequeued):
         by = f" (worker {event.worker} crashed)" if event.worker is not None else ""
         return f"[{event.kind}] {event.name}{by}"
+    if isinstance(event, AttemptStarted):
+        by = f" (worker {event.worker})" if event.worker is not None else ""
+        return f"[{event.kind}] {event.name}: {event.engine}{by}"
+    if isinstance(event, AttemptCancelled):
+        latency = (
+            f" after {event.latency_s:.3f}s"
+            if event.latency_s is not None
+            else ""
+        )
+        return f"[{event.kind}] {event.name}: {event.engine}{latency}"
+    if isinstance(event, PortfolioDecided):
+        winner = event.winner or "exhausted"
+        losers = f" over {list(event.losers)}" if event.losers else ""
+        return (
+            f"[{event.kind}] {event.name}: {event.status} by {winner}"
+            f"{losers} in {event.wall_s:.3f}s"
+        )
     if isinstance(event, JobQueued):
         return (
             f"[{event.kind}] {event.job}: {event.strategy} on {event.design} "

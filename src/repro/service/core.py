@@ -395,7 +395,7 @@ class VerificationService:
         kind = (
             "pool"
             if (
-                base.strategy == "parallel-ja"
+                base.strategy in ("parallel-ja", "portfolio")
                 and not base.schedule_only
                 and not self._inline
                 and order
@@ -560,7 +560,11 @@ class VerificationService:
                     and job is not None
                     and not job.finished
                 ):
-                    self._scheduler.cancel_job(job)
+                    cancel_all = getattr(job, "cancel_all", None)
+                    if cancel_all is not None:  # portfolio controller
+                        cancel_all()
+                    else:
+                        self._scheduler.cancel_job(job)
             elif command[0] == "stats":
                 request = command[1]
                 try:
@@ -623,6 +627,25 @@ class VerificationService:
             ),
         )
         options = parallel_options(record.ts, record.config)
+        if record.config.strategy == "portfolio":
+            from ..parallel.portfolio import admit_portfolio
+
+            # The controller duck-types the PooledJob surface the
+            # service touches (finished/error/build_report/run_id), so
+            # completion funnels through _pooled_finished unchanged.
+            record.pooled_job = admit_portfolio(
+                self._scheduler,
+                record.ts,
+                options,
+                record.config.design_name,
+                self._guarded_job_emit(record),
+                record.order,
+                priority=record.priority,
+                pool_label="persistent",
+                job_id=record.handle.job_id,
+                on_finish=lambda job: self._pooled_finished(record, job),
+            )
+            return
         record.pooled_job = self._scheduler.admit(
             record.ts,
             options,

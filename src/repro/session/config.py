@@ -102,6 +102,16 @@ class VerificationConfig:
     #: to govern.  A narrow quota keeps one big job from monopolizing
     #: the pool regardless of its priority.
     max_seats: int | None = None
+    # -- portfolio specifics (repro.parallel.portfolio) ----------------
+    #: Run-level seed for stochastic engines (the random-walk
+    #: falsifier); per-property sub-seeds are derived deterministically
+    #: from it, so equal seeds give bit-identical runs.  ``None`` means
+    #: seed 0 (still deterministic).
+    seed: int | None = None
+    #: Engine slate the portfolio strategy races per property, as a
+    #: comma-separated subset of ``rw,bmc,kind,ic3`` (race order =
+    #: admission order); ``None`` races the full default slate.
+    portfolio_engines: str | None = None
     # -- escape hatch: validated IC3Options overrides ------------------
     engine: dict[str, object] = field(default_factory=dict)
     # -- reporting -----------------------------------------------------
@@ -180,6 +190,21 @@ class VerificationConfig:
                 default_backend()  # catch a bogus REPRO_SAT_BACKEND early
         except UnknownBackendError as exc:
             raise ConfigError(str(exc)) from None
+        if self.seed is not None and (
+            isinstance(self.seed, bool)
+            or not isinstance(self.seed, int)
+            or self.seed < 0
+        ):
+            raise ConfigError(
+                f"seed must be a non-negative int or None, got {self.seed!r}"
+            )
+        if self.portfolio_engines is not None:
+            from ..parallel.portfolio import parse_engine_slate
+
+            try:
+                parse_engine_slate(self.portfolio_engines)
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
         self._validate_order_spec()
         unknown = set(self.engine) - ENGINE_OVERRIDE_KEYS
         if unknown:

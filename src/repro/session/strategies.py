@@ -143,6 +143,16 @@ def parallel_options(ts: "TransitionSystem", config: VerificationConfig):
         ctg=config.ctg,
         solver_backend=config.solver_backend,
         engine_overrides=dict(config.engine),
+        seed=config.seed,
+        portfolio_engines=(
+            None
+            if config.portfolio_engines is None
+            else tuple(
+                part.strip()
+                for part in config.portfolio_engines.split(",")
+                if part.strip()
+            )
+        ),
     )
 
 
@@ -154,6 +164,27 @@ class ParallelJAStrategy:
         from ..parallel import parallel_ja_verify
 
         return parallel_ja_verify(
+            ts,
+            parallel_options(ts, config),
+            design_name=config.design_name,
+            emit=emit,
+        )
+
+
+@register_strategy("portfolio")
+class PortfolioStrategy:
+    """Per-property engine racing: first definitive verdict wins.
+
+    Races the configured slate (``portfolio_engines``, default
+    ``rw,bmc,kind,ic3``) per property on the seat scheduler; losers are
+    cancelled through the per-run cancellation path and the winning
+    engine per property lands in ``report.stats["portfolio"]``.
+    """
+
+    def run(self, ts, config, emit) -> "MultiPropReport":
+        from ..parallel import portfolio_verify
+
+        return portfolio_verify(
             ts,
             parallel_options(ts, config),
             design_name=config.design_name,

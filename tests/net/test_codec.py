@@ -68,8 +68,9 @@ def _event_strategy(cls: type[ProgressEvent]) -> st.SearchStrategy:
     hints = typing.get_type_hints(cls)
     kwargs = {}
     for spec in fields(cls):
-        if cls is PropertySolved and spec.name == "status":
-            # Typed ``object`` in progress.py; a PropStatus in practice.
+        if spec.name == "status" and hints[spec.name] is object:
+            # Typed ``object`` in progress.py (PropertySolved,
+            # PortfolioDecided); a PropStatus in practice.
             kwargs[spec.name] = st.sampled_from(list(PropStatus))
         else:
             kwargs[spec.name] = _leaf_strategy(hints[spec.name])

@@ -360,6 +360,49 @@ class TestDrain:
         assert statuses <= {"done", "cancelled"}
 
 
+class TestPortfolioOverTheWire:
+    def test_portfolio_job_streams_race_events(self, remote):
+        from repro.progress import (
+            AttemptCancelled,
+            AttemptStarted,
+            PortfolioDecided,
+        )
+
+        client, _ = remote
+        job = client.submit(
+            design_text=toggler_text(),
+            strategy="portfolio",
+            seed=9,
+            design_name="toggler",
+        )
+        events = list(job.events())
+        assert isinstance(events[-1], JobFinished)
+        started = [e for e in events if isinstance(e, AttemptStarted)]
+        # Full default slate on both properties, announced up front.
+        assert {(e.name, e.engine) for e in started} == {
+            (name, engine)
+            for name in ("never_r", "never_q")
+            for engine in ("rw", "bmc", "kind", "ic3")
+        }
+        decided = {
+            e.name: e for e in events if isinstance(e, PortfolioDecided)
+        }
+        assert set(decided) == {"never_r", "never_q"}
+        # The decoded status survives the wire as a real PropStatus.
+        assert decided["never_q"].status is PropStatus.FAILS
+        assert decided["never_r"].status is PropStatus.HOLDS
+        assert decided["never_r"].winner in ("kind", "ic3")
+        # never_q is decided by a shallow falsifier while the other
+        # engines still race: their cancellations reach the stream.
+        cancelled = [e for e in events if isinstance(e, AttemptCancelled)]
+        assert cancelled, "no AttemptCancelled event arrived over SSE"
+        assert {e.name for e in cancelled} <= {"never_r", "never_q"}
+        report = job.result(timeout=60)
+        races = report.stats["portfolio"]
+        assert races["never_q"]["winner"] == decided["never_q"].winner
+        assert report.outcomes["never_q"].engine == decided["never_q"].winner
+
+
 class TestTransitionSystemHelper:
     def test_inline_design_parses_to_same_system(self, toggler):
         from repro.circuit.aiger import parse_aag

@@ -24,11 +24,15 @@ from repro.session import Session, VerificationConfig, available_strategies
 from repro.ts.system import TransitionSystem
 
 #: Event fields that measure wall-clock and may differ between runs.
-TIMING_FIELDS = {"time_seconds", "elapsed", "total_time"}
+TIMING_FIELDS = {"time_seconds", "elapsed", "total_time", "wall_s", "latency_s"}
 
 #: Strategy-specific config so every strategy runs deterministically.
+#: Both scheduler-backed strategies pin ``workers=1`` (see module
+#: docstring); ``portfolio`` additionally races deterministically there
+#: because a single seat runs attempts in admission order.
 STRATEGY_OVERRIDES = {
     "parallel-ja": {"workers": 1},
+    "portfolio": {"workers": 1},
 }
 
 
