@@ -1,0 +1,241 @@
+"""Cross-run proof cache benchmark: cold vs warm vs one-latch edit.
+
+Three scenarios, each measured through the full :class:`Session` stack
+(resolution, certification, merge — not a bare store microbenchmark):
+
+* **cold** — empty cache directory: every property is proved, every
+  verdict is written back.
+* **warm** — identical design resubmitted against the same directory:
+  every property must resolve from cache (0 re-proved) after its
+  witness re-passes certification, and the wall-clock must beat the
+  cold run by the acceptance bar (>= 5x aggregate).
+* **edit** — a single latch's reset value is flipped in one slice of a
+  multi-cone design: only the properties whose COI cone contains that
+  latch may be re-proved; every out-of-cone property must still hit
+  (cone-level hits on an edited design — the incremental story).
+
+Every cached run is paired with a cache-off run of the same design and
+the verdict maps are required to be identical: the cache may only ever
+change *when* a verdict is computed, never *what* it is.
+
+The result is written to ``BENCH_cache.json`` at the repo root (and a
+rendered table to ``benchmarks/results/``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_cache.py
+or:   PYTHONPATH=src python -m pytest benchmarks/bench_cache.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+# Script mode (`python benchmarks/bench_cache.py`): make the repo root
+# importable the same way pytest's rootdir insertion does.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.circuit.aig import AIG
+from repro.gen import ALL_TRUE_SPECS, buggy_counter
+from repro.session import Session, VerificationConfig
+from repro.ts.system import TransitionSystem
+
+from benchmarks._harness import publish_table
+
+#: Families for the cold/warm comparison: counter8 is the paper's
+#: Example 1; the t-designs are all-true (real inductive proofs, the
+#: case where a cache hit saves the most work).
+FAMILIES = {
+    "counter8": lambda: buggy_counter(bits=8),
+    "t124": ALL_TRUE_SPECS["t124"].build,
+    "t135": ALL_TRUE_SPECS["t135"].build,
+}
+
+#: The edit scenario's design: independent good-flag chains, one
+#: property per stage.  Chains share no logic, so each property's COI
+#: cone is exactly its own chain — flipping one chain's source latch
+#: must invalidate that chain's cached verdicts and no others.
+EDIT_SLICES = 3
+EDIT_DEPTH = 4
+
+OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_cache.json")
+
+
+def chain_design(broken_slice: int | None = None) -> AIG:
+    """``EDIT_SLICES`` independent chains; one source latch optionally flipped."""
+    aig = AIG()
+    for k in range(EDIT_SLICES):
+        prev = None
+        flags = []
+        for i in range(EDIT_DEPTH):
+            init = 0 if (i == 0 and k == broken_slice) else 1
+            flag = aig.add_latch(f"s{k}_g{i}", init=init)
+            aig.set_next(flag, flag if prev is None else prev)
+            flags.append(flag)
+            prev = flag
+        for i in range(EDIT_DEPTH):
+            aig.add_property(f"s{k}_C{i}", flags[i])
+    return aig
+
+
+# ----------------------------------------------------------------------
+def run_once(build, cache_dir: str | None) -> dict:
+    """One Session run; returns wall, verdicts, hit/re-prove counts."""
+    events: list = []
+    config = VerificationConfig(cache_dir=cache_dir)
+    session = Session(TransitionSystem(build()), config=config, on_event=events.append)
+    start = time.monotonic()
+    report = session.run()
+    wall = time.monotonic() - start
+    hits = [e for e in events if getattr(e, "kind", "") == "cache-hit"]
+    return {
+        "wall_s": round(wall, 4),
+        "properties": len(report.outcomes),
+        "cache_hits": len(hits),
+        "reproved": len(report.outcomes) - len(hits),
+        "exact_hits": sum(1 for h in hits if h.exact_design),
+        "cone_hits": sum(1 for h in hits if not h.exact_design),
+        "verdicts": {n: o.status.value for n, o in report.outcomes.items()},
+    }
+
+
+def run_edit_scenario() -> dict:
+    """Populate from the base design, then resubmit a one-latch edit."""
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-edit-")
+    try:
+        base = run_once(lambda: chain_design(), cache_dir)
+        edited = run_once(lambda: chain_design(broken_slice=0), cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    baseline = run_once(lambda: chain_design(broken_slice=0), None)
+    changed = {f"s0_C{i}" for i in range(EDIT_DEPTH)}
+    reproved = {
+        name
+        for name in edited["verdicts"]
+        if name in changed or name not in base["verdicts"]
+    }
+    return {
+        "design": f"{EDIT_SLICES} chains x {EDIT_DEPTH} stages",
+        "edit": "slice s0 source latch reset 1 -> 0",
+        "changed_cone_properties": sorted(changed),
+        "base": base,
+        "edited_resubmit": edited,
+        "cache_off_baseline": baseline,
+        "reproved_only_changed_cone": edited["reproved"] == len(changed)
+        and edited["cone_hits"] == len(edited["verdicts"]) - len(changed),
+        "verdict_parity": edited["verdicts"] == baseline["verdicts"],
+        "expected_reproved": sorted(reproved),
+    }
+
+
+# ----------------------------------------------------------------------
+def build_report() -> dict:
+    report: dict = {"benchmark": "proof-cache", "families": {}}
+    rows = []
+    cold_total = warm_total = 0.0
+    warm_reproved = 0
+    parity = True
+    for name, build in FAMILIES.items():
+        cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+        try:
+            cold = run_once(build, cache_dir)
+            warm = run_once(build, cache_dir)
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        off = run_once(build, None)
+        family_parity = (
+            cold["verdicts"] == off["verdicts"]
+            and warm["verdicts"] == off["verdicts"]
+        )
+        parity = parity and family_parity
+        cold_total += cold["wall_s"]
+        warm_total += warm["wall_s"]
+        warm_reproved += warm["reproved"]
+        speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+        report["families"][name] = {
+            "cold": cold,
+            "warm": warm,
+            "speedup": round(speedup, 2),
+            "verdict_parity_with_cache_off": family_parity,
+        }
+        rows.append(
+            [
+                name,
+                cold["properties"],
+                cold["wall_s"],
+                warm["wall_s"],
+                f"{speedup:.1f}x",
+                warm["reproved"],
+                "yes" if family_parity else "NO",
+            ]
+        )
+
+    edit = run_edit_scenario()
+    report["edit"] = edit
+    parity = parity and edit["verdict_parity"]
+    rows.append(
+        [
+            "chains (edited)",
+            len(edit["edited_resubmit"]["verdicts"]),
+            edit["base"]["wall_s"],
+            edit["edited_resubmit"]["wall_s"],
+            "-",
+            edit["edited_resubmit"]["reproved"],
+            "yes" if edit["verdict_parity"] else "NO",
+        ]
+    )
+
+    aggregate_speedup = cold_total / max(warm_total, 1e-9)
+    report["summary"] = {
+        "cold_total_s": round(cold_total, 4),
+        "warm_total_s": round(warm_total, 4),
+        "aggregate_warm_speedup": round(aggregate_speedup, 2),
+        "meets_5x_warm_target": aggregate_speedup >= 5.0,
+        "warm_reproved_total": warm_reproved,
+        "edit_reproved_only_changed_cone": edit["reproved_only_changed_cone"],
+        "verdict_parity_everywhere": parity,
+    }
+    publish_table(
+        "bench_cache",
+        "Proof cache: cold vs warm vs one-latch edit",
+        [
+            "design",
+            "props",
+            "cold (s)",
+            "resubmit (s)",
+            "speedup",
+            "re-proved",
+            "parity",
+        ],
+        rows,
+        note="re-proved on an unchanged resubmit must be 0; on the edited "
+        "design, exactly the changed-cone properties",
+    )
+    return report
+
+
+def write_report() -> dict:
+    report = build_report()
+    path = os.path.abspath(OUTPUT)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+    print(f"wrote {path}")
+    return report
+
+
+def test_cache_benchmark():
+    """Benchmark-as-test: the acceptance bars must hold."""
+    report = write_report()
+    summary = report["summary"]
+    assert summary["warm_reproved_total"] == 0, summary
+    assert summary["meets_5x_warm_target"], summary
+    assert summary["edit_reproved_only_changed_cone"], report["edit"]
+    assert summary["verdict_parity_everywhere"], summary
+
+
+if __name__ == "__main__":
+    report = write_report()
+    print(json.dumps(report["summary"], indent=2))

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Incremental re-verification through the cross-run proof cache.
+
+The loop every design team lives in: verify, edit one module, verify
+again.  With a ``cache_dir`` on the config, the second run only pays
+for the properties whose cone-of-influence actually contains the edit
+— everything else is served from the content-addressed proof store
+after its stored witness re-passes certification against the *edited*
+design.
+
+The design here is three independent pipeline "slices", four
+properties each.  We verify it cold, flip the reset value of one latch
+in slice 0, and resubmit: the eight properties of slices 1 and 2 hit
+the cache (their cone digests are untouched by the edit), while the
+four properties of slice 0 — and only those — are re-proved.
+
+Run:  python examples/incremental_reverify.py
+"""
+
+import shutil
+import tempfile
+
+from repro.circuit.aig import AIG
+from repro.session import Session, VerificationConfig
+from repro.ts.system import TransitionSystem
+
+SLICES = 3
+DEPTH = 4
+
+
+def build_design(broken_slice: int | None = None) -> AIG:
+    """Independent good-flag chains; one source latch optionally flipped."""
+    aig = AIG()
+    for k in range(SLICES):
+        prev = None
+        flags = []
+        for i in range(DEPTH):
+            init = 0 if (i == 0 and k == broken_slice) else 1
+            flag = aig.add_latch(f"s{k}_g{i}", init=init)
+            aig.set_next(flag, flag if prev is None else prev)
+            flags.append(flag)
+            prev = flag
+        for i in range(DEPTH):
+            aig.add_property(f"s{k}_C{i}", flags[i])
+    return aig
+
+
+def verify(aig: AIG, cache_dir: str, label: str):
+    events = []
+    session = Session(
+        TransitionSystem(aig),
+        config=VerificationConfig(cache_dir=cache_dir),
+        on_event=events.append,
+    )
+    report = session.run()
+    hits = [e for e in events if getattr(e, "kind", "") == "cache-hit"]
+    reproved = sorted(set(report.outcomes) - {h.name for h in hits})
+    print(f"{label}:")
+    print(f"  cache hits : {len(hits)}")
+    print(f"  re-proved  : {len(reproved)}  {reproved}")
+    for hit in hits:
+        scope = "exact design" if hit.exact_design else "cone-level (edited design)"
+        print(f"    [cache-hit] {hit.name}: {hit.status.value} ({scope})")
+    return report
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="proof-cache-")
+    try:
+        # 1. Cold run: every property proved, every verdict written back.
+        cold = verify(build_design(), cache_dir, "cold run")
+        assert all(o.status.value == "holds" for o in cold.outcomes.values())
+        print()
+
+        # 2. The edit: slice 0's source latch now resets to 0, so its
+        #    chain breaks.  Slices 1 and 2 are structurally untouched.
+        print("edit: flip reset of s0_g0 (slice 0 now fails)\n")
+        edited = verify(build_design(broken_slice=0), cache_dir, "resubmit after edit")
+        failed = sorted(n for n, o in edited.outcomes.items() if o.status.value == "fails")
+        print(f"\n  failing after edit: {failed}")
+        print(f"  debugging set     : {sorted(edited.debugging_set())}")
+        # JA-verification pinpoints the root cause: only the source
+        # property fails; the downstream slice-0 properties hold
+        # locally under the assumption of their predecessors.
+        assert failed == ["s0_C0"]
+
+        # Out-of-cone verdicts were *served*, not trusted: each stored
+        # invariant was re-certified against the edited design first.
+        served = [n for n, o in edited.outcomes.items() if o.engine == "cache"]
+        assert sorted(served) == sorted(
+            f"s{k}_C{i}" for k in (1, 2) for i in range(DEPTH)
+        )
+
+        # 3. Resubmit the edited design unchanged: now everything hits,
+        #    including the freshly cached FAILS verdicts of slice 0.
+        print()
+        rerun = verify(build_design(broken_slice=0), cache_dir, "resubmit unchanged")
+        assert all(o.engine == "cache" for o in rerun.outcomes.values())
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ checker by dropping a module here and importing it below.
 from __future__ import annotations
 
 from . import (
+    cache_hygiene,
     hygiene,
     locks,
     net_protocol,
@@ -18,6 +19,7 @@ from . import (
 )
 
 __all__ = [
+    "cache_hygiene",
     "hygiene",
     "locks",
     "net_protocol",

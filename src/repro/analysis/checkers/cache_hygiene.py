@@ -1,0 +1,173 @@
+"""Robustness rules of the cross-run proof cache.
+
+The cache's safety story (see :mod:`repro.cache`) rests on two
+mechanical disciplines that are easy to erode one refactor at a time:
+
+1. **Atomic writes.**  Every file the ``repro/cache`` package writes
+   must go through :func:`repro.cache.store.atomic_write` (temp file +
+   ``os.replace``).  A direct write-mode ``open()`` or
+   ``Path.write_text`` anywhere else in the package can leave a
+   half-written record where a concurrent reader — or the next process
+   after a crash — will find it.
+
+2. **Certification before trust.**  Any module that reads records back
+   out of a proof store *and* turns them into reported outcomes must
+   re-certify the stored witnesses against the current design: a HOLDS
+   witness via ``certify_invariant``, a FAILS witness via
+   ``certify_cex``.  A consumer that serves a cached verdict without
+   both calls would turn a corrupted (or adversarial) store into a
+   wrong verdict instead of a wasted re-proof.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import (
+    FileContext,
+    ProjectContext,
+    call_name,
+    str_const,
+    terminal_name,
+)
+from ..findings import Finding
+from ..registry import Checker, register_checker
+
+_WRITE_MODE_CHARS = set("wax+")
+_WRITE_METHODS = ("write_text", "write_bytes")
+_ATOMIC_FUNC = "atomic_write"
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The write-ish mode string of an ``open``/``fdopen`` call, or None."""
+    if call_name(node) not in ("open", "fdopen"):
+        return None
+    mode_node: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return None  # default mode is "r"
+    mode = str_const(mode_node)
+    if mode is not None and _WRITE_MODE_CHARS & set(mode):
+        return mode
+    return None
+
+
+def _write_site(node: ast.AST) -> str | None:
+    """A human label for a file-writing call, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    mode = _open_write_mode(node)
+    if mode is not None:
+        return f"{call_name(node)}(..., {mode!r})"
+    name = call_name(node)
+    if name in _WRITE_METHODS and isinstance(node.func, ast.Attribute):
+        return f".{name}(...)"
+    return None
+
+
+def _enclosing_functions(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every AST node to the name of its innermost enclosing function."""
+    owner: dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, current: str | None) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node.name
+        for child in ast.iter_child_nodes(node):
+            if current is not None:
+                owner[child] = current
+            visit(child, current)
+
+    visit(tree, None)
+    return owner
+
+
+def _called_names(ctx: FileContext) -> set[str]:
+    return {
+        name
+        for node in ctx.walk()
+        if isinstance(node, ast.Call)
+        for name in (call_name(node),)
+        if name is not None
+    }
+
+
+@register_checker("cache-hygiene")
+class CacheHygieneChecker(Checker):
+    """Atomic writes and certification-before-trust in the proof cache."""
+
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        for ctx in project.files():
+            if "/cache/" in ctx.path.replace("\\", "/"):
+                yield from self._check_atomic_writes(ctx)
+            yield from self._check_certification(ctx)
+
+    # ------------------------------------------------------------------
+    # Rule 1: all writes inside repro/cache go through atomic_write
+    # ------------------------------------------------------------------
+    def _check_atomic_writes(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        owner = _enclosing_functions(ctx.tree)
+        for node in ctx.walk():
+            label = _write_site(node)
+            if label is None:
+                continue
+            if owner.get(node) == _ATOMIC_FUNC:
+                continue
+            yield ctx.finding(
+                node,
+                self.id,
+                f"cache package writes {label} outside atomic_write(); "
+                f"route the write through atomic_write so readers never "
+                f"observe a torn record",
+            )
+
+    # ------------------------------------------------------------------
+    # Rule 2: store readers that report outcomes must re-certify
+    # ------------------------------------------------------------------
+    def _check_certification(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        reads_store = False
+        outcome_call: ast.Call | None = None
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "get" and isinstance(node.func, ast.Attribute):
+                receiver = (terminal_name(node.func.value) or "").lstrip("_")
+                # "store" / "proof_store" are proof stores by project
+                # convention; plural dicts of stores ("stores") are not.
+                if receiver == "store" or receiver.endswith("_store"):
+                    reads_store = True
+            elif name == "from_json":
+                receiver = terminal_name(node.func) or ""
+                if isinstance(node.func, ast.Attribute) and (
+                    terminal_name(node.func.value) or ""
+                ).endswith("CacheRecord"):
+                    reads_store = True
+            elif name == "PropOutcome" and outcome_call is None:
+                outcome_call = node
+        if not reads_store or outcome_call is None:
+            return
+        called = _called_names(ctx)
+        for required, witness in (
+            ("certify_invariant", "a cached HOLDS invariant"),
+            ("certify_cex", "a cached FAILS trace"),
+        ):
+            if required not in called:
+                yield ctx.finding(
+                    outcome_call,
+                    self.id,
+                    f"module reads proof-store records and builds "
+                    f"PropOutcome but never calls {required}(); {witness} "
+                    f"must be re-certified against the current design "
+                    f"before it is reported",
+                )

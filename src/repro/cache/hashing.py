@@ -1,0 +1,171 @@
+"""Stable content hashes, unified for the whole repo.
+
+Before this module each layer grew its own ad-hoc hashing: the worker
+pool hashed pickle payloads to dedupe design shipping, the random-walk
+engine hashed name tuples for seed derivation, and the proof cache
+needed design and cone digests.  All of them live here now, with the
+stability of each flavour documented:
+
+``payload_digest``
+    SHA-256 of raw bytes.  Stable only for the exact byte string —
+    pickle payloads are *not* guaranteed stable across Python versions,
+    so this flavour is for process-local dedup (the pool's design
+    shipping cache), never for on-disk cache keys.
+
+``design_digest``
+    SHA-256 of the design's canonical AAG text
+    (:func:`~repro.circuit.aiger.write_aag`).  Stable across processes,
+    machines and Python versions; two designs with identical logic,
+    names and resets collide exactly.  This keys warm clause logs.
+
+``cone_digest``
+    SHA-256 of the canonical AAG text of one property's *assumption
+    cone*: the COI cone of the property plus every assumable property
+    whose support is transitively connected to it (the same
+    support-connected fixpoint the JA verifier uses for COI reduction).
+    An edit outside the cone leaves the digest unchanged — which is the
+    whole basis of incremental re-verification.  The target property's
+    name is mixed into the digest so that mutually-assuming properties
+    sharing one cone still get distinct keys.  The assumed-name list
+    itself is deliberately *not* part of the key: assumption sets are
+    re-derived (and re-certified) against the current design on every
+    hit, so a key that ignored them stays sound while hitting more.
+
+``joined_digest``
+    SHA-256 over NUL-joined string parts, for stable derived values
+    (per-property seeds) where field boundaries must not smear.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+from ..circuit.aiger import write_aag
+from ..circuit.coi import reduce_to_cone, support_signature
+from ..ts.projection import assumption_names
+from ..ts.system import TransitionSystem
+
+__all__ = [
+    "cone_digest",
+    "cone_properties",
+    "cone_support",
+    "design_digest",
+    "joined_digest",
+    "payload_digest",
+    "text_digest",
+]
+
+
+def payload_digest(payload: bytes) -> str:
+    """Hex SHA-256 of ``payload``.  Process-local dedup only (see module doc)."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def text_digest(text: str) -> str:
+    """Hex SHA-256 of UTF-8 encoded ``text``."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def joined_digest(*parts: object) -> bytes:
+    """Raw SHA-256 over NUL-joined ``str(part)`` values.
+
+    The NUL separator keeps field boundaries exact: ``("ab", "c")`` and
+    ``("a", "bc")`` hash differently.
+    """
+    return hashlib.sha256("\x00".join(str(p) for p in parts).encode("utf-8")).digest()
+
+
+def design_digest(ts: TransitionSystem) -> str:
+    """Cross-process stable content hash of a whole design."""
+    return text_digest(write_aag(ts.aig))
+
+
+def cone_properties(
+    ts: TransitionSystem,
+    name: str,
+    supports: dict[str, frozenset] | None = None,
+) -> list[str]:
+    """Assumable properties support-connected to ``name``'s cone.
+
+    The same fixpoint as the JA verifier's COI reduction: start from the
+    target's support (latches and inputs in its cone) and repeatedly
+    absorb any assumable property whose support overlaps the region.
+    Properties outside the closure cannot constrain the projected
+    transition relation for ``name``, so they are irrelevant to its
+    local verdict — and to its cache key.
+
+    ``supports`` is an optional per-design memo (property name ->
+    support signature) shared across calls: a resolve pass over P
+    properties would otherwise recompute every signature P times.
+    """
+    aig = ts.aig
+    assumed = assumption_names(ts, name)
+    if supports is None:
+        supports = {}
+    for n in (name, *assumed):
+        if n not in supports:
+            supports[n] = support_signature(aig, ts.prop_by_name[n].lit)
+    region = set(supports[name])
+    kept: list[str] = []
+    changed = True
+    while changed:
+        changed = False
+        for n in assumed:
+            if n in kept or not supports[n] & region:
+                continue
+            kept.append(n)
+            region |= supports[n]
+            changed = True
+    return kept
+
+
+def cone_support(
+    ts: TransitionSystem,
+    name: str,
+    kept: Sequence[str] | None = None,
+    supports: dict[str, frozenset] | None = None,
+) -> frozenset:
+    """Latch/input literals inside ``name``'s assumption cone.
+
+    The union of the target's support with every kept assumable
+    property's support — the variable universe a cached witness for
+    ``name`` is allowed to mention if it is to survive out-of-cone
+    edits.  ``supports`` is the same optional memo
+    :func:`cone_properties` takes.
+    """
+    if supports is None:
+        supports = {}
+    if kept is None:
+        kept = cone_properties(ts, name, supports)
+    aig = ts.aig
+    for n in (name, *kept):
+        if n not in supports:
+            supports[n] = support_signature(aig, ts.prop_by_name[n].lit)
+    region = set(supports[name])
+    for n in kept:
+        region |= supports[n]
+    return frozenset(region)
+
+
+def cone_digest(
+    ts: TransitionSystem,
+    name: str,
+    kept: Sequence[str] | None = None,
+    *,
+    reduction=None,
+) -> str:
+    """Content hash of ``name``'s assumption cone (see module doc).
+
+    ``kept`` may be passed when :func:`cone_properties` was already
+    computed, to avoid re-running the fixpoint; ``reduction`` may be
+    passed when :func:`~repro.circuit.coi.reduce_to_cone` over
+    ``[name, *kept]`` was already computed, to avoid re-running it.
+    """
+    if reduction is None:
+        if kept is None:
+            kept = cone_properties(ts, name)
+        reduction = reduce_to_cone(ts.aig, [name, *kept])
+    # The target name is mixed in because two properties can share one
+    # cone (mutually-assuming pairs) yet need distinct verdicts.
+    return text_digest(f"{name}\x00{write_aag(reduction.aig)}")

@@ -186,6 +186,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         portfolio_engines=args.portfolio_engines,
         solver_backend=args.backend,
         engine=dict(args.engine or []),
+        cache_dir=args.cache_dir,
+        cache_mode=args.cache_mode,
         # The "design" sentinel lets Session derive the name from the
         # design path unless --design-name overrides it explicitly.
         design_name=args.design_name or "design",
@@ -354,6 +356,8 @@ def _serve_listen(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_concurrent_jobs=args.max_concurrent_jobs or 4,
         max_pending=args.max_pending,
+        cache_dir=args.cache_dir,
+        cache_mode=args.cache_mode,
     )
     if args.progress:
         service.subscribe(lambda event: print(format_event(event)))
@@ -418,7 +422,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         or min(4, len(jobs))
     )
     service = VerificationService(
-        workers=workers, max_concurrent_jobs=max_jobs
+        workers=workers,
+        max_concurrent_jobs=max_jobs,
+        cache_dir=args.cache_dir,
+        cache_mode=args.cache_mode,
     )
     if args.progress:
         service.subscribe(lambda event: print(format_event(event)))
@@ -588,6 +595,10 @@ def _load_remote_specs(target: str, args: argparse.Namespace) -> list[dict]:
         for spec in jobs:
             spec = dict(defaults, **spec)
             spec.setdefault("strategy", args.strategy or "parallel-ja")
+            if args.cache_dir is not None:
+                # Server-side path: the proof store lives on the server.
+                spec.setdefault("cache_dir", args.cache_dir)
+                spec.setdefault("cache_mode", args.cache_mode)
             specs.append(_inline(spec))
         return specs
     spec: dict = {"design": target}
@@ -595,6 +606,9 @@ def _load_remote_specs(target: str, args: argparse.Namespace) -> list[dict]:
         spec["strategy"] = args.strategy
     if args.priority is not None:
         spec["priority"] = args.priority
+    if args.cache_dir is not None:
+        spec["cache_dir"] = args.cache_dir
+        spec["cache_mode"] = args.cache_mode
     return [_inline(spec)]
 
 
@@ -657,6 +671,36 @@ def cmd_submit(args: argparse.Namespace) -> int:
         return 1
     if unsolved:
         return 3
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats|gc|clear`` — inspect or prune a proof store."""
+    from .cache import ProofStore
+
+    store = ProofStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        # On-disk inspection: the per-run hit/miss counters are only
+        # meaningful inside a verification process, so drop them here.
+        static = {
+            k: v
+            for k, v in stats.items()
+            if k in ("root", "entries", "entry_bytes", "warm_logs", "warm_bytes")
+        }
+        print(json.dumps(static, indent=2, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        if args.max_entries is None and args.max_bytes is None:
+            print("gc needs --max-entries and/or --max-bytes", file=sys.stderr)
+            return 2
+        removed = store.gc(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} file{'' if removed == 1 else 's'}")
     return 0
 
 
@@ -750,6 +794,21 @@ class _ListCheckersAction(argparse.Action):
         for name, description in available_checkers().items():
             print(f"{name:<22} {description}")
         parser.exit(0)
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--cache-dir`` / ``--cache-mode`` pair."""
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cross-run proof cache directory; certified verdicts, "
+        "invariants and warm clause logs persist here (default: no cache)",
+    )
+    parser.add_argument(
+        "--cache-mode", choices=("off", "read", "readwrite"),
+        default="readwrite",
+        help="how to use --cache-dir: read existing proofs only, read and "
+        "write back fresh ones (default), or off",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -902,6 +961,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print progress events (frames, verdicts, clauseDB traffic) live",
     )
     p_check.add_argument("--json", default=None, help="write JSON report here")
+    _add_cache_args(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_lint = sub.add_parser(
@@ -984,6 +1044,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--json", default=None, help="write the per-job JSON reports here"
     )
+    _add_cache_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -1022,6 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--json", default=None, help="write the per-job JSON reports here"
     )
+    _add_cache_args(p_submit)
     p_submit.set_defaults(func=cmd_submit)
 
     p_watch = sub.add_parser(
@@ -1046,6 +1108,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="the remote server's address",
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune a cross-run proof cache"
+    )
+    p_cache.add_argument(
+        "action", choices=("stats", "gc", "clear"),
+        help="stats: JSON size summary; gc: LRU-evict past the bounds; "
+        "clear: remove every entry and warm log",
+    )
+    p_cache.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the proof store directory",
+    )
+    p_cache.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="gc: keep at most N verdict entries",
+    )
+    p_cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: keep the entries directory under N bytes",
+    )
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

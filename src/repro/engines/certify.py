@@ -74,12 +74,29 @@ def certify_invariant(
         solver.add_clause([enc.prop_curr[name]])
     for clause in normalized:
         solver.add_clause(enc.clause_lits_curr(clause))
+    # One aggregate consecution query: F ∧ C ∧ T ∧ (∨ ¬c') is UNSAT
+    # exactly when every clause is inductive relative to the set.  A
+    # selector variable per clause encodes its next-state violation, an
+    # activation literal keeps the disjunction out of later queries, and
+    # the per-clause checks run only on failure — to name the offender.
+    selectors = []
     for clause in normalized:
-        cube = negate_cube(clause)
-        if solver.solve(enc.cube_lits_next(cube)) != Status.UNSAT:
-            return CertificateReport(
-                False, f"clause {clause} is not inductive relative to the set"
-            )
+        selector = solver.new_var()
+        for lit in enc.cube_lits_next(negate_cube(clause)):
+            solver.add_clause([-selector, lit])
+        selectors.append(selector)
+    activate = solver.new_var()
+    solver.add_clause([-activate, *selectors])
+    if solver.solve([activate]) != Status.UNSAT:
+        for clause in normalized:
+            cube = negate_cube(clause)
+            if solver.solve(enc.cube_lits_next(cube)) != Status.UNSAT:
+                return CertificateReport(
+                    False, f"clause {clause} is not inductive relative to the set"
+                )
+        return CertificateReport(  # unreachable unless the solver lies
+            False, "invariant is not inductive relative to the set"
+        )
 
     bad_solver = create_solver(solver_backend)
     bad_enc = ts.encode_bad_frame(bad_solver)

@@ -33,7 +33,6 @@ at shallow depth without giving up on deeper ones.
 
 from __future__ import annotations
 
-import hashlib
 import random
 import time
 from collections.abc import Sequence
@@ -54,10 +53,10 @@ def derive_seed(seed: int | None, design_name: str, prop_name: str) -> int:
     sub-seed of an unrelated property (a counter-based scheme would).
     """
 
+    from ..cache.hashing import joined_digest
+
     base = 0 if seed is None else int(seed)
-    digest = hashlib.sha256(
-        f"{base}\x00{design_name}\x00{prop_name}".encode()
-    ).digest()
+    digest = joined_digest(base, design_name, prop_name)
     return int.from_bytes(digest[:8], "big")
 
 

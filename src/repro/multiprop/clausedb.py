@@ -32,6 +32,20 @@ from collections.abc import Iterable
 
 from ..ts.system import Clause, TransitionSystem, normalize_cube
 
+#: On-disk format: ``<magic> <version>`` header line, then the latch-name
+#: line, then one clause per line.  Version history:
+#:
+#: * 1 — original format (no formal version gate on load);
+#: * 2 — identical layout, but readers reject unknown versions with a
+#:   typed error instead of mis-parsing them as clause data.
+CLAUSEDB_MAGIC = "clausedb"
+CLAUSEDB_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+class ClauseDBFormatError(ValueError):
+    """A clauseDB file has the wrong magic, version, or latch signature."""
+
 
 class ClauseDB:
     """An in-memory, optionally persisted, pool of strengthening clauses."""
@@ -85,35 +99,57 @@ class ClauseDB:
     # ------------------------------------------------------------------
     # Persistence (the external clauseDB file of Section 7-B)
     # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialize to the versioned text format (see module constants)."""
+        lines = [
+            f"{CLAUSEDB_MAGIC} {CLAUSEDB_VERSION}",
+            " ".join(latch.name for latch in self.ts.latches),
+        ]
+        lines.extend(" ".join(str(l) for l in clause) for clause in self._clauses)
+        return "\n".join(lines) + "\n"
+
     def save(self, path: str) -> None:
         with open(path, "w", encoding="ascii") as f:
-            f.write("clausedb 1\n")
-            f.write(" ".join(latch.name for latch in self.ts.latches) + "\n")
-            for clause in self._clauses:
-                f.write(" ".join(str(l) for l in clause) + "\n")
+            f.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str, ts: TransitionSystem, source: str = "<string>") -> "ClauseDB":
+        """Parse and validate the text format against ``ts``.
+
+        Raises :class:`ClauseDBFormatError` on a bad magic string, an
+        unsupported format version, or a latch-signature mismatch (the
+        clauses would be meaningless) — stale or foreign databases must
+        not silently corrupt proofs.
+        """
+        db = cls(ts)
+        lines = iter(text.splitlines())
+        header = next(lines, "").split()
+        if header[:1] != [CLAUSEDB_MAGIC]:
+            raise ClauseDBFormatError(f"{source}: not a clauseDB file")
+        try:
+            version = int(header[1])
+        except (IndexError, ValueError):
+            raise ClauseDBFormatError(f"{source}: missing clauseDB version") from None
+        if version not in _SUPPORTED_VERSIONS:
+            raise ClauseDBFormatError(
+                f"{source}: unsupported clauseDB version {version} "
+                f"(this reader supports {list(_SUPPORTED_VERSIONS)})"
+            )
+        names = next(lines, "").split()
+        expected = [latch.name for latch in ts.latches]
+        if names != expected:
+            raise ClauseDBFormatError(
+                f"{source}: latch signature mismatch "
+                f"(file has {len(names)} latches, design has {len(expected)})"
+            )
+        for line in lines:
+            lits = [int(tok) for tok in line.split()]
+            if lits:
+                db.add(lits)
+        return db
 
     @classmethod
     def load(cls, path: str, ts: TransitionSystem) -> "ClauseDB":
-        """Load and validate a clause database against ``ts``.
-
-        Raises ``ValueError`` if the latch signature does not match (the
-        clauses would be meaningless) — stale databases must not silently
-        corrupt proofs.
-        """
-        db = cls(ts)
+        """Load a clause database file (see :meth:`loads` for validation)."""
         with open(path, encoding="ascii") as f:
-            header = f.readline().split()
-            if header[:1] != ["clausedb"]:
-                raise ValueError(f"{path}: not a clauseDB file")
-            names = f.readline().split()
-            expected = [latch.name for latch in ts.latches]
-            if names != expected:
-                raise ValueError(
-                    f"{path}: latch signature mismatch "
-                    f"(file has {len(names)} latches, design has {len(expected)})"
-                )
-            for line in f:
-                lits = [int(tok) for tok in line.split()]
-                if lits:
-                    db.add(lits)
-        return db
+            return cls.loads(f.read(), ts, source=str(path))

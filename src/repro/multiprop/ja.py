@@ -37,6 +37,7 @@ from ..engines.result import EngineResult, PropStatus, ResourceBudget
 from ..progress import (
     BudgetCheckpoint,
     ClauseExport,
+    ClauseImport,
     Emit,
     PropertySolved,
     PropertyStarted,
@@ -100,6 +101,8 @@ class JAVerifier:
     def run(self, design_name: str = "design") -> MultiPropReport:
         opts = self.options
         start = time.monotonic()
+        if opts.clause_db_path and opts.clause_reuse:
+            self._load_clause_db(opts.clause_db_path)
         report = MultiPropReport(method="ja", design=design_name)
         order = list(opts.order) if opts.order else [p.name for p in self.ts.properties]
         unknown_names = set(order) - {p.name for p in self.ts.properties}
@@ -160,6 +163,27 @@ class JAVerifier:
         return report
 
     # ------------------------------------------------------------------
+    def _load_clause_db(self, path: str) -> None:
+        """Warm-start from a persisted clauseDB, exactly like Ja-ver.
+
+        A missing file is a cold start; a present file must parse (a
+        stale or foreign database raises
+        :class:`~repro.multiprop.clausedb.ClauseDBFormatError` rather
+        than silently poisoning proofs).  Loaded clauses go through the
+        same init-state validation as freshly exported ones, and the
+        engine's certificate re-check (``SeedCertificateError`` retry)
+        backstops anything structural validation cannot catch.
+        """
+        import os
+
+        if not os.path.exists(path):
+            return
+        loaded = ClauseDB.load(path, self.ts)
+        imported = self.clause_db.add_all(loaded.clauses())
+        if imported:
+            self._emit(ClauseImport(name="<clausedb>", count=imported))
+
+    # ------------------------------------------------------------------
     def _check_one(self, name: str):
         """One property: local IC3, spurious-CEX re-runs, seed fallback."""
         opts = self.options
@@ -204,6 +228,8 @@ class JAVerifier:
             assumed=assumed,
             reruns=reruns,
             expected_to_fail=self.ts.prop_by_name[name].expected_to_fail,
+            invariant=result.invariant,
+            cex=result.cex,
         )
         return outcome, result
 

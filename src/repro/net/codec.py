@@ -37,6 +37,7 @@ from ..progress import (
     AttemptCancelled,
     AttemptStarted,
     BudgetCheckpoint,
+    CacheHit,
     ClauseExport,
     ClauseImport,
     ClusterStarted,
@@ -83,6 +84,7 @@ WIRE_VERSION = 1
 EVENT_TYPES: tuple[type[ProgressEvent], ...] = (
     RunStarted,
     RunFinished,
+    CacheHit,
     PropertyStarted,
     PropertySolved,
     FrameAdvanced,
@@ -114,6 +116,7 @@ _BY_KIND: dict[str, type[ProgressEvent]] = {cls.kind: cls for cls in EVENT_TYPES
 _FIELD_DECODERS: dict[tuple[str, str], typing.Callable] = {
     ("property-solved", "status"): PropStatus,
     ("portfolio-decided", "status"): PropStatus,
+    ("cache-hit", "status"): PropStatus,
 }
 
 

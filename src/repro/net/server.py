@@ -18,6 +18,7 @@ GET      ``/jobs/{id}/events``  SSE stream of the job's ProgressEvents
 POST     ``/jobs/{id}/cancel``  request cooperative cancellation
 GET      ``/jobs/{id}/result``  the encoded report (``?timeout=S`` long-poll)
 GET      ``/stats``             ``ServiceStats.as_dict()`` over the wire
+GET      ``/cache/stats``       proof-cache counters (hits/misses/rejects)
 GET      ``/healthz``           liveness + drain state
 =======  =====================  ==============================================
 
@@ -97,6 +98,7 @@ ROUTES: tuple[Route, ...] = (
     Route("POST", "/jobs/{id}/cancel", "job_cancel"),
     Route("GET", "/jobs/{id}/result", "job_result"),
     Route("GET", "/stats", "stats"),
+    Route("GET", "/cache/stats", "cache_stats"),
     Route("GET", "/healthz", "health"),
 )
 
@@ -641,6 +643,19 @@ class VerificationServer:
         payload["v"] = WIRE_VERSION
         payload["draining"] = self._draining
         return _Response(200, payload)
+
+    async def _handle_cache_stats(self, request: _Request, writer) -> _Response:
+        loop = asyncio.get_running_loop()
+        stats = await loop.run_in_executor(None, self.service.stats)
+        cache = stats.as_dict().get("cache")
+        return _Response(
+            200,
+            {
+                "v": WIRE_VERSION,
+                "enabled": cache is not None,
+                "cache": cache,
+            },
+        )
 
     async def _handle_health(self, request: _Request, writer) -> _Response:
         with self._registry_lock:

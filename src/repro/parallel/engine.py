@@ -141,6 +141,11 @@ class ParallelOptions:
     coi_reduction: bool = False
     ctg: bool = False
     engine_overrides: Mapping[str, object] = field(default_factory=dict)
+    # Warm-start clauses (from a cross-run proof cache's clause log for
+    # this exact design): every per-shard ClauseDB a worker opens for
+    # this run is seeded with them, re-validated on insertion and
+    # backstopped by the engine's SeedCertificateError retry.
+    warm_clauses: tuple = ()
     # -- portfolio knobs ----------------------------------------------
     # Run-level seed for stochastic engines; per-property sub-seeds are
     # derived deterministically (repro.engines.randomwalk.derive_seed).
@@ -479,6 +484,7 @@ class SeatScheduler:
             stop_on_failure=options.stop_on_failure,
             solver_backend=options.solver_backend,
             engine_overrides=dict(options.engine_overrides),
+            warm_clauses=tuple(options.warm_clauses),
         )
         try:
             run_id = pool.open_run(ts, settings, exchange)

@@ -79,7 +79,6 @@ per-run semantics.
 from __future__ import annotations
 
 import atexit
-import hashlib
 import itertools
 import multiprocessing
 import os
@@ -89,6 +88,7 @@ import time
 import weakref
 from collections import OrderedDict
 
+from ..cache.hashing import payload_digest
 from ..ts.system import TransitionSystem
 
 #: Designs kept per cache (parent payloads and each worker's unpickled
@@ -307,7 +307,7 @@ class WorkerPool:
             return digest
         payload = pickle.dumps(ts, protocol=pickle.HIGHEST_PROTOCOL)
         self.stats["design_pickles"] += 1
-        digest = hashlib.sha256(payload).hexdigest()
+        digest = payload_digest(payload)
         if digest not in self._pickled:
             self.stats["designs_cached"] += 1
         _lru_touch(self._pickled, digest, payload)

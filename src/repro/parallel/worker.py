@@ -119,6 +119,10 @@ class WorkerSettings:
     stop_on_failure: bool = False
     solver_backend: str | None = None
     engine_overrides: Mapping[str, object] = None  # type: ignore[assignment]
+    #: Warm-start clauses from a cross-run proof cache: seeded into every
+    #: per-shard ClauseDB this run opens.  Insertion re-validates each
+    #: clause structurally; certificate re-checks backstop the rest.
+    warm_clauses: tuple = ()
 
     def job_options(self, job: PropertyJob) -> JAOptions:
         return JAOptions(
@@ -155,6 +159,10 @@ class _ActiveRun:
         db = self.dbs.get(shard)
         if db is None:
             db = self.dbs[shard] = ClauseDB(self.ts)
+            if self.settings.warm_clauses:
+                # Cross-run warm start: pre-seed the fresh shard DB with
+                # the cache's clause log for this design.
+                db.add_all(self.settings.warm_clauses)
         return db
 
 

@@ -41,7 +41,9 @@ The event vocabulary mirrors what the paper's tables measure:
   queue is full (back-pressure made observable);
 * :class:`StatsSnapshot` — a periodic sample of the service's
   introspection surface (pool occupancy, seat backoff state, queue
-  depth, latencies), emitted by ``VerificationService.emit_stats``.
+  depth, latencies), emitted by ``VerificationService.emit_stats``;
+* :class:`CacheHit` — a property short-circuited from the cross-run
+  proof cache after its stored witness re-passed certification.
 
 This module deliberately has no imports from the rest of the package so
 that every layer can use it without import cycles; the classes are
@@ -78,6 +80,7 @@ __all__ = [
     "JobFinished",
     "ServiceSaturated",
     "StatsSnapshot",
+    "CacheHit",
     "Emit",
     "null_emit",
     "emit_or_null",
@@ -389,6 +392,27 @@ class StatsSnapshot(ProgressEvent):
     stats: dict
 
 
+@dataclass(frozen=True)
+class CacheHit(ProgressEvent):
+    """A property's verdict was served from the cross-run proof cache.
+
+    Emitted *after* the stored witness re-passed certification against
+    the design actually being verified (``certify_invariant`` for
+    HOLDS, ``certify_cex`` for FAILS) — a cache hit is never reported
+    on trust alone.  ``status`` is the ``PropStatus`` value, typed
+    loosely to keep this module dependency-free; ``exact_design`` is
+    True when the stored verdict came from a byte-identical design and
+    False for a cone-level hit on an edited design (the incremental
+    re-verification path).
+    """
+
+    kind: ClassVar[str] = "cache-hit"
+    name: str
+    status: object
+    exact_design: bool = True
+    frames: int = 0
+
+
 Emit = Callable[[ProgressEvent], None]
 
 
@@ -485,6 +509,12 @@ def format_event(event: ProgressEvent) -> str:
         )
     if isinstance(event, ServiceSaturated):
         return f"[{event.kind}] {event.pending}/{event.limit} jobs pending"
+    if isinstance(event, CacheHit):
+        scope = "exact design" if event.exact_design else "unchanged cone"
+        return (
+            f"[{event.kind}] {event.name}: {event.status} "
+            f"({scope}, certified, frames={event.frames})"
+        )
     if isinstance(event, StatsSnapshot):
         stats = event.stats
         pool = stats.get("pool") or {}

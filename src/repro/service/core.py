@@ -90,6 +90,10 @@ class _JobRecord:
         "pooled_job",
         "emit_failure",
         "announced",
+        "resolver",
+        "cached_outcomes",
+        "remaining_order",
+        "warm_clauses",
     )
 
     def __init__(self, handle, ts, config, order, priority, kind) -> None:
@@ -105,6 +109,14 @@ class _JobRecord:
         self.cancel_requested = False
         self.thread: threading.Thread | None = None
         self.pooled_job = None  # PooledJob while executing on seats
+        # Cross-run proof cache state (set at start when the job's
+        # config names a cache_dir): the certification-gated resolver,
+        # the cache-served outcomes, the properties left to prove, and
+        # warm-start clauses for the job's clause DBs.
+        self.resolver = None
+        self.cached_outcomes: dict[str, PropOutcome] = {}
+        self.remaining_order: list[str] | None = None
+        self.warm_clauses: tuple = ()
         # First exception a subscriber raised while consuming this
         # job's events (e.g. BrokenPipeError from a print callback);
         # surfaced through the handle's future, never allowed to kill
@@ -144,6 +156,8 @@ class VerificationService:
         max_pending: int = 64,
         seat_backoff_base: float = 0.5,
         seat_backoff_cap: float = 30.0,
+        cache_dir: str | None = None,
+        cache_mode: str = "readwrite",
         on_event: Emit | None = None,
     ) -> None:
         if max_concurrent_jobs < 1:
@@ -157,8 +171,15 @@ class VerificationService:
                 "need 0 < seat_backoff_base <= seat_backoff_cap, got "
                 f"base={seat_backoff_base!r} cap={seat_backoff_cap!r}"
             )
+        if cache_mode not in ("off", "read", "readwrite"):
+            raise ValueError(f"bad cache mode {cache_mode!r}")
         if pool is not None and pool.closed:
             raise ValueError("pool has been shut down")
+        # Service-level proof-cache default: jobs whose config names no
+        # cache_dir inherit this one (a job-level cache_mode of "off"
+        # still opts the job out).
+        self.cache_dir = cache_dir
+        self.cache_mode = cache_mode
         self.max_concurrent_jobs = max_concurrent_jobs
         self.max_pending = max_pending
         self.seat_backoff_base = seat_backoff_base
@@ -179,6 +200,7 @@ class VerificationService:
         self._wake = threading.Event()
         self._dispatcher: threading.Thread | None = None
         self._subscribers: list[Emit] = []
+        self._stores: dict[str, object] = {}  # cache_dir -> ProofStore
         self._job_ids = 0
         self._closed = False
         self._stopping = False
@@ -281,6 +303,44 @@ class VerificationService:
             latency=latency_summary(jobs),
             pool=pool_stats,
             exchange=exchange,
+            cache=self._cache_stats(),
+        )
+
+    def _cache_stats(self) -> dict | None:
+        """Aggregated proof-cache counters across every attached store."""
+        with self._lock:
+            stores = list(self._stores.values())
+        if not stores:
+            return None
+        merged: dict = {"stores": len(stores)}
+        for store in stores:
+            for key, value in store.stats().items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    merged[key] = merged.get(key, 0) + value
+        if len(stores) == 1:
+            merged["root"] = stores[0].stats()["root"]
+        return merged
+
+    def _resolver_for(self, record: _JobRecord):
+        """The job's cache resolver, or ``None`` when caching is off."""
+        config = record.config
+        if config.cache_mode == "off":
+            return None
+        if config.cache_dir:
+            cache_dir, mode = config.cache_dir, config.cache_mode
+        elif self.cache_dir and self.cache_mode != "off":
+            cache_dir, mode = self.cache_dir, self.cache_mode
+        else:
+            return None
+        from ..cache import CacheResolver, ProofStore
+
+        with self._lock:
+            store = self._stores.get(cache_dir)
+            if store is None:
+                store = ProofStore(cache_dir)
+                self._stores[cache_dir] = store
+        return CacheResolver(
+            store, mode, solver_backend=config.solver_backend
         )
 
     @staticmethod
@@ -533,13 +593,14 @@ class VerificationService:
                 # between jobs is revived now, not at the next admission.
                 scheduler.maintain()
             with self._lock:
-                threaded_running = any(
-                    r.kind == "thread" for r in self._running
-                )
+                # A running record with no pooled_job yet may be mid
+                # cache-resolution on a helper thread; its "admit"
+                # command still needs this loop, so stop only when the
+                # running set is empty (not merely thread-kind free).
                 stop = (
                     self._stopping
                     and not self._pending
-                    and not threaded_running
+                    and not self._running
                 )
             if stop:
                 return
@@ -565,6 +626,20 @@ class VerificationService:
                         cancel_all()
                     else:
                         self._scheduler.cancel_job(job)
+                # pooled_job is None while the job is still in cache
+                # resolution; cancel_requested is already set and the
+                # "admit" arm below honours it.
+            elif command[0] == "admit":
+                # A pooled job finished cache resolution off-thread and
+                # is ready for its (possibly reduced) seat admission.
+                record = command[1]
+                if record.cancel_requested:
+                    self._finalize(record, self._cancelled_report(record), None)
+                    continue
+                try:
+                    self._start_pooled(record, announce=False)
+                except BaseException as exc:
+                    self._finalize(record, None, exc)
             elif command[0] == "stats":
                 request = command[1]
                 try:
@@ -591,8 +666,29 @@ class VerificationService:
         record.started_at = time.monotonic()
         handle._transition(JobStatus.RUNNING)
         try:
+            record.resolver = self._resolver_for(record)
             if record.kind == "pool":
-                self._start_pooled(record)
+                if record.resolver is not None and record.resolver.readable:
+                    # Cache resolution certifies stored witnesses (SAT
+                    # work); it must not run on the dispatcher thread.
+                    self._emit_job(
+                        record,
+                        JobStarted(
+                            job=handle.job_id,
+                            design=record.config.design_name,
+                            strategy=record.config.strategy,
+                            mode="pool",
+                        ),
+                    )
+                    record.thread = threading.Thread(
+                        target=self._resolve_pooled,
+                        args=(record,),
+                        name=f"repro-cache-{handle.job_id}",
+                        daemon=True,
+                    )
+                    record.thread.start()
+                else:
+                    self._start_pooled(record)
             else:
                 self._emit_job(
                     record,
@@ -613,20 +709,65 @@ class VerificationService:
         except BaseException as exc:  # admission failed: fail the job
             self._finalize(record, None, exc)
 
-    def _start_pooled(self, record: _JobRecord) -> None:
+    def _resolve_pooled(self, record: _JobRecord) -> None:
+        """Off-dispatcher cache pass for a pooled job.
+
+        Serves certified hits, loads warm clauses, then either finishes
+        the job outright (everything cached) or posts an ``admit``
+        command so the dispatcher seats only the remaining properties.
+        """
+        try:
+            cached, remaining = record.resolver.resolve(
+                record.ts, record.order, self._guarded_job_emit(record)
+            )
+            record.cached_outcomes = cached
+            record.remaining_order = remaining
+            if remaining:
+                record.warm_clauses = tuple(record.resolver.warm_clauses(record.ts))
+            if record.cancel_requested:
+                self._finalize(record, self._cancelled_report(record), None)
+            elif not remaining:
+                self._finalize(record, self._cache_report(record), None)
+            else:
+                self._commands.put(("admit", record))
+        except BaseException as exc:
+            self._finalize(record, None, exc)
+        finally:
+            self._wake.set()
+
+    def _cache_report(self, record: _JobRecord) -> MultiPropReport:
+        """Report for a job fully served from the proof cache."""
+        started = record.started_at if record.started_at is not None else time.monotonic()
+        return MultiPropReport(
+            method=record.config.strategy,
+            design=record.config.design_name,
+            outcomes={},  # cached outcomes merged in _finalize
+            total_time=time.monotonic() - started,
+            stats={"mode": "cache", "cache_hits": len(record.cached_outcomes)},
+        )
+
+    def _start_pooled(self, record: _JobRecord, announce: bool = True) -> None:
         from ..session.strategies import parallel_options
 
         self._ensure_scheduler(record)
-        self._emit_job(
-            record,
-            JobStarted(
-                job=record.handle.job_id,
-                design=record.config.design_name,
-                strategy=record.config.strategy,
-                mode="pool",
-            ),
+        if announce:
+            self._emit_job(
+                record,
+                JobStarted(
+                    job=record.handle.job_id,
+                    design=record.config.design_name,
+                    strategy=record.config.strategy,
+                    mode="pool",
+                ),
+            )
+        order = (
+            record.remaining_order
+            if record.remaining_order is not None
+            else record.order
         )
         options = parallel_options(record.ts, record.config)
+        if record.warm_clauses:
+            options.warm_clauses = record.warm_clauses
         if record.config.strategy == "portfolio":
             from ..parallel.portfolio import admit_portfolio
 
@@ -639,7 +780,7 @@ class VerificationService:
                 options,
                 record.config.design_name,
                 self._guarded_job_emit(record),
-                record.order,
+                order,
                 priority=record.priority,
                 pool_label="persistent",
                 job_id=record.handle.job_id,
@@ -651,7 +792,7 @@ class VerificationService:
             options,
             record.config.design_name,
             self._guarded_job_emit(record),
-            record.order,
+            order,
             priority=record.priority,
             pool_label="persistent",
             job_id=record.handle.job_id,
@@ -705,10 +846,26 @@ class VerificationService:
 
     def _run_threaded(self, record: _JobRecord) -> None:
         try:
-            strategy = get_strategy(record.config.strategy)
+            config = record.config
+            resolver = record.resolver
+            if resolver is not None and resolver.readable:
+                cached, remaining = resolver.resolve(
+                    record.ts,
+                    record.order,
+                    lambda event: self._emit_job(record, event),
+                )
+                record.cached_outcomes = cached
+                record.remaining_order = remaining
+                if not remaining:
+                    self._finalize(record, self._cache_report(record), None)
+                    self._wake.set()
+                    return
+                if cached:
+                    config = config.with_overrides(order=remaining)
+            strategy = get_strategy(config.strategy)
             report = strategy.run(
                 record.ts,
-                record.config,
+                config,
                 lambda event: self._emit_job(record, event),
             )
             error = None
@@ -730,6 +887,34 @@ class VerificationService:
             status = JobStatus.CANCELLED
         else:
             status = JobStatus.DONE
+        if report is not None and record.cached_outcomes:
+            # Splice cache-served verdicts back in, preserving the
+            # original submission order of the property list.
+            merged = dict(record.cached_outcomes)
+            merged.update(report.outcomes)
+            report.outcomes = {
+                name: merged[name] for name in record.order if name in merged
+            }
+            for name, outcome in merged.items():  # safety: never drop one
+                if name not in report.outcomes:
+                    report.outcomes[name] = outcome
+            report.stats = dict(report.stats)
+            report.stats["cache_hits"] = len(record.cached_outcomes)
+        if (
+            failure is None
+            and status is JobStatus.DONE
+            and report is not None
+            and record.resolver is not None
+            and record.ts is not None
+        ):
+            try:
+                record.resolver.record_outcomes(
+                    record.ts, report.outcomes, record.config.design_name
+                )
+            except Exception:
+                # A broken cache write-back (disk full, permissions)
+                # must never fail a successfully verified job.
+                pass
         # Transition BEFORE emitting JobFinished: an ``events()`` stream
         # opened in between sees a terminal handle and yields nothing,
         # instead of registering a queue that would never receive its

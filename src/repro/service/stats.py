@@ -98,6 +98,10 @@ class ServiceStats:
     latency: dict
     pool: PoolStats | None = None
     exchange: dict | None = None
+    #: Aggregated proof-cache counters (hits/misses/certify_rejects and
+    #: store sizes) across every cache_dir jobs have attached; ``None``
+    #: while no job has used the cross-run cache.
+    cache: dict | None = None
 
     def as_dict(self) -> dict:
         # Top-level queue keys and a pool dict that splices the pool
@@ -120,6 +124,8 @@ class ServiceStats:
         }
         if self.pool is not None:
             out["pool"] = self.pool.as_dict()
+        if self.cache is not None:
+            out["cache"] = dict(self.cache)
         return out
 
     # Dict-compatible reads for callers of the legacy plain-dict API.

@@ -113,10 +113,34 @@ channel; :class:`WorkerStarted`, :class:`PropertyCancelled` and
 survivor) make the pool's lifecycle observable.  Jobs are dispatched
 largest-estimated-cone-first unless the config pins an explicit
 ``order``.
+
+Cross-run proof cache
+---------------------
+
+Two config fields connect any strategy to the content-addressed proof
+store in :mod:`repro.cache`:
+
+``VerificationConfig.cache_dir``
+    directory of the on-disk :class:`~repro.cache.ProofStore`
+    (``None``: no caching).  Before dispatch, properties whose
+    COI-cone digest has a stored verdict are resolved from the store —
+    each one re-certified against the *current* design
+    (:func:`~repro.engines.certify.certify_invariant` /
+    :func:`~repro.engines.certify.certify_cex`) and announced with a
+    :class:`CacheHit` event; only the rest are proved.  Fresh verdicts
+    and warm-start clauses are written back;
+``VerificationConfig.cache_mode``
+    ``"readwrite"`` (default), ``"read"`` (serve hits, never write),
+    or ``"off"`` (ignore ``cache_dir`` entirely).
+
+Cache-served outcomes carry ``engine == "cache"``; the report's
+``stats`` gain a ``cache_hits`` count so tooling can tell a warm run
+from a cold one.
 """
 
 from ..progress import (
     BudgetCheckpoint,
+    CacheHit,
     ClauseExport,
     ClauseImport,
     ClusterStarted,
@@ -172,6 +196,7 @@ __all__ = [
     "ClauseImport",
     "ClauseExport",
     "BudgetCheckpoint",
+    "CacheHit",
     "ClusterStarted",
     "WorkerStarted",
     "PropertyCancelled",

@@ -114,6 +114,15 @@ class VerificationConfig:
     portfolio_engines: str | None = None
     # -- escape hatch: validated IC3Options overrides ------------------
     engine: dict[str, object] = field(default_factory=dict)
+    # -- cross-run proof cache (repro.cache) ---------------------------
+    #: Root directory of the content-addressed proof store; ``None``
+    #: disables caching entirely.
+    cache_dir: str | None = None
+    #: ``"off"`` ignores the store, ``"read"`` serves certified hits but
+    #: never writes, ``"readwrite"`` (default) also persists fresh
+    #: HOLDS/FAILS verdicts and warm clause logs.  Only meaningful with
+    #: ``cache_dir`` set.
+    cache_mode: str = "readwrite"
     # -- reporting -----------------------------------------------------
     design_name: str = "design"
 
@@ -205,6 +214,17 @@ class VerificationConfig:
                 parse_engine_slate(self.portfolio_engines)
             except ValueError as exc:
                 raise ConfigError(str(exc)) from None
+        if self.cache_mode not in ("off", "read", "readwrite"):
+            raise ConfigError(
+                f"unknown cache_mode {self.cache_mode!r}; "
+                f"expected 'off', 'read' or 'readwrite'"
+            )
+        if self.cache_dir is not None and (
+            not isinstance(self.cache_dir, str) or not self.cache_dir
+        ):
+            raise ConfigError(
+                f"cache_dir must be a non-empty path or None, got {self.cache_dir!r}"
+            )
         self._validate_order_spec()
         unknown = set(self.engine) - ENGINE_OVERRIDE_KEYS
         if unknown:

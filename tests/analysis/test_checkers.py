@@ -301,3 +301,114 @@ def test_config_hygiene_dead_unreachable_unvalidated_fields():
     assert any("'dead_knob'" in m and "not reachable from the CLI" in m for m in texts)
     assert any("'budget'" in m and "validate()" in m for m in texts), texts
     assert not any("'strategy'" in m or "'max_frames'" in m for m in texts)
+
+
+# ----------------------------------------------------------------------
+# cache-hygiene
+# ----------------------------------------------------------------------
+
+RAW_CACHE_WRITE = """\
+    def save_record(path, text):
+        with open(path, "w") as f:
+            f.write(text)
+    """
+
+PATHLIB_CACHE_WRITE = """\
+    def save_record(path, text):
+        path.write_text(text)
+    """
+
+ATOMIC_CACHE_WRITE = """\
+    import os, tempfile
+
+    def atomic_write(path, text):
+        fd, tmp = tempfile.mkstemp(dir=".")
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+
+    def save_record(path, text):
+        atomic_write(path, text)
+
+    def load_record(path):
+        with open(path) as f:
+            return f.read()
+    """
+
+UNCERTIFIED_CONSUMER = """\
+    def serve(store, ts, name, cone):
+        record = store.get(cone)
+        return PropOutcome(name=name, status=record.status)
+    """
+
+CERTIFIED_CONSUMER = """\
+    def serve(store, ts, name, cone):
+        record = store.get(cone)
+        if record.status == "holds":
+            if not certify_invariant(ts, name, record.invariant).valid:
+                return None
+        elif not certify_cex(ts, name, record.trace).valid:
+            return None
+        return PropOutcome(name=name, status=record.status)
+    """
+
+
+class TestCacheHygiene:
+    def test_raw_write_in_cache_package_flagged(self):
+        result = run_checker(
+            "cache-hygiene", {"src/repro/cache/store.py": RAW_CACHE_WRITE}
+        )
+        assert any("outside atomic_write" in m for m in messages(result))
+
+    def test_pathlib_write_in_cache_package_flagged(self):
+        result = run_checker(
+            "cache-hygiene", {"src/repro/cache/store.py": PATHLIB_CACHE_WRITE}
+        )
+        assert any("outside atomic_write" in m for m in messages(result))
+
+    def test_atomic_write_itself_clean(self):
+        result = run_checker(
+            "cache-hygiene", {"src/repro/cache/store.py": ATOMIC_CACHE_WRITE}
+        )
+        assert messages(result) == []
+
+    def test_same_write_outside_cache_package_ignored(self):
+        result = run_checker(
+            "cache-hygiene", {"src/repro/multiprop/clausedb.py": RAW_CACHE_WRITE}
+        )
+        assert messages(result) == []
+
+    def test_uncertified_store_consumer_flagged(self):
+        result = run_checker(
+            "cache-hygiene", {"src/repro/cache/resolve.py": UNCERTIFIED_CONSUMER}
+        )
+        found = messages(result)
+        assert any("certify_invariant" in m for m in found)
+        assert any("certify_cex" in m for m in found)
+
+    def test_certified_consumer_clean(self):
+        result = run_checker(
+            "cache-hygiene", {"src/repro/cache/resolve.py": CERTIFIED_CONSUMER}
+        )
+        assert messages(result) == []
+
+    def test_outcome_builder_without_store_reads_clean(self):
+        source = """\
+            def fresh(name, status):
+                return PropOutcome(name=name, status=status)
+            """
+        result = run_checker(
+            "cache-hygiene", {"src/repro/multiprop/ja.py": source}
+        )
+        assert messages(result) == []
+
+    def test_dict_get_is_not_a_store_read(self):
+        source = """\
+            def lookup(self, stores, key, name, status):
+                store = self._stores.get(key)
+                return PropOutcome(name=name, status=status)
+            """
+        result = run_checker(
+            "cache-hygiene", {"src/repro/service/core.py": source}
+        )
+        assert messages(result) == []

@@ -1,0 +1,134 @@
+"""Cache through Session / VerificationService / CLI: parity end to end."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen.counter import fixed_counter
+from repro.service import VerificationService
+from repro.session import Session, VerificationConfig
+from repro.ts.system import TransitionSystem
+
+
+def _run(ts, cache_dir, events=None, **overrides):
+    config = VerificationConfig(cache_dir=str(cache_dir), **overrides)
+    session = Session(ts, config=config, on_event=(events.append if events is not None else None))
+    return session.run()
+
+
+def _verdicts(report):
+    return {name: o.status.value for name, o in report.outcomes.items()}
+
+
+class TestSessionParity:
+    @settings(max_examples=8, deadline=None)
+    @given(bits=st.integers(min_value=2, max_value=5), rval=st.none() | st.integers(0, 31))
+    def test_cold_warm_verdict_and_frames_parity(self, tmp_path_factory, bits, rval):
+        if rval is not None:
+            rval %= 1 << bits  # reset value must fit the counter width
+        cache_dir = tmp_path_factory.mktemp("proofcache")
+        cold = _run(TransitionSystem(fixed_counter(bits, rval)), cache_dir)
+
+        events: list = []
+        warm = _run(TransitionSystem(fixed_counter(bits, rval)), cache_dir, events)
+        assert _verdicts(warm) == _verdicts(cold)
+        hits = [e for e in events if getattr(e, "kind", "") == "cache-hit"]
+        assert len(hits) == len(cold.outcomes)  # nothing re-proved
+        for name, outcome in warm.outcomes.items():
+            assert outcome.engine == "cache"
+            assert outcome.frames == cold.outcomes[name].frames
+            assert outcome.local == cold.outcomes[name].local
+
+    def test_cache_off_parity(self, tmp_path):
+        cached = _run(TransitionSystem(fixed_counter(4)), tmp_path)
+        plain = Session(TransitionSystem(fixed_counter(4))).run()
+        assert _verdicts(cached) == _verdicts(plain)
+
+    def test_report_counts_hits(self, tmp_path):
+        _run(TransitionSystem(fixed_counter(4)), tmp_path)
+        warm = _run(TransitionSystem(fixed_counter(4)), tmp_path)
+        assert warm.stats.get("cache_hits") == 2
+
+    def test_read_mode_serves_but_never_writes(self, tmp_path):
+        _run(TransitionSystem(fixed_counter(4)), tmp_path)
+        entries = sorted(p.name for p in (tmp_path / "entries").iterdir())
+        events: list = []
+        _run(
+            TransitionSystem(fixed_counter(4)),
+            tmp_path,
+            events,
+            cache_mode="read",
+        )
+        assert [e for e in events if getattr(e, "kind", "") == "cache-hit"]
+        assert sorted(p.name for p in (tmp_path / "entries").iterdir()) == entries
+
+
+class TestServiceCache:
+    def test_pooled_jobs_hit_and_count(self, tmp_path):
+        config = VerificationConfig(
+            strategy="parallel-ja", workers=2, cache_dir=str(tmp_path)
+        )
+        with VerificationService(workers=2) as service:
+            first = service.submit(TransitionSystem(fixed_counter(4)), config)
+            cold = first.result()
+            second = service.submit(TransitionSystem(fixed_counter(4)), config)
+            warm = second.result()
+            stats = service.stats()
+        assert _verdicts(warm) == _verdicts(cold)
+        assert warm.stats.get("cache_hits") == 2
+        assert stats.cache["hits"] == 2
+        assert stats.cache["writes"] == 2
+
+    def test_service_default_cache_dir(self, tmp_path):
+        with VerificationService(workers=2, cache_dir=str(tmp_path)) as service:
+            service.submit(TransitionSystem(fixed_counter(4))).result()
+            warm = service.submit(TransitionSystem(fixed_counter(4))).result()
+        assert warm.stats.get("cache_hits") == 2
+
+
+class TestCrossProcess:
+    def test_cli_second_process_serves_from_cache(self, tmp_path):
+        design = tmp_path / "counter.aag"
+        cache_dir = tmp_path / "proofs"
+
+        def check(json_name):
+            out = tmp_path / json_name
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "check",
+                    str(design),
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--progress",
+                    "--json",
+                    str(out),
+                ],
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert proc.returncode == 1, proc.stderr  # P0 fails by design
+            return json.loads(out.read_text()), proc.stdout
+
+        gen = subprocess.run(
+            [sys.executable, "-m", "repro", "gen", "counter4", "-o", str(design)],
+            capture_output=True,
+            timeout=120,
+        )
+        assert gen.returncode == 0, gen.stderr
+        cold, cold_out = check("cold.json")
+        warm, warm_out = check("warm.json")
+        assert "[cache-hit]" not in cold_out
+        assert warm_out.count("[cache-hit]") == 2
+        cold_verdicts = {n: o["status"] for n, o in cold["outcomes"].items()}
+        warm_verdicts = {n: o["status"] for n, o in warm["outcomes"].items()}
+        assert warm_verdicts == cold_verdicts
+        assert {e["engine"] for e in warm["outcomes"].values()} == {"cache"}

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.circuit.aig import AIG, aig_not
-from repro.multiprop.clausedb import ClauseDB
+from repro.multiprop.clausedb import (
+    CLAUSEDB_MAGIC,
+    CLAUSEDB_VERSION,
+    ClauseDB,
+    ClauseDBFormatError,
+)
 from repro.ts.system import TransitionSystem
 
 
@@ -91,3 +96,46 @@ class TestPersistence:
         loaded = ClauseDB.load(str(path), ts)
         assert loaded.clauses() == [(-1, 2)]
         assert loaded.stats["rejected"] == 1
+
+
+class TestFormatVersioning:
+    def test_dumps_stamps_current_version(self):
+        db = ClauseDB(_system())
+        db.add([-1, 2])
+        text = db.dumps()
+        assert text.splitlines()[0] == f"{CLAUSEDB_MAGIC} {CLAUSEDB_VERSION}"
+
+    def test_dumps_loads_round_trip(self):
+        ts = _system()
+        db = ClauseDB(ts)
+        db.add([-1, 2])
+        db.add([-3])
+        assert ClauseDB.loads(db.dumps(), ts).clauses() == db.clauses()
+
+    def test_v1_files_still_load(self):
+        ts = _system()
+        names = " ".join(latch.name for latch in ts.latches)
+        loaded = ClauseDB.loads(f"clausedb 1\n{names}\n-1 2\n", ts)
+        assert loaded.clauses() == [(-1, 2)]
+
+    def test_unknown_version_rejected(self):
+        ts = _system()
+        names = " ".join(latch.name for latch in ts.latches)
+        with pytest.raises(ClauseDBFormatError):
+            ClauseDB.loads(f"clausedb 99\n{names}\n-1\n", ts)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ClauseDBFormatError):
+            ClauseDB.loads("clauselog 2\nq0 q1 q2\n-1\n", _system())
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ClauseDBFormatError):
+            ClauseDB.loads("clausedb\nq0 q1 q2\n-1\n", _system())
+
+    def test_format_error_is_a_value_error(self, tmp_path):
+        # Callers that predate the typed error still catch ValueError.
+        assert issubclass(ClauseDBFormatError, ValueError)
+        path = tmp_path / "junk.db"
+        path.write_text("clausedb nine\nq0 q1 q2\n")
+        with pytest.raises(ClauseDBFormatError):
+            ClauseDB.load(str(path), _system())
